@@ -1,0 +1,250 @@
+(* mavr — command-line front end to the MAVR reproduction.
+
+   Subcommands:
+     build      build a firmware profile and write its preprocessed HEX
+     gadgets    scan a firmware for ROP gadgets
+     randomize  randomize a preprocessed HEX (what the master does at boot)
+     attack     run the stealthy attack demo against a profile
+     fly        closed-loop defended/undefended flight
+     tables     print the paper-table reproductions (also in bench/main.exe)
+*)
+
+open Cmdliner
+module Image = Mavr_obj.Image
+module F = Mavr_firmware
+
+let profile_of_string = function
+  | "arduplane" -> Ok F.Profile.arduplane
+  | "arducopter" -> Ok F.Profile.arducopter
+  | "ardurover" -> Ok F.Profile.ardurover
+  | s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok (F.Profile.tiny ~n ~seed:2024)
+      | _ -> Error (`Msg (Printf.sprintf "unknown profile %S (use arduplane/arducopter/ardurover or a filler count)" s)))
+
+let profile_conv = Arg.conv (profile_of_string, fun fmt p -> Format.fprintf fmt "%s" p.F.Profile.name)
+
+let profile_arg =
+  Arg.(
+    value
+    & opt profile_conv (F.Profile.tiny ~n:100 ~seed:2024)
+    & info [ "p"; "profile" ] ~docv:"PROFILE"
+        ~doc:"Firmware profile: arduplane, arducopter, ardurover, or a filler-function count.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Randomization seed.")
+
+let toolchain_arg =
+  Arg.(
+    value & opt (enum [ ("mavr", F.Profile.mavr); ("stock", F.Profile.stock); ("patched", F.Profile.patched) ]) F.Profile.mavr
+    & info [ "t"; "toolchain" ] ~docv:"TC" ~doc:"Toolchain flags: mavr, stock or patched.")
+
+let build_firmware profile toolchain = F.Build.build profile toolchain
+
+let cmd_build =
+  let run profile toolchain out =
+    let b = build_firmware profile toolchain in
+    Format.printf "%a@." Image.pp_summary b.image;
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Mavr_obj.Symtab.to_hex b.image);
+        close_out oc;
+        Format.printf "preprocessed HEX written to %s@." path
+    | None -> ());
+    0
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the preprocessed (symbol-table-prepended) HEX file.")
+  in
+  Cmd.v (Cmd.info "build" ~doc:"Build a firmware image")
+    Term.(const run $ profile_arg $ toolchain_arg $ out)
+
+let cmd_gadgets =
+  let run profile toolchain verbose =
+    let b = build_firmware profile toolchain in
+    let gadgets = Mavr_core.Gadget.scan b.image in
+    Format.printf "%d gadgets in %s (%s toolchain)@." (List.length gadgets)
+      profile.F.Profile.name
+      (if toolchain == F.Profile.stock then "stock" else "mavr");
+    List.iter
+      (fun (k, n) -> Format.printf "  %-10s %d@." (Mavr_core.Gadget.kind_name k) n)
+      (Mavr_core.Gadget.count_by_kind gadgets);
+    (match Mavr_core.Gadget.locate_paper_gadgets b.image with
+    | Some g ->
+        Format.printf "paper gadgets: stk_move@@0x%x write_mem@@0x%x@." g.stk_move g.write_mem
+    | None -> print_endline "paper gadgets: not found");
+    if verbose then
+      List.iteri
+        (fun i g -> if i < 20 then Format.printf "%a@." Mavr_core.Gadget.pp g)
+        gadgets;
+    0
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"List the first 20 gadgets.") in
+  Cmd.v (Cmd.info "gadgets" ~doc:"Scan a firmware for ROP gadgets")
+    Term.(const run $ profile_arg $ toolchain_arg $ verbose)
+
+let cmd_randomize =
+  let run profile seed =
+    let b = build_firmware profile F.Profile.mavr in
+    let t0 = Sys.time () in
+    let r = Mavr_core.Randomize.randomize ~seed b.image in
+    let dt = Sys.time () -. t0 in
+    Format.printf "randomized %s with seed %d in %.1f ms (host)@." profile.F.Profile.name seed
+      (1000. *. dt);
+    Format.printf "functions moved: %d/%d@."
+      (Mavr_core.Randomize.layout_distance b.image r)
+      (Image.function_count b.image);
+    Format.printf "modeled on-board startup overhead: %.0f ms (prototype), %.0f ms (production)@."
+      (Mavr_core.Serial.programming_ms Mavr_core.Serial.prototype (Image.size r))
+      (Mavr_core.Serial.programming_ms Mavr_core.Serial.production (Image.size r));
+    0
+  in
+  Cmd.v (Cmd.info "randomize" ~doc:"Randomize a firmware (master-processor boot step)")
+    Term.(const run $ profile_arg $ seed_arg)
+
+let cmd_attack =
+  let run profile seed defended =
+    let b = build_firmware profile F.Profile.mavr in
+    let ti = Mavr_core.Rop.analyze b in
+    let obs = Mavr_core.Rop.observe ti in
+    let victim = if defended then Mavr_core.Randomize.randomize ~seed b.image else b.image in
+    let cpu = Mavr_avr.Cpu.create () in
+    Mavr_avr.Cpu.load_program cpu victim.Image.code;
+    ignore (Mavr_avr.Cpu.run cpu ~max_cycles:60_000);
+    List.iter (Mavr_avr.Cpu.uart_send cpu)
+      (Mavr_core.Rop.v2_stealthy ti obs
+         ~writes:[ Mavr_core.Rop.write_u16 obs ~addr:F.Layout.gyro_cfg ~value:0x4141 ~neighbour:0 ]);
+    let r = Mavr_avr.Cpu.run cpu ~max_cycles:3_000_000 in
+    let cfg =
+      Mavr_avr.Cpu.data_peek cpu F.Layout.gyro_cfg
+      lor (Mavr_avr.Cpu.data_peek cpu (F.Layout.gyro_cfg + 1) lsl 8)
+    in
+    Format.printf "target: %s (%s)@." profile.F.Profile.name
+      (if defended then "MAVR-randomized" else "unprotected");
+    Format.printf "stealthy V2 attack: %s; board %s@."
+      (if cfg = 0x4141 then "SUCCEEDED (gyro calibration hijacked)" else "failed")
+      (match r with
+      | `Halted h -> Format.asprintf "crashed (%a)" Mavr_avr.Cpu.pp_halt h
+      | `Budget_exhausted -> "still running");
+    0
+  in
+  let defended = Arg.(value & flag & info [ "d"; "defended" ] ~doc:"Attack a MAVR-randomized image.") in
+  Cmd.v (Cmd.info "attack" ~doc:"Run the stealthy ROP attack")
+    Term.(const run $ profile_arg $ seed_arg $ defended)
+
+let cmd_fly =
+  let run profile defended ms =
+    let b = build_firmware profile F.Profile.mavr in
+    let defense =
+      if defended then
+        Mavr_sim.Scenario.Mavr
+          { Mavr_core.Master.default_config with watchdog_window_cycles = 20_000 }
+      else Mavr_sim.Scenario.No_defense
+    in
+    let s = Mavr_sim.Scenario.create ~image:b.image defense in
+    Mavr_sim.Scenario.run s ~ms:(float_of_int ms);
+    Format.printf "%a@." Mavr_sim.Scenario.pp_report (Mavr_sim.Scenario.report s);
+    0
+  in
+  let defended = Arg.(value & flag & info [ "d"; "defended" ] ~doc:"Enable the MAVR master.") in
+  let ms = Arg.(value & opt int 3000 & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds.") in
+  Cmd.v (Cmd.info "fly" ~doc:"Closed-loop flight simulation")
+    Term.(const run $ profile_arg $ defended $ ms)
+
+let cmd_disasm =
+  let run profile toolchain symbol count =
+    let b = build_firmware profile toolchain in
+    let image = b.F.Build.image in
+    let pos, len =
+      match symbol with
+      | None -> (image.Mavr_obj.Image.text_start, count * 2)
+      | Some name -> (
+          match Mavr_obj.Image.find image name with
+          | s -> (s.addr, min s.size (count * 2))
+          | exception Not_found ->
+              Format.eprintf "unknown symbol %S@." name;
+              exit 2)
+    in
+    print_string (Mavr_avr.Disasm.listing ~pos ~len image.Mavr_obj.Image.code);
+    0
+  in
+  let symbol =
+    Arg.(value & opt (some string) None & info [ "f"; "function" ] ~docv:"NAME"
+           ~doc:"Disassemble one function (e.g. handle_param_set).")
+  in
+  let count =
+    Arg.(value & opt int 32 & info [ "n" ] ~docv:"N" ~doc:"Instruction-word budget.")
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a firmware region")
+    Term.(const run $ profile_arg $ toolchain_arg $ symbol $ count)
+
+let cmd_lifetime =
+  let run k boots_per_day attack_rate =
+    let policy = { Mavr_core.Lifetime.randomize_every_boots = k } in
+    let endurance = Mavr_avr.Device.atmega2560.flash_endurance in
+    Format.printf "policy: randomize every %d boot(s); %0.1f boots/day; %.3f attacks/boot@." k
+      boots_per_day attack_rate;
+    Format.printf "  reflashes per boot : %.3f@."
+      (Mavr_core.Lifetime.reflashes_per_boot policy ~attack_rate_per_boot:attack_rate);
+    Format.printf "  boots to wear-out  : %.0f (of %d rated cycles)@."
+      (Mavr_core.Lifetime.boots_until_wearout policy ~endurance ~attack_rate_per_boot:attack_rate)
+      endurance;
+    Format.printf "  calendar life      : %.1f years@."
+      (Mavr_core.Lifetime.years_until_wearout policy ~endurance ~attack_rate_per_boot:attack_rate
+         ~boots_per_day);
+    Format.printf "  layout staleness   : %d boot(s) per layout@."
+      (Mavr_core.Lifetime.layout_exposure_boots policy);
+    0
+  in
+  let k = Arg.(value & opt int 1 & info [ "k"; "every" ] ~docv:"K" ~doc:"Randomize every K boots.") in
+  let bpd = Arg.(value & opt float 10.0 & info [ "boots-per-day" ] ~docv:"N") in
+  let ar = Arg.(value & opt float 0.0 & info [ "attack-rate" ] ~docv:"R" ~doc:"Detected attacks per boot.") in
+  Cmd.v (Cmd.info "lifetime" ~doc:"Randomization frequency vs flash endurance (paper §V-C)")
+    Term.(const run $ k $ bpd $ ar)
+
+let cmd_entropy =
+  let run n pad =
+    Format.printf "n = %d shuffleable symbols@." n;
+    Format.printf "  layout entropy            : %.1f bits (log2 n!)@."
+      (Mavr_core.Security.entropy_bits ~n);
+    if pad > 0 then
+      Format.printf "  with %d B random padding : %.1f bits@." pad
+        (Mavr_core.Security.entropy_bits_with_padding ~n ~slack_bytes:pad);
+    Format.printf "  E[brute force], static    : %s attempts@."
+      (let v = Mavr_core.Security.expected_attempts_static ~n in
+       if Mavr_bignum.Nat.digits v > 30 then
+         Printf.sprintf "a %d-digit number of" (Mavr_bignum.Nat.digits v)
+       else Mavr_bignum.Nat.to_string v);
+    Format.printf "  E[brute force], MAVR      : %s attempts@."
+      (let v = Mavr_core.Security.expected_attempts_rerandomizing ~n in
+       if Mavr_bignum.Nat.digits v > 30 then
+         Printf.sprintf "a %d-digit number of" (Mavr_bignum.Nat.digits v)
+       else Mavr_bignum.Nat.to_string v);
+    0
+  in
+  let n = Arg.(value & opt int 800 & info [ "n"; "symbols" ] ~docv:"N") in
+  let pad = Arg.(value & opt int 0 & info [ "padding" ] ~docv:"BYTES") in
+  Cmd.v (Cmd.info "entropy" ~doc:"Layout entropy and brute-force effort (paper §V-D, §VIII-B)")
+    Term.(const run $ n $ pad)
+
+let cmd_tables =
+  let run () =
+    print_endline "Run `dune exec bench/main.exe` for the full table reproductions.";
+    List.iter
+      (fun p ->
+        let stock, mavr = F.Build.build_pair p in
+        Format.printf "%-11s functions=%4d stock=%6d B mavr=%6d B overhead=%.0f ms@."
+          p.F.Profile.name (F.Build.function_count stock) (F.Build.code_size stock)
+          (F.Build.code_size mavr)
+          (Mavr_core.Serial.programming_ms Mavr_core.Serial.prototype (F.Build.code_size mavr)))
+      F.Profile.all;
+    0
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Quick Table I/II/III summary") Term.(const run $ const ())
+
+let () =
+  let doc = "MAVR: code-reuse stealthy attacks and mitigation on UAVs (ICDCS 2015 reproduction)" in
+  let info = Cmd.info "mavr" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ cmd_build; cmd_gadgets; cmd_randomize; cmd_attack; cmd_fly; cmd_disasm; cmd_lifetime; cmd_entropy; cmd_tables ]))

@@ -1,0 +1,1 @@
+examples/bruteforce_study.ml: Array Format List Mavr_avr Mavr_bignum Mavr_core Mavr_firmware Mavr_obj Mavr_prng

@@ -1,0 +1,1 @@
+examples/bruteforce_study.mli:

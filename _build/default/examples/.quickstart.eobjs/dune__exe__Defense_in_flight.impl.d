@@ -1,0 +1,1 @@
+examples/defense_in_flight.ml: Format List Mavr_avr Mavr_core Mavr_firmware Mavr_sim

@@ -1,0 +1,1 @@
+examples/defense_in_flight.mli:

@@ -1,0 +1,1 @@
+examples/master_lifecycle.ml: Format List Mavr_avr Mavr_core Mavr_firmware Mavr_obj String

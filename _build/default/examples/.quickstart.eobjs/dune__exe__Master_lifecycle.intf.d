@@ -1,0 +1,1 @@
+examples/master_lifecycle.mli:

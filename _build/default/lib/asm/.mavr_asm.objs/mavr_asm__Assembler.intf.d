@@ -1,0 +1,1 @@
+lib/asm/assembler.mli: Mavr_avr

@@ -1,0 +1,252 @@
+open Mavr_avr
+
+type part = Lo8 | Hi8 | Lo8_word | Hi8_word
+
+type item =
+  | Label of string
+  | Insn of Isa.t
+  | Call_sym of string
+  | Jmp_sym of string
+  | Call_sym_off of string * int
+  | Jmp_sym_off of string * int
+  | Rcall_sym of string
+  | Rjmp_sym of string
+  | Br of [ `Sbit of int | `Cbit of int ] * string
+  | Ldi_sym of Isa.reg * part * string
+  | Word_sym of string
+  | Raw_words of int list
+  | Raw_bytes of string
+
+type func = { name : string; items : item list }
+
+type program = {
+  vectors : item list;
+  funcs : func list;
+  data : item list;
+  defines : (string * int) list;
+}
+
+type symbol = { name : string; addr : int; size : int }
+
+type output = {
+  code : string;
+  symbols : symbol list;
+  funptr_locs : int list;
+  labels : (string * int) list;
+  text_start : int;
+  text_end : int;
+  data_load : int;
+}
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+(* A flattened item with its layout state.  [short] applies to relaxable
+   call/jmp items: when true the item assembles to rcall/rjmp (2 bytes). *)
+type slot = { it : item; mutable short : bool }
+
+let slot_size s =
+  match s.it with
+  | Label _ -> 0
+  | Insn i -> 2 * Isa.size_words i
+  | Call_sym _ | Jmp_sym _ -> if s.short then 2 else 4
+  | Call_sym_off _ | Jmp_sym_off _ -> 4
+  | Rcall_sym _ | Rjmp_sym _ -> 2
+  | Br _ -> 2
+  | Ldi_sym _ -> 2
+  | Word_sym _ -> 2
+  | Raw_words ws -> 2 * List.length ws
+  | Raw_bytes b -> String.length b
+
+(* Function boundaries within the flattened slot array. *)
+type span = { fname : string; first : int; last : int (* slot indices, inclusive *) }
+
+let flatten program =
+  let slots = ref [] in
+  let spans = ref [] in
+  let n = ref 0 in
+  let push it =
+    slots := { it; short = false } :: !slots;
+    incr n
+  in
+  List.iter push program.vectors;
+  let text_first = !n in
+  List.iter
+    (fun (f : func) ->
+      let first = !n in
+      push (Label f.name);
+      List.iter push f.items;
+      spans := { fname = f.name; first; last = !n - 1 } :: !spans)
+    program.funcs;
+  let text_last = !n - 1 in
+  let data_first = !n in
+  List.iter push program.data;
+  ( Array.of_list (List.rev !slots),
+    List.rev !spans,
+    text_first,
+    text_last,
+    data_first )
+
+let compute_addrs slots =
+  let addrs = Array.make (Array.length slots + 1) 0 in
+  for i = 0 to Array.length slots - 1 do
+    addrs.(i + 1) <- addrs.(i) + slot_size slots.(i)
+  done;
+  addrs
+
+let build_labels program slots addrs =
+  let tbl = Hashtbl.create 256 in
+  let define name v =
+    if Hashtbl.mem tbl name then error "duplicate label %S" name;
+    Hashtbl.add tbl name v
+  in
+  List.iter (fun (name, v) -> define name v) program.defines;
+  Array.iteri
+    (fun i s -> match s.it with Label name -> define name addrs.(i) | _ -> ())
+    slots;
+  tbl
+
+let lookup tbl name = match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None -> error "undefined label %S" name
+
+(* Relaxation: shrink long call/jmp whose target fits the ±2048-word reach
+   of rcall/rjmp.  Shrinking only moves code closer together, so iterating
+   to a fixed point terminates. *)
+let relax_pass program slots =
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 64 do
+    changed := false;
+    incr rounds;
+    let addrs = compute_addrs slots in
+    let tbl = build_labels program slots addrs in
+    Array.iteri
+      (fun i s ->
+        match s.it with
+        | (Call_sym name | Jmp_sym name) when not s.short ->
+            let target = lookup tbl name in
+            let next = addrs.(i) + 2 (* size if short *) in
+            let off = (target - next) / 2 in
+            if off >= -2048 && off <= 2047 then begin
+              s.short <- true;
+              changed := true
+            end
+        | _ -> ())
+      slots
+  done
+
+let apply_part part v =
+  match part with
+  | Lo8 -> v land 0xFF
+  | Hi8 -> (v lsr 8) land 0xFF
+  | Lo8_word -> (v / 2) land 0xFF
+  | Hi8_word -> ((v / 2) lsr 8) land 0xFF
+
+let emit program slots addrs tbl =
+  let buf = Buffer.create 4096 in
+  let funptrs = ref [] in
+  let add_words ws =
+    List.iter
+      (fun w ->
+        Buffer.add_char buf (Char.chr (w land 0xFF));
+        Buffer.add_char buf (Char.chr ((w lsr 8) land 0xFF)))
+      ws
+  in
+  let encode_at i insn =
+    if addrs.(i) land 1 <> 0 then
+      error "instruction at odd address 0x%x (unaligned Raw_bytes before it?)" addrs.(i);
+    add_words (Opcode.encode insn)
+  in
+  let rel_words i target =
+    (* Offset from the end of this (2-byte) instruction, in words. *)
+    (target - (addrs.(i) + 2)) / 2
+  in
+  ignore program;
+  Array.iteri
+    (fun i s ->
+      match s.it with
+      | Label _ -> ()
+      | Insn insn -> encode_at i insn
+      | Call_sym name ->
+          let target = lookup tbl name in
+          if s.short then encode_at i (Isa.Rcall (rel_words i target))
+          else encode_at i (Isa.Call (target / 2))
+      | Jmp_sym name ->
+          let target = lookup tbl name in
+          if s.short then encode_at i (Isa.Rjmp (rel_words i target))
+          else encode_at i (Isa.Jmp (target / 2))
+      | Call_sym_off (name, woff) -> encode_at i (Isa.Call ((lookup tbl name / 2) + woff))
+      | Jmp_sym_off (name, woff) -> encode_at i (Isa.Jmp ((lookup tbl name / 2) + woff))
+      | Rcall_sym name ->
+          let off = rel_words i (lookup tbl name) in
+          if off < -2048 || off > 2047 then error "rcall to %S out of range" name;
+          encode_at i (Isa.Rcall off)
+      | Rjmp_sym name ->
+          let off = rel_words i (lookup tbl name) in
+          if off < -2048 || off > 2047 then error "rjmp to %S out of range" name;
+          encode_at i (Isa.Rjmp off)
+      | Br (cond, name) ->
+          let off = rel_words i (lookup tbl name) in
+          if off < -64 || off > 63 then error "branch to %S out of range (%d words)" name off;
+          let insn =
+            match cond with `Sbit b -> Isa.Brbs (b, off) | `Cbit b -> Isa.Brbc (b, off)
+          in
+          encode_at i insn
+      | Ldi_sym (r, part, name) -> encode_at i (Isa.Ldi (r, apply_part part (lookup tbl name)))
+      | Word_sym name ->
+          let v = lookup tbl name / 2 in
+          funptrs := addrs.(i) :: !funptrs;
+          add_words [ v land 0xFFFF ]
+      | Raw_words ws -> add_words (List.map (fun w -> w land 0xFFFF) ws)
+      | Raw_bytes b -> Buffer.add_string buf b)
+    slots;
+  (Buffer.contents buf, List.rev !funptrs)
+
+let assemble ~relax program =
+  let slots, spans, text_first, text_last, data_first = flatten program in
+  if relax then relax_pass program slots;
+  (* Final layout with sizes fixed. *)
+  let addrs = compute_addrs slots in
+  let tbl0 = build_labels program slots addrs in
+  let text_start = addrs.(text_first) in
+  let text_end = if text_last >= text_first then addrs.(text_last + 1) else text_start in
+  let data_load = addrs.(data_first) in
+  let auto =
+    [
+      ("__text_start", text_start);
+      ("__text_end", text_end);
+      ("__data_load_start", data_load);
+      ("__data_load_end", addrs.(Array.length slots));
+    ]
+  in
+  List.iter
+    (fun (name, v) ->
+      if Hashtbl.mem tbl0 name then error "reserved label %S redefined" name;
+      Hashtbl.add tbl0 name v)
+    auto;
+  let code, funptr_locs = emit program slots addrs tbl0 in
+  let symbols =
+    List.map
+      (fun sp ->
+        { name = sp.fname; addr = addrs.(sp.first); size = addrs.(sp.last + 1) - addrs.(sp.first) })
+      spans
+  in
+  let labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl0 [] in
+  {
+    code;
+    symbols;
+    funptr_locs;
+    labels = List.sort compare labels;
+    text_start;
+    text_end;
+    data_load;
+  }
+
+let find_symbol out name =
+  match List.find_opt (fun s -> s.name = name) out.symbols with
+  | Some s -> s
+  | None -> raise Not_found
+
+let label_value out name = List.assoc name out.labels

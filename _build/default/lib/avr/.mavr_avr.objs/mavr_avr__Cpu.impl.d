@@ -1,0 +1,1 @@
+lib/avr/cpu.ml: Buffer Char Decode Device Flag Format Isa List Memory Queue String

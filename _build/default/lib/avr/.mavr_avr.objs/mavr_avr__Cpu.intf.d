@@ -1,0 +1,1 @@
+lib/avr/cpu.mli: Device Format Memory

@@ -1,0 +1,1 @@
+lib/avr/decode.mli: Isa

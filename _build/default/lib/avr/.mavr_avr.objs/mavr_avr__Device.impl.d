@@ -1,0 +1,1 @@
+lib/avr/device.ml: Bytes Char String

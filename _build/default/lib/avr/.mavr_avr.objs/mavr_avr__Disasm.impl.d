@@ -1,0 +1,1 @@
+lib/avr/disasm.ml: Buffer Decode Format Isa List String

@@ -1,0 +1,1 @@
+lib/avr/disasm.mli: Format Isa

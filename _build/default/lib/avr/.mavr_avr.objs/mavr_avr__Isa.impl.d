@@ -1,0 +1,1 @@
+lib/avr/isa.ml: Format Printf

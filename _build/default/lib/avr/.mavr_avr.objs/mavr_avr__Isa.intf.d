@@ -1,0 +1,1 @@
+lib/avr/isa.mli: Format

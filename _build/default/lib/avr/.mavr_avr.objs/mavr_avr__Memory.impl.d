@@ -1,0 +1,1 @@
+lib/avr/memory.ml: Bytes Char Device String

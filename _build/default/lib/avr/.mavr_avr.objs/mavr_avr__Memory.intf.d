@@ -1,0 +1,1 @@
+lib/avr/memory.mli: Device

@@ -1,0 +1,1 @@
+lib/avr/opcode.ml: Buffer Char Isa List Printf

@@ -1,0 +1,1 @@
+lib/avr/opcode.mli: Isa

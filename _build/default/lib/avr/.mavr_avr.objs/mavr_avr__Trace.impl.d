@@ -1,0 +1,1 @@
+lib/avr/trace.ml: Char Cpu Decode Format Isa List Memory Queue String

@@ -1,0 +1,1 @@
+lib/avr/trace.mli: Cpu Format Isa

@@ -1,0 +1,607 @@
+open Isa
+
+type halt =
+  | Illegal_instruction of { byte_addr : int; word : int }
+  | Wild_pc of int
+  | Break_hit
+  | Sleep_mode
+  | Rop_detected of { expected : int; got : int }
+
+let pp_halt fmt = function
+  | Illegal_instruction { byte_addr; word } ->
+      Format.fprintf fmt "illegal instruction 0x%04x at 0x%x" word byte_addr
+  | Wild_pc a -> Format.fprintf fmt "wild PC at 0x%x" a
+  | Break_hit -> Format.fprintf fmt "break"
+  | Sleep_mode -> Format.fprintf fmt "sleep"
+  | Rop_detected { expected; got } ->
+      Format.fprintf fmt "shadow-stack violation: ret to 0x%x, expected 0x%x" got expected
+
+type t = {
+  mem : Memory.t;
+  dev : Device.t;
+  mutable pc : int; (* word address *)
+  mutable cycles : int;
+  mutable retired : int;
+  mutable halt : halt option;
+  mutable program_bytes : int; (* extent of the flashed image; PC beyond => wild *)
+  uart_rx : int Queue.t;
+  uart_tx : Buffer.t;
+  mutable feeds : int;
+  mutable last_feed : int;
+  mutable shadow : int list option; (* Some stack when the monitor is on *)
+  mutable shadow_overhead : int;
+  mutable timer_next_fire : int; (* cycle of the next compare interrupt *)
+  mutable interrupts_taken : int;
+  mutable tx_cycles_per_byte : int;
+  mutable tx_busy_until : int;
+}
+
+let create ?(device = Device.atmega2560) () =
+  {
+    mem = Memory.create device;
+    dev = device;
+    pc = 0;
+    cycles = 0;
+    retired = 0;
+    halt = None;
+    program_bytes = device.Device.flash_bytes;
+    uart_rx = Queue.create ();
+    uart_tx = Buffer.create 256;
+    feeds = 0;
+    last_feed = 0;
+    shadow = None;
+    shadow_overhead = 0;
+    timer_next_fire = max_int;
+    interrupts_taken = 0;
+    tx_cycles_per_byte = 0;
+    tx_busy_until = 0;
+  }
+
+let mem t = t.mem
+let device t = t.dev
+
+(* Register file: memory-mapped at data 0x00..0x1F. *)
+let reg t r = Memory.data_get t.mem r
+let set_reg t r v = Memory.data_set t.mem r v
+
+let io_addr t a = t.dev.Device.io_base + a
+let spl_addr t = io_addr t Device.Io.spl
+let sph_addr t = io_addr t Device.Io.sph
+let sreg_addr t = io_addr t Device.Io.sreg
+let sp t = Memory.data_get t.mem (spl_addr t) lor (Memory.data_get t.mem (sph_addr t) lsl 8)
+
+let set_sp t v =
+  Memory.data_set t.mem (spl_addr t) (v land 0xFF);
+  Memory.data_set t.mem (sph_addr t) ((v lsr 8) land 0xFF)
+
+let sreg t = Memory.data_get t.mem (sreg_addr t)
+let set_sreg t v = Memory.data_set t.mem (sreg_addr t) v
+let pc t = t.pc
+let pc_byte_addr t = t.pc * 2
+let set_pc t v = t.pc <- v
+let cycles t = t.cycles
+let instructions_retired t = t.retired
+let halted t = t.halt
+let force_halt t h = t.halt <- Some h
+
+let reset t =
+  (match t.shadow with Some _ -> t.shadow <- Some [] | None -> ());
+  t.timer_next_fire <- max_int;
+  t.pc <- 0;
+  t.cycles <- 0;
+  t.retired <- 0;
+  t.halt <- None;
+  (* Cycle-anchored peripheral state must restart with the clock, or a
+     reflashed CPU would see a transmitter busy for an entire previous
+     lifetime and a watchdog that never times out. *)
+  t.tx_busy_until <- 0;
+  t.last_feed <- 0;
+  set_sp t (Device.data_end t.dev - 1);
+  set_sreg t 0
+
+let load_program t image =
+  Memory.load_flash t.mem image;
+  t.program_bytes <- String.length image;
+  reset t
+
+(* I/O-aware data-space access: reads/writes to the I/O file trigger
+   peripheral behaviour; everything else is plain memory (including the
+   register file, which is how the write_mem gadget corrupts state). *)
+let io_read t a =
+  if a = Device.Io.udr then (if Queue.is_empty t.uart_rx then 0 else Queue.pop t.uart_rx)
+  else if a = Device.Io.ucsra then
+    (if Queue.is_empty t.uart_rx then 0 else 0x80)
+    lor (if t.cycles >= t.tx_busy_until then 0x20 else 0)
+  else Memory.data_get t.mem (io_addr t a)
+
+let io_write t a v =
+  if a = Device.Io.udr then begin
+    (* Writes during the busy window are lost, as on the real part. *)
+    if t.cycles >= t.tx_busy_until then begin
+      Buffer.add_char t.uart_tx (Char.chr (v land 0xFF));
+      t.tx_busy_until <- t.cycles + t.tx_cycles_per_byte
+    end
+  end
+  else if a = Device.Io.wdt_feed then begin
+    t.feeds <- t.feeds + 1;
+    t.last_feed <- t.cycles;
+    Memory.data_set t.mem (io_addr t a) v
+  end
+  else if a = Device.Io.tccr then begin
+    Memory.data_set t.mem (io_addr t a) v;
+    if v land 1 <> 0 then begin
+      let period = (Memory.data_get t.mem (io_addr t Device.Io.ocr) + 1) * 64 in
+      t.timer_next_fire <- t.cycles + period
+    end
+    else t.timer_next_fire <- max_int
+  end
+  else if a = Device.Io.eecr then begin
+    (* EEPROM access, triggered by the EERE/EEPE strobe bits. *)
+    let ear =
+      Memory.data_get t.mem (io_addr t Device.Io.eearl)
+      lor (Memory.data_get t.mem (io_addr t Device.Io.eearh) lsl 8)
+    in
+    if v land 0x01 <> 0 then
+      (* EERE: read eeprom[EEAR] into EEDR (stalls the CPU 4 cycles). *)
+      Memory.data_set t.mem (io_addr t Device.Io.eedr) (Memory.eeprom_get t.mem ear)
+    else if v land 0x02 <> 0 then
+      (* EEPE: program eeprom[EEAR] from EEDR. *)
+      Memory.eeprom_set t.mem ear (Memory.data_get t.mem (io_addr t Device.Io.eedr));
+    Memory.data_set t.mem (io_addr t a) 0 (* strobes auto-clear *)
+  end
+  else Memory.data_set t.mem (io_addr t a) v
+
+let data_read t addr =
+  let io0 = t.dev.Device.io_base in
+  if addr >= io0 && addr < io0 + 64 then io_read t (addr - io0) else Memory.data_get t.mem addr
+
+let data_write t addr v =
+  let io0 = t.dev.Device.io_base in
+  if addr >= io0 && addr < io0 + 64 then io_write t (addr - io0) v
+  else Memory.data_set t.mem addr v
+
+let push_byte t v =
+  let p = sp t in
+  data_write t p v;
+  set_sp t (p - 1)
+
+let pop_byte t =
+  let p = sp t + 1 in
+  set_sp t p;
+  data_read t p
+
+(* Return addresses: low byte pushed first, so the address sits big-endian
+   in memory (MSB at the lower address) — the layout ROP payloads encode. *)
+let push_pc t addr =
+  push_byte t (addr land 0xFF);
+  push_byte t ((addr lsr 8) land 0xFF);
+  if t.dev.Device.pc_bytes = 3 then push_byte t ((addr lsr 16) land 0xFF)
+
+let pop_pc t =
+  let hi = if t.dev.Device.pc_bytes = 3 then pop_byte t else 0 in
+  let mid = pop_byte t in
+  let lo = pop_byte t in
+  (hi lsl 16) lor (mid lsl 8) lor lo
+
+(* Shadow-stack hooks (§IX runtime-monitoring baseline). *)
+let shadow_call t addr =
+  match t.shadow with
+  | None -> ()
+  | Some stack ->
+      t.shadow <- Some (addr :: stack);
+      t.cycles <- t.cycles + t.shadow_overhead
+
+let shadow_ret t got =
+  match t.shadow with
+  | None -> ()
+  | Some [] -> t.cycles <- t.cycles + t.shadow_overhead (* returning past main: ignore *)
+  | Some (expected :: rest) ->
+      t.shadow <- Some rest;
+      t.cycles <- t.cycles + t.shadow_overhead;
+      if expected <> got then
+        t.halt <- Some (Rop_detected { expected = expected * 2; got = got * 2 })
+
+(* Flag helpers. *)
+let flag_bit = 1
+
+let get_flag t f = (sreg t lsr f) land 1 = flag_bit
+
+let set_flag t f v =
+  let s = sreg t in
+  set_sreg t (if v then s lor (1 lsl f) else s land lnot (1 lsl f))
+
+let set_zns t r =
+  set_flag t Flag.z (r = 0);
+  set_flag t Flag.n (r land 0x80 <> 0);
+  set_flag t Flag.s (get_flag t Flag.n <> get_flag t Flag.v)
+
+let flags_add t d r res =
+  let c = (d land r) lor (r land lnot res) lor (lnot res land d) in
+  set_flag t Flag.h (c land 0x08 <> 0);
+  set_flag t Flag.c (c land 0x80 <> 0);
+  set_flag t Flag.v ((d land r land lnot res lor (lnot d land lnot r land res)) land 0x80 <> 0);
+  set_zns t (res land 0xFF)
+
+let flags_sub ?(keep_z = false) t d r res =
+  let bw = (lnot d land r) lor (r land res) lor (res land lnot d) in
+  set_flag t Flag.h (bw land 0x08 <> 0);
+  set_flag t Flag.c (bw land 0x80 <> 0);
+  set_flag t Flag.v ((d land lnot r land lnot res lor (lnot d land r land res)) land 0x80 <> 0);
+  let z_before = get_flag t Flag.z in
+  set_zns t (res land 0xFF);
+  if keep_z then set_flag t Flag.z (res land 0xFF = 0 && z_before)
+
+let flags_logic t res =
+  set_flag t Flag.v false;
+  set_zns t res
+
+let word_reg t r = reg t r lor (reg t (r + 1) lsl 8)
+
+let set_word_reg t r v =
+  set_reg t r (v land 0xFF);
+  set_reg t (r + 1) ((v lsr 8) land 0xFF)
+
+let x_reg = 26
+let y_reg = 28
+let z_reg = 30
+
+let ptr_access t p ~write =
+  (* Returns the effective address for the access, applying inc/dec. *)
+  ignore write;
+  let base, pre_dec, post_inc =
+    match p with
+    | X -> (x_reg, false, false)
+    | X_inc -> (x_reg, false, true)
+    | X_dec -> (x_reg, true, false)
+    | Y_inc -> (y_reg, false, true)
+    | Y_dec -> (y_reg, true, false)
+    | Z_inc -> (z_reg, false, true)
+    | Z_dec -> (z_reg, true, false)
+  in
+  let v = word_reg t base in
+  let addr = if pre_dec then (v - 1) land 0xFFFF else v in
+  if pre_dec then set_word_reg t base addr
+  else if post_inc then set_word_reg t base ((v + 1) land 0xFFFF);
+  addr
+
+let skip_next t =
+  (* Used by cpse/sbic/sbis: skip over the next instruction (1 or 2 words). *)
+  let w1 = Memory.flash_word t.mem t.pc in
+  let w2 = Memory.flash_word t.mem (t.pc + 1) in
+  let _, words = Decode.decode w1 w2 in
+  t.pc <- t.pc + words;
+  t.cycles <- t.cycles + words
+
+let branch t cond k =
+  if cond then begin
+    t.pc <- t.pc + k;
+    t.cycles <- t.cycles + 1
+  end
+
+(* Take the pending timer-compare interrupt, mirroring AVR hardware:
+   finish the current instruction, push the PC, clear SREG.I, vector. *)
+let take_timer_interrupt t =
+  push_pc t t.pc;
+  shadow_call t t.pc;
+  set_flag t Flag.i false;
+  t.pc <- Device.Vector.byte_addr Device.Vector.timer_compare / 2;
+  let period = (Memory.data_get t.mem (io_addr t Device.Io.ocr) + 1) * 64 in
+  t.timer_next_fire <- t.cycles + period;
+  t.interrupts_taken <- t.interrupts_taken + 1;
+  t.cycles <- t.cycles + 5
+
+let step t =
+  match t.halt with
+  | Some _ -> ()
+  | None ->
+      if get_flag t Flag.i && t.cycles >= t.timer_next_fire then take_timer_interrupt t
+      else if t.pc < 0 || t.pc * 2 >= t.program_bytes then t.halt <- Some (Wild_pc (t.pc * 2))
+      else begin
+        let pc0 = t.pc in
+        let w1 = Memory.flash_word t.mem pc0 in
+        let w2 = Memory.flash_word t.mem (pc0 + 1) in
+        let insn, words = Decode.decode w1 w2 in
+        t.pc <- pc0 + words;
+        t.retired <- t.retired + 1;
+        let cyc = ref 1 in
+        (match insn with
+        | Nop -> ()
+        | Data w ->
+            t.halt <- Some (Illegal_instruction { byte_addr = pc0 * 2; word = w });
+            t.pc <- pc0
+        | Movw (d, r) ->
+            set_reg t d (reg t r);
+            set_reg t (d + 1) (reg t (r + 1))
+        | Ldi (d, k) -> set_reg t d k
+        | Mov (d, r) -> set_reg t d (reg t r)
+        | Add (d, r) ->
+            let a = reg t d and b = reg t r in
+            let res = a + b in
+            flags_add t a b res;
+            set_reg t d res
+        | Adc (d, r) ->
+            let a = reg t d and b = reg t r in
+            let res = a + b + if get_flag t Flag.c then 1 else 0 in
+            flags_add t a b res;
+            set_reg t d res
+        | Sub (d, r) ->
+            let a = reg t d and b = reg t r in
+            let res = a - b in
+            flags_sub t a b res;
+            set_reg t d res
+        | Sbc (d, r) ->
+            let a = reg t d and b = reg t r in
+            let res = a - b - if get_flag t Flag.c then 1 else 0 in
+            flags_sub ~keep_z:true t a b res;
+            set_reg t d res
+        | And (d, r) ->
+            let res = reg t d land reg t r in
+            flags_logic t res;
+            set_reg t d res
+        | Or (d, r) ->
+            let res = reg t d lor reg t r in
+            flags_logic t res;
+            set_reg t d res
+        | Eor (d, r) ->
+            let res = reg t d lxor reg t r in
+            flags_logic t res;
+            set_reg t d res
+        | Cp (d, r) -> flags_sub t (reg t d) (reg t r) (reg t d - reg t r)
+        | Cpc (d, r) ->
+            let c = if get_flag t Flag.c then 1 else 0 in
+            flags_sub ~keep_z:true t (reg t d) (reg t r) (reg t d - reg t r - c)
+        | Cpse (d, r) -> if reg t d = reg t r then skip_next t
+        | Mul (d, r) ->
+            let p = reg t d * reg t r in
+            set_reg t 0 (p land 0xFF);
+            set_reg t 1 ((p lsr 8) land 0xFF);
+            set_flag t Flag.c (p land 0x8000 <> 0);
+            set_flag t Flag.z (p land 0xFFFF = 0);
+            cyc := 2
+        | Subi (d, k) ->
+            let a = reg t d in
+            let res = a - k in
+            flags_sub t a k res;
+            set_reg t d res
+        | Sbci (d, k) ->
+            let a = reg t d in
+            let res = a - k - if get_flag t Flag.c then 1 else 0 in
+            flags_sub ~keep_z:true t a k res;
+            set_reg t d res
+        | Andi (d, k) ->
+            let res = reg t d land k in
+            flags_logic t res;
+            set_reg t d res
+        | Ori (d, k) ->
+            let res = reg t d lor k in
+            flags_logic t res;
+            set_reg t d res
+        | Cpi (d, k) -> flags_sub t (reg t d) k (reg t d - k)
+        | Com d ->
+            let res = 0xFF - reg t d in
+            set_flag t Flag.c true;
+            flags_logic t res;
+            set_reg t d res
+        | Neg d ->
+            let a = reg t d in
+            let res = (0x100 - a) land 0xFF in
+            set_flag t Flag.c (res <> 0);
+            set_flag t Flag.v (res = 0x80);
+            set_flag t Flag.h ((res lor a) land 0x08 <> 0);
+            set_zns t res;
+            set_reg t d res
+        | Inc d ->
+            let res = (reg t d + 1) land 0xFF in
+            set_flag t Flag.v (res = 0x80);
+            set_zns t res;
+            set_reg t d res
+        | Dec d ->
+            let res = (reg t d - 1) land 0xFF in
+            set_flag t Flag.v (res = 0x7F);
+            set_zns t res;
+            set_reg t d res
+        | Lsr d ->
+            let a = reg t d in
+            let res = a lsr 1 in
+            set_flag t Flag.c (a land 1 <> 0);
+            set_flag t Flag.n false;
+            set_flag t Flag.z (res = 0);
+            set_flag t Flag.v (get_flag t Flag.c);
+            set_flag t Flag.s (get_flag t Flag.v);
+            set_reg t d res
+        | Ror d ->
+            let a = reg t d in
+            let res = (a lsr 1) lor (if get_flag t Flag.c then 0x80 else 0) in
+            set_flag t Flag.c (a land 1 <> 0);
+            set_zns t res;
+            set_flag t Flag.v (get_flag t Flag.n <> get_flag t Flag.c);
+            set_flag t Flag.s (get_flag t Flag.n <> get_flag t Flag.v);
+            set_reg t d res
+        | Asr d ->
+            let a = reg t d in
+            let res = (a lsr 1) lor (a land 0x80) in
+            set_flag t Flag.c (a land 1 <> 0);
+            set_zns t res;
+            set_flag t Flag.v (get_flag t Flag.n <> get_flag t Flag.c);
+            set_reg t d res
+        | Swap d ->
+            let a = reg t d in
+            set_reg t d (((a lsl 4) lor (a lsr 4)) land 0xFF)
+        | Push r ->
+            push_byte t (reg t r);
+            cyc := 2
+        | Pop r ->
+            set_reg t r (pop_byte t);
+            cyc := 2
+        | Ret ->
+            t.pc <- pop_pc t;
+            shadow_ret t t.pc;
+            cyc := (if t.dev.Device.pc_bytes = 3 then 5 else 4)
+        | Reti ->
+            t.pc <- pop_pc t;
+            shadow_ret t t.pc;
+            set_flag t Flag.i true;
+            cyc := (if t.dev.Device.pc_bytes = 3 then 5 else 4)
+        | Icall ->
+            push_pc t t.pc;
+            shadow_call t t.pc;
+            t.pc <- word_reg t z_reg;
+            cyc := (if t.dev.Device.pc_bytes = 3 then 4 else 3)
+        | Ijmp ->
+            t.pc <- word_reg t z_reg;
+            cyc := 2
+        | Call a ->
+            push_pc t t.pc;
+            shadow_call t t.pc;
+            t.pc <- a;
+            cyc := (if t.dev.Device.pc_bytes = 3 then 5 else 4)
+        | Jmp a ->
+            t.pc <- a;
+            cyc := 3
+        | Rcall k ->
+            push_pc t t.pc;
+            shadow_call t t.pc;
+            t.pc <- t.pc + k;
+            cyc := (if t.dev.Device.pc_bytes = 3 then 4 else 3)
+        | Rjmp k ->
+            t.pc <- t.pc + k;
+            cyc := 2
+        | Brbs (b, k) -> branch t (get_flag t b) k
+        | Brbc (b, k) -> branch t (not (get_flag t b)) k
+        | In (d, a) -> set_reg t d (io_read t a)
+        | Out (a, r) -> io_write t a (reg t r)
+        | Lds (d, a) ->
+            set_reg t d (data_read t a);
+            cyc := 2
+        | Sts (a, r) ->
+            data_write t a (reg t r);
+            cyc := 2
+        | Ldd (d, b, q) ->
+            let base = if b = Y then y_reg else z_reg in
+            set_reg t d (data_read t (word_reg t base + q));
+            cyc := 2
+        | Std (b, q, r) ->
+            let base = if b = Y then y_reg else z_reg in
+            data_write t (word_reg t base + q) (reg t r);
+            cyc := 2
+        | Ld (d, p) ->
+            set_reg t d (data_read t (ptr_access t p ~write:false));
+            cyc := 2
+        | St (p, r) ->
+            data_write t (ptr_access t p ~write:true) (reg t r);
+            cyc := 2
+        | Adiw (d, k) ->
+            let v = word_reg t d in
+            let res = (v + k) land 0xFFFF in
+            set_flag t Flag.c (v + k > 0xFFFF);
+            set_flag t Flag.z (res = 0);
+            set_flag t Flag.n (res land 0x8000 <> 0);
+            set_flag t Flag.v (res land 0x8000 <> 0 && v land 0x8000 = 0);
+            set_word_reg t d res;
+            cyc := 2
+        | Sbiw (d, k) ->
+            let v = word_reg t d in
+            let res = (v - k) land 0xFFFF in
+            set_flag t Flag.c (v < k);
+            set_flag t Flag.z (res = 0);
+            set_flag t Flag.n (res land 0x8000 <> 0);
+            set_flag t Flag.v (res land 0x8000 = 0 && v land 0x8000 <> 0);
+            set_word_reg t d res;
+            cyc := 2
+        | Lpm0 ->
+            set_reg t 0 (Memory.flash_byte t.mem (word_reg t z_reg));
+            cyc := 3
+        | Lpm (d, inc) ->
+            let z = word_reg t z_reg in
+            set_reg t d (Memory.flash_byte t.mem z);
+            if inc then set_word_reg t z_reg ((z + 1) land 0xFFFF);
+            cyc := 3
+        | Elpm0 ->
+            let rampz = Memory.data_get t.mem (io_addr t 0x3B) in
+            set_reg t 0 (Memory.flash_byte t.mem ((rampz lsl 16) lor word_reg t z_reg));
+            cyc := 3
+        | Elpm (d, inc) ->
+            let rampz = Memory.data_get t.mem (io_addr t 0x3B) in
+            let z = word_reg t z_reg in
+            set_reg t d (Memory.flash_byte t.mem ((rampz lsl 16) lor z));
+            if inc then begin
+              (* 24-bit post-increment carries into RAMPZ. *)
+              let full = ((rampz lsl 16) lor z) + 1 in
+              set_word_reg t z_reg (full land 0xFFFF);
+              Memory.data_set t.mem (io_addr t 0x3B) ((full lsr 16) land 0xFF)
+            end;
+            cyc := 3
+        | Sbi (a, b) ->
+            io_write t a (io_read t a lor (1 lsl b));
+            cyc := 2
+        | Cbi (a, b) ->
+            io_write t a (io_read t a land lnot (1 lsl b));
+            cyc := 2
+        | Sbic (a, b) -> if io_read t a land (1 lsl b) = 0 then skip_next t
+        | Sbis (a, b) -> if io_read t a land (1 lsl b) <> 0 then skip_next t
+        | Bld (d, b) ->
+            let v = reg t d in
+            set_reg t d (if get_flag t Flag.t then v lor (1 lsl b) else v land lnot (1 lsl b))
+        | Bst (d, b) -> set_flag t Flag.t (reg t d land (1 lsl b) <> 0)
+        | Sbrc (r, b) -> if reg t r land (1 lsl b) = 0 then skip_next t
+        | Sbrs (r, b) -> if reg t r land (1 lsl b) <> 0 then skip_next t
+        | Bset b -> set_flag t b true
+        | Bclr b -> set_flag t b false
+        | Wdr -> ()
+        | Sleep -> t.halt <- Some Sleep_mode
+        | Break -> t.halt <- Some Break_hit);
+        t.cycles <- t.cycles + !cyc
+      end
+
+let run t ~max_cycles =
+  let stop = t.cycles + max_cycles in
+  let rec go () =
+    match t.halt with
+    | Some h -> `Halted h
+    | None -> if t.cycles >= stop then `Budget_exhausted else (step t; go ())
+  in
+  go ()
+
+let run_until t ~max_cycles pred =
+  let stop = t.cycles + max_cycles in
+  let rec go () =
+    match t.halt with
+    | Some h -> `Halted h
+    | None ->
+        if pred t then `Pred
+        else if t.cycles >= stop then `Budget_exhausted
+        else (step t; go ())
+  in
+  go ()
+
+let enable_shadow_stack t ~overhead_cycles =
+  t.shadow <- Some [];
+  t.shadow_overhead <- overhead_cycles
+
+let disable_shadow_stack t =
+  t.shadow <- None;
+  t.shadow_overhead <- 0
+
+let shadow_depth t = match t.shadow with Some l -> List.length l | None -> 0
+let interrupts_taken t = t.interrupts_taken
+
+let set_uart_tx_pacing t ~cycles_per_byte =
+  t.tx_cycles_per_byte <- max 0 cycles_per_byte
+
+let uart_send t s = String.iter (fun c -> Queue.push (Char.code c) t.uart_rx) s
+let uart_rx_pending t = Queue.length t.uart_rx
+
+let uart_take_tx t =
+  let s = Buffer.contents t.uart_tx in
+  Buffer.clear t.uart_tx;
+  s
+
+let watchdog_feeds t = t.feeds
+let last_feed_cycles t = t.last_feed
+let io_peek t a = Memory.data_get t.mem (io_addr t a)
+let io_poke t a v = Memory.data_set t.mem (io_addr t a) v
+let eeprom_peek t a = Memory.eeprom_get t.mem a
+let eeprom_poke t a v = Memory.eeprom_set t.mem a v
+let data_peek t a = Memory.data_get t.mem a
+let data_poke t a v = Memory.data_set t.mem a v
+let stack_slice t ~pos ~len = Memory.data_slice t.mem ~pos ~len

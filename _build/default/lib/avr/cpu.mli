@@ -1,0 +1,147 @@
+(** AVR execution engine with cycle accounting.
+
+    Executes real machine code from flash with the Harvard restrictions of
+    the APM platform: the PC can only address flash, data writes can never
+    reach flash, and the register file / stack pointer are memory-mapped in
+    the data space.  Includes the on-chip peripherals the MAVR system
+    interacts with: a UART (the MAVLink transport), the watchdog-feed port
+    observed by the master processor, and memory-mapped sensor registers.
+
+    A wild return (the signature of a failed ROP attempt, §V-D) eventually
+    decodes an illegal word or leaves flash, halting the CPU with a fault
+    — the behaviour the master processor's failed-attack detector keys
+    on. *)
+
+(** Why execution stopped. *)
+type halt =
+  | Illegal_instruction of { byte_addr : int; word : int }
+      (** decoded an unimplemented/garbage word — "executing garbage" *)
+  | Wild_pc of int  (** PC left the programmed flash region (byte addr) *)
+  | Break_hit  (** [break] instruction *)
+  | Sleep_mode  (** [sleep] instruction *)
+  | Rop_detected of { expected : int; got : int }
+      (** shadow-stack mismatch on [ret] (byte addresses) — only with the
+          runtime-monitoring baseline defense enabled *)
+
+val pp_halt : Format.formatter -> halt -> unit
+
+type t
+
+(** [create ?device ()] makes a CPU with empty flash; default device is the
+    ATmega2560. *)
+val create : ?device:Device.t -> unit -> t
+
+val mem : t -> Memory.t
+val device : t -> Device.t
+
+(** [load_program t image] flashes [image] and resets. *)
+val load_program : t -> string -> unit
+
+(** [reset t] : PC ← 0, SP ← top of SRAM, SREG ← 0, halt cleared, cycle
+    counter zeroed.  Register file and SRAM are preserved (as on real
+    hardware after an external reset). *)
+val reset : t -> unit
+
+(** {2 State accessors} *)
+
+val pc : t -> int  (** program counter, in words *)
+
+val pc_byte_addr : t -> int
+val set_pc : t -> int -> unit
+
+val sp : t -> int  (** stack pointer (data-space address) *)
+
+val set_sp : t -> int -> unit
+val reg : t -> int -> int
+val set_reg : t -> int -> int -> unit
+val sreg : t -> int
+val cycles : t -> int
+val instructions_retired : t -> int
+val halted : t -> halt option
+
+(** Force a halt state (used by fault-injection tests). *)
+val force_halt : t -> halt -> unit
+
+(** {2 Execution} *)
+
+(** [step t] executes one instruction (no-op when halted). *)
+val step : t -> unit
+
+(** [run t ~max_cycles] steps until halt or until at least [max_cycles]
+    cycles have elapsed since the call. *)
+val run : t -> max_cycles:int -> [ `Halted of halt | `Budget_exhausted ]
+
+(** [run_until t ~max_cycles pred] additionally stops when [pred t]
+    becomes true (checked after every instruction). *)
+val run_until :
+  t -> max_cycles:int -> (t -> bool) -> [ `Pred | `Halted of halt | `Budget_exhausted ]
+
+(** {2 Peripherals} *)
+
+(** [uart_send t s] queues bytes for the device to receive. *)
+val uart_send : t -> string -> unit
+
+(** [set_uart_tx_pacing t ~cycles_per_byte] models the transmitter's wire
+    rate: after each byte the data register stays busy (UCSRA bit 5
+    clear) for that many cycles, and writes during the busy window are
+    dropped — as on real hardware.  0 (the default) transmits
+    instantly. *)
+val set_uart_tx_pacing : t -> cycles_per_byte:int -> unit
+
+(** [uart_rx_pending t] is the number of undelivered host→device bytes. *)
+val uart_rx_pending : t -> int
+
+(** [uart_take_tx t] drains and returns bytes the device transmitted. *)
+val uart_take_tx : t -> string
+
+(** Watchdog feeds: count and cycle time of the most recent [out] to
+    {!Device.Io.wdt_feed}. *)
+val watchdog_feeds : t -> int
+
+val last_feed_cycles : t -> int
+
+(** Host-side I/O register access (e.g. the simulator setting the gyro
+    sensor registers, or tests reading them back after an attack). *)
+val io_peek : t -> int -> int
+
+val io_poke : t -> int -> int -> unit
+
+(** Host-side EEPROM access (the persistent configuration memory; survives
+    reflashing, unlike program flash). *)
+val eeprom_peek : t -> int -> int
+
+val eeprom_poke : t -> int -> int -> unit
+
+(** Host-side data-space access. *)
+val data_peek : t -> int -> int
+
+val data_poke : t -> int -> int -> unit
+
+(** [stack_slice t ~pos ~len] is a window of the data space, used for the
+    Fig. 6 stack-progression dumps. *)
+val stack_slice : t -> pos:int -> len:int -> string
+
+(** {2 Runtime-monitoring baseline defense (the §IX comparison)}
+
+    A DROP/ROPdefender-class shadow stack: every call pushes the return
+    address to a protected side stack and every [ret] checks against it —
+    detecting ROP at the first corrupted return, but charging
+    [overhead_cycles] per call and per return, the instrumentation cost
+    such software monitors would impose on the real AVR.  The paper
+    rejects this class of defense because the APM runs at ~96 % CPU; the
+    emulated cost makes that trade-off measurable. *)
+
+(** [enable_shadow_stack t ~overhead_cycles] turns the monitor on (it
+    also resets the shadow stack; call right after [load_program]). *)
+val enable_shadow_stack : t -> overhead_cycles:int -> unit
+
+val disable_shadow_stack : t -> unit
+
+(** Depth of the shadow stack (0 when disabled or at top level). *)
+val shadow_depth : t -> int
+
+(** Timer-compare interrupts serviced since reset.  The timer is enabled
+    by firmware writing bit 0 of {!Device.Io.tccr}; the period is
+    [(OCR + 1) * 64] cycles and the handler runs through interrupt
+    vector {!Device.Vector.timer_compare}. *)
+val interrupts_taken : t -> int

@@ -1,0 +1,160 @@
+open Isa
+
+let sign_extend value bits =
+  let m = 1 lsl (bits - 1) in
+  (value lxor m) - m
+
+let decode_alu_operands w =
+  let d = (w lsr 4) land 0x1F in
+  let r = ((w lsr 5) land 0x10) lor (w land 0x0F) in
+  (d, r)
+
+let decode_imm_operands w =
+  let d = 16 + ((w lsr 4) land 0x0F) in
+  let k = ((w lsr 4) land 0xF0) lor (w land 0x0F) in
+  (d, k)
+
+(* LDD/STD: 10q0 qq?d dddd ?qqq. *)
+let decode_displacement w =
+  let q = ((w lsr 8) land 0x20) lor ((w lsr 7) land 0x18) lor (w land 0x07) in
+  let r = (w lsr 4) land 0x1F in
+  let store = w land 0x0200 <> 0 in
+  let b = if w land 0x0008 <> 0 then Y else Z in
+  if store then Std (b, q, r) else Ldd (r, b, q)
+
+let decode_load_store w w2 =
+  let d = (w lsr 4) land 0x1F in
+  let store = w land 0x0200 <> 0 in
+  match w land 0x0F with
+  | 0x0 -> ((if store then Sts (w2, d) else Lds (d, w2)), 2)
+  | 0x1 -> ((if store then St (Z_inc, d) else Ld (d, Z_inc)), 1)
+  | 0x2 -> ((if store then St (Z_dec, d) else Ld (d, Z_dec)), 1)
+  | 0x4 when not store -> (Lpm (d, false), 1)
+  | 0x5 when not store -> (Lpm (d, true), 1)
+  | 0x6 when not store -> (Elpm (d, false), 1)
+  | 0x7 when not store -> (Elpm (d, true), 1)
+  | 0x9 -> ((if store then St (Y_inc, d) else Ld (d, Y_inc)), 1)
+  | 0xA -> ((if store then St (Y_dec, d) else Ld (d, Y_dec)), 1)
+  | 0xC -> ((if store then St (X, d) else Ld (d, X)), 1)
+  | 0xD -> ((if store then St (X_inc, d) else Ld (d, X_inc)), 1)
+  | 0xE -> ((if store then St (X_dec, d) else Ld (d, X_dec)), 1)
+  | 0xF -> ((if store then Push d else Pop d), 1)
+  | _ -> (Data w, 1)
+
+let decode_misc w w2 =
+  let d = (w lsr 4) land 0x1F in
+  match w land 0x0F with
+  | 0x0 -> (Com d, 1)
+  | 0x1 -> (Neg d, 1)
+  | 0x2 -> (Swap d, 1)
+  | 0x3 -> (Inc d, 1)
+  | 0x5 -> (Asr d, 1)
+  | 0x6 -> (Lsr d, 1)
+  | 0x7 -> (Ror d, 1)
+  | 0xA -> (Dec d, 1)
+  | 0x8 -> (
+      match w with
+      | 0x9508 -> (Ret, 1)
+      | 0x9518 -> (Reti, 1)
+      | 0x9588 -> (Sleep, 1)
+      | 0x9598 -> (Break, 1)
+      | 0x95A8 -> (Wdr, 1)
+      | 0x95C8 -> (Lpm0, 1)
+      | 0x95D8 -> (Elpm0, 1)
+      | _ ->
+          if w land 0xFF8F = 0x9408 then (Bset ((w lsr 4) land 7), 1)
+          else if w land 0xFF8F = 0x9488 then (Bclr ((w lsr 4) land 7), 1)
+          else (Data w, 1))
+  | 0x9 -> (
+      match w with 0x9409 -> (Ijmp, 1) | 0x9509 -> (Icall, 1) | _ -> (Data w, 1))
+  | 0xC | 0xD ->
+      let high = (((w lsr 4) land 0x1F) lsl 1) lor (w land 1) in
+      (Jmp ((high lsl 16) lor w2), 2)
+  | 0xE | 0xF ->
+      let high = (((w lsr 4) land 0x1F) lsl 1) lor (w land 1) in
+      (Call ((high lsl 16) lor w2), 2)
+  | _ -> (Data w, 1)
+
+let decode_adiw_operands w =
+  let d = 24 + (((w lsr 4) land 0x3) * 2) in
+  let k = ((w lsr 2) land 0x30) lor (w land 0x0F) in
+  (d, k)
+
+let decode w w2 =
+  if w = 0x0000 then (Nop, 1)
+  else if w land 0xFF00 = 0x0100 then
+    (Movw ((((w lsr 4) land 0xF) * 2), (w land 0xF) * 2), 1)
+  else
+    match w land 0xFC00 with
+    | 0x0400 -> let d, r = decode_alu_operands w in (Cpc (d, r), 1)
+    | 0x0800 -> let d, r = decode_alu_operands w in (Sbc (d, r), 1)
+    | 0x0C00 -> let d, r = decode_alu_operands w in (Add (d, r), 1)
+    | 0x1000 -> let d, r = decode_alu_operands w in (Cpse (d, r), 1)
+    | 0x1400 -> let d, r = decode_alu_operands w in (Cp (d, r), 1)
+    | 0x1800 -> let d, r = decode_alu_operands w in (Sub (d, r), 1)
+    | 0x1C00 -> let d, r = decode_alu_operands w in (Adc (d, r), 1)
+    | 0x2000 -> let d, r = decode_alu_operands w in (And (d, r), 1)
+    | 0x2400 -> let d, r = decode_alu_operands w in (Eor (d, r), 1)
+    | 0x2800 -> let d, r = decode_alu_operands w in (Or (d, r), 1)
+    | 0x2C00 -> let d, r = decode_alu_operands w in (Mov (d, r), 1)
+    | 0x9C00 -> let d, r = decode_alu_operands w in (Mul (d, r), 1)
+    | _ -> (
+        match w land 0xF000 with
+        | 0x3000 -> let d, k = decode_imm_operands w in (Cpi (d, k), 1)
+        | 0x4000 -> let d, k = decode_imm_operands w in (Sbci (d, k), 1)
+        | 0x5000 -> let d, k = decode_imm_operands w in (Subi (d, k), 1)
+        | 0x6000 -> let d, k = decode_imm_operands w in (Ori (d, k), 1)
+        | 0x7000 -> let d, k = decode_imm_operands w in (Andi (d, k), 1)
+        | 0xE000 -> let d, k = decode_imm_operands w in (Ldi (d, k), 1)
+        | 0xC000 -> (Rjmp (sign_extend (w land 0xFFF) 12), 1)
+        | 0xD000 -> (Rcall (sign_extend (w land 0xFFF) 12), 1)
+        | _ ->
+            if w land 0xD000 = 0x8000 then (decode_displacement w, 1)
+            else if w land 0xFC00 = 0x9000 then decode_load_store w w2
+            else if w land 0xFE00 = 0x9400 then decode_misc w w2
+            else if w land 0xFF00 = 0x9600 then
+              let d, k = decode_adiw_operands w in (Adiw (d, k), 1)
+            else if w land 0xFF00 = 0x9700 then
+              let d, k = decode_adiw_operands w in (Sbiw (d, k), 1)
+            else if w land 0xFF00 = 0x9800 then (Cbi ((w lsr 3) land 0x1F, w land 7), 1)
+            else if w land 0xFF00 = 0x9900 then (Sbic ((w lsr 3) land 0x1F, w land 7), 1)
+            else if w land 0xFF00 = 0x9A00 then (Sbi ((w lsr 3) land 0x1F, w land 7), 1)
+            else if w land 0xFF00 = 0x9B00 then (Sbis ((w lsr 3) land 0x1F, w land 7), 1)
+            else if w land 0xF800 = 0xB000 then
+              let a = ((w lsr 5) land 0x30) lor (w land 0x0F) in
+              (In ((w lsr 4) land 0x1F, a), 1)
+            else if w land 0xF800 = 0xB800 then
+              let a = ((w lsr 5) land 0x30) lor (w land 0x0F) in
+              (Out (a, (w lsr 4) land 0x1F), 1)
+            else if w land 0xFC00 = 0xF000 then
+              (Brbs (w land 7, sign_extend ((w lsr 3) land 0x7F) 7), 1)
+            else if w land 0xFC00 = 0xF400 then
+              (Brbc (w land 7, sign_extend ((w lsr 3) land 0x7F) 7), 1)
+            else if w land 0xFE08 = 0xF800 then (Bld ((w lsr 4) land 0x1F, w land 7), 1)
+            else if w land 0xFE08 = 0xFA00 then (Bst ((w lsr 4) land 0x1F, w land 7), 1)
+            else if w land 0xFE08 = 0xFC00 then (Sbrc ((w lsr 4) land 0x1F, w land 7), 1)
+            else if w land 0xFE08 = 0xFE00 then (Sbrs ((w lsr 4) land 0x1F, w land 7), 1)
+            else (Data w, 1))
+
+let word_at code pos =
+  if pos + 1 < String.length code then
+    Char.code code.[pos] lor (Char.code code.[pos + 1] lsl 8)
+  else if pos < String.length code then Char.code code.[pos]
+  else 0
+
+let decode_bytes code pos =
+  if pos land 1 <> 0 then invalid_arg "Decode.decode_bytes: odd offset";
+  let w1 = word_at code pos in
+  let w2 = word_at code (pos + 2) in
+  let i, words = decode w1 w2 in
+  if words = 2 && pos + 3 >= String.length code then (Data w1, 2) else (i, words * 2)
+
+let fold_program code ~pos ~len f acc =
+  let stop = pos + len in
+  let rec go acc p =
+    if p + 1 >= stop then acc
+    else
+      let i, size = decode_bytes code p in
+      go (f acc p i) (p + size)
+  in
+  go acc pos

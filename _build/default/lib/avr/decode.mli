@@ -1,0 +1,22 @@
+(** Instruction decoder: AVR machine words back to {!Isa.t}.
+
+    [decode] is the exact inverse of {!Opcode.encode} on the implemented
+    subset; any word outside that subset decodes to [Isa.Data] so that a
+    linear sweep never fails (the randomizer and the gadget scanner both
+    rely on total decoding). *)
+
+(** [decode w1 w2] decodes the instruction starting with program word [w1];
+    [w2] is the following program word, consumed only by two-word
+    instructions ([call]/[jmp]/[lds]/[sts]).  Returns the instruction and
+    its size in words (1 or 2). *)
+val decode : int -> int -> Isa.t * int
+
+(** [decode_bytes code pos] decodes at byte offset [pos] (must be even) of
+    [code].  A truncated two-word instruction at the very end decodes as
+    [Data].  Returns the instruction and its size in {e bytes}. *)
+val decode_bytes : string -> int -> Isa.t * int
+
+(** [fold_program code ~pos ~len f acc] linear-sweeps [len] bytes of
+    [code] starting at byte offset [pos], folding [f acc byte_addr instr]
+    over each decoded instruction. *)
+val fold_program : string -> pos:int -> len:int -> ('a -> int -> Isa.t -> 'a) -> 'a -> 'a

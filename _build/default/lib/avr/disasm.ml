@@ -1,0 +1,18 @@
+type line = { byte_addr : int; insn : Isa.t; size_bytes : int }
+
+let sweep ?(pos = 0) ?len code =
+  let len = match len with Some l -> l | None -> String.length code - pos in
+  List.rev
+    (Decode.fold_program code ~pos ~len
+       (fun acc byte_addr insn ->
+         let _, size = Decode.decode_bytes code byte_addr in
+         { byte_addr; insn; size_bytes = size } :: acc)
+       [])
+
+let pp_line fmt { byte_addr; insn; _ } = Format.fprintf fmt "%6x:\t%a" byte_addr Isa.pp insn
+
+let listing ?pos ?len code =
+  let lines = sweep ?pos ?len code in
+  let buf = Buffer.create 1024 in
+  List.iter (fun l -> Buffer.add_string buf (Format.asprintf "%a\n" pp_line l)) lines;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Linear-sweep disassembler over flash images.
+
+    This is the view an attacker has of the {e unprotected} binary (threat
+    model, §IV-A): a total decode of program memory, used both by the
+    gadget finder and for human-readable listings like Figs. 4 and 5. *)
+
+type line = {
+  byte_addr : int;  (** address of the instruction, in bytes *)
+  insn : Isa.t;
+  size_bytes : int;
+}
+
+(** [sweep code ~pos ~len] decodes [len] bytes starting at byte offset
+    [pos] (both default to the whole string). *)
+val sweep : ?pos:int -> ?len:int -> string -> line list
+
+(** [listing code ~pos ~len] pretty-prints a region, one instruction per
+    line, in the objdump-like format of the paper's gadget figures. *)
+val listing : ?pos:int -> ?len:int -> string -> string
+
+val pp_line : Format.formatter -> line -> unit

@@ -1,0 +1,201 @@
+open Isa
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let check_reg name r = if r < 0 || r > 31 then fail "%s: bad register r%d" name r
+
+let check_hreg name r =
+  if r < 16 || r > 31 then fail "%s: register must be r16..r31, got r%d" name r
+
+let check_imm8 name k = if k < 0 || k > 0xFF then fail "%s: immediate %d out of 0..255" name k
+
+let check_io6 name a = if a < 0 || a > 63 then fail "%s: I/O address %d out of 0..63" name a
+
+let check_io5 name a = if a < 0 || a > 31 then fail "%s: I/O address %d out of 0..31" name a
+
+let check_bit name b = if b < 0 || b > 7 then fail "%s: bit %d out of 0..7" name b
+
+(* Two-register ALU format: oooo oord dddd rrrr. *)
+let two_reg op d r =
+  check_reg "alu" d;
+  check_reg "alu" r;
+  op lor ((r land 0x10) lsl 5) lor (d lsl 4) lor (r land 0x0F)
+
+(* Immediate format: oooo KKKK dddd KKKK with d in 16..31. *)
+let imm_op op name d k =
+  check_hreg name d;
+  check_imm8 name k;
+  op lor ((k land 0xF0) lsl 4) lor ((d - 16) lsl 4) lor (k land 0x0F)
+
+(* One-register format: 1001 010d dddd offf. *)
+let one_reg sub d =
+  check_reg "unop" d;
+  0x9400 lor (d lsl 4) lor sub
+
+let displacement_word ~store ~base_y ~q ~r =
+  if q < 0 || q > 63 then fail "ldd/std: displacement %d out of 0..63" q;
+  check_reg "ldd/std" r;
+  0x8000
+  lor (if store then 0x0200 else 0)
+  lor (if base_y then 0x0008 else 0)
+  lor ((q land 0x20) lsl 8)
+  lor ((q land 0x18) lsl 7)
+  lor (q land 0x07)
+  lor (r lsl 4)
+
+let ld_st_word ~store ~sub ~r =
+  check_reg "ld/st" r;
+  (if store then 0x9200 else 0x9000) lor (r lsl 4) lor sub
+
+let ptr_sub = function
+  | X -> 0xC
+  | X_inc -> 0xD
+  | X_dec -> 0xE
+  | Y_inc -> 0x9
+  | Y_dec -> 0xA
+  | Z_inc -> 0x1
+  | Z_dec -> 0x2
+
+let long_jump op addr =
+  if addr < 0 || addr > 0x3FFFFF then fail "jmp/call: word address 0x%x out of range" addr;
+  let high = (addr lsr 16) land 0x3F in
+  let w1 = op lor ((high lsr 1) lsl 4) lor (high land 1) in
+  [ w1; addr land 0xFFFF ]
+
+let rel12 name k =
+  if k < -2048 || k > 2047 then fail "%s: offset %d out of -2048..2047" name k;
+  k land 0xFFF
+
+let rel7 name k =
+  if k < -64 || k > 63 then fail "%s: offset %d out of -64..63" name k;
+  k land 0x7F
+
+let adiw_word op d k =
+  if d <> 24 && d <> 26 && d <> 28 && d <> 30 then fail "adiw/sbiw: register must be r24/r26/r28/r30";
+  if k < 0 || k > 63 then fail "adiw/sbiw: immediate %d out of 0..63" k;
+  op lor (((d - 24) / 2) lsl 4) lor ((k land 0x30) lsl 2) lor (k land 0x0F)
+
+let io_bit_word op a b =
+  check_io5 "sbi/cbi" a;
+  check_bit "sbi/cbi" b;
+  op lor (a lsl 3) lor b
+
+let encode = function
+  | Nop -> [ 0x0000 ]
+  | Movw (d, r) ->
+      if d land 1 <> 0 || r land 1 <> 0 then fail "movw: registers must be even";
+      check_reg "movw" d;
+      check_reg "movw" r;
+      [ 0x0100 lor ((d / 2) lsl 4) lor (r / 2) ]
+  | Cpc (d, r) -> [ two_reg 0x0400 d r ]
+  | Sbc (d, r) -> [ two_reg 0x0800 d r ]
+  | Add (d, r) -> [ two_reg 0x0C00 d r ]
+  | Cpse (d, r) -> [ two_reg 0x1000 d r ]
+  | Cp (d, r) -> [ two_reg 0x1400 d r ]
+  | Sub (d, r) -> [ two_reg 0x1800 d r ]
+  | Adc (d, r) -> [ two_reg 0x1C00 d r ]
+  | And (d, r) -> [ two_reg 0x2000 d r ]
+  | Eor (d, r) -> [ two_reg 0x2400 d r ]
+  | Or (d, r) -> [ two_reg 0x2800 d r ]
+  | Mov (d, r) -> [ two_reg 0x2C00 d r ]
+  | Cpi (d, k) -> [ imm_op 0x3000 "cpi" d k ]
+  | Sbci (d, k) -> [ imm_op 0x4000 "sbci" d k ]
+  | Subi (d, k) -> [ imm_op 0x5000 "subi" d k ]
+  | Ori (d, k) -> [ imm_op 0x6000 "ori" d k ]
+  | Andi (d, k) -> [ imm_op 0x7000 "andi" d k ]
+  | Ldi (d, k) -> [ imm_op 0xE000 "ldi" d k ]
+  | Ldd (d, Y, q) -> [ displacement_word ~store:false ~base_y:true ~q ~r:d ]
+  | Ldd (d, Z, q) -> [ displacement_word ~store:false ~base_y:false ~q ~r:d ]
+  | Std (Y, q, r) -> [ displacement_word ~store:true ~base_y:true ~q ~r ]
+  | Std (Z, q, r) -> [ displacement_word ~store:true ~base_y:false ~q ~r ]
+  | Lds (d, a) ->
+      if a < 0 || a > 0xFFFF then fail "lds: address out of range";
+      [ ld_st_word ~store:false ~sub:0x0 ~r:d; a ]
+  | Sts (a, r) ->
+      if a < 0 || a > 0xFFFF then fail "sts: address out of range";
+      [ ld_st_word ~store:true ~sub:0x0 ~r; a ]
+  | Ld (d, p) -> [ ld_st_word ~store:false ~sub:(ptr_sub p) ~r:d ]
+  | St (p, r) -> [ ld_st_word ~store:true ~sub:(ptr_sub p) ~r ]
+  | Lpm (d, inc) -> [ ld_st_word ~store:false ~sub:(if inc then 0x5 else 0x4) ~r:d ]
+  | Elpm (d, inc) -> [ ld_st_word ~store:false ~sub:(if inc then 0x7 else 0x6) ~r:d ]
+  | Pop r -> [ ld_st_word ~store:false ~sub:0xF ~r ]
+  | Push r -> [ ld_st_word ~store:true ~sub:0xF ~r ]
+  | Com d -> [ one_reg 0x0 d ]
+  | Neg d -> [ one_reg 0x1 d ]
+  | Swap d -> [ one_reg 0x2 d ]
+  | Inc d -> [ one_reg 0x3 d ]
+  | Asr d -> [ one_reg 0x5 d ]
+  | Lsr d -> [ one_reg 0x6 d ]
+  | Ror d -> [ one_reg 0x7 d ]
+  | Dec d -> [ one_reg 0xA d ]
+  | Bset b ->
+      check_bit "bset" b;
+      [ 0x9408 lor (b lsl 4) ]
+  | Bclr b ->
+      check_bit "bclr" b;
+      [ 0x9488 lor (b lsl 4) ]
+  | Ret -> [ 0x9508 ]
+  | Reti -> [ 0x9518 ]
+  | Ijmp -> [ 0x9409 ]
+  | Icall -> [ 0x9509 ]
+  | Sleep -> [ 0x9588 ]
+  | Break -> [ 0x9598 ]
+  | Wdr -> [ 0x95A8 ]
+  | Lpm0 -> [ 0x95C8 ]
+  | Elpm0 -> [ 0x95D8 ]
+  | Jmp a -> long_jump 0x940C a
+  | Call a -> long_jump 0x940E a
+  | Adiw (d, k) -> [ adiw_word 0x9600 d k ]
+  | Sbiw (d, k) -> [ adiw_word 0x9700 d k ]
+  | Cbi (a, b) -> [ io_bit_word 0x9800 a b ]
+  | Sbic (a, b) -> [ io_bit_word 0x9900 a b ]
+  | Sbi (a, b) -> [ io_bit_word 0x9A00 a b ]
+  | Sbis (a, b) -> [ io_bit_word 0x9B00 a b ]
+  | Mul (d, r) -> [ two_reg 0x9C00 d r ]
+  | Bld (d, b) ->
+      check_reg "bld" d;
+      check_bit "bld" b;
+      [ 0xF800 lor (d lsl 4) lor b ]
+  | Bst (d, b) ->
+      check_reg "bst" d;
+      check_bit "bst" b;
+      [ 0xFA00 lor (d lsl 4) lor b ]
+  | Sbrc (r, b) ->
+      check_reg "sbrc" r;
+      check_bit "sbrc" b;
+      [ 0xFC00 lor (r lsl 4) lor b ]
+  | Sbrs (r, b) ->
+      check_reg "sbrs" r;
+      check_bit "sbrs" b;
+      [ 0xFE00 lor (r lsl 4) lor b ]
+  | In (d, a) ->
+      check_reg "in" d;
+      check_io6 "in" a;
+      [ 0xB000 lor ((a land 0x30) lsl 5) lor (d lsl 4) lor (a land 0x0F) ]
+  | Out (a, r) ->
+      check_reg "out" r;
+      check_io6 "out" a;
+      [ 0xB800 lor ((a land 0x30) lsl 5) lor (r lsl 4) lor (a land 0x0F) ]
+  | Rjmp k -> [ 0xC000 lor rel12 "rjmp" k ]
+  | Rcall k -> [ 0xD000 lor rel12 "rcall" k ]
+  | Brbs (b, k) ->
+      check_bit "brbs" b;
+      [ 0xF000 lor (rel7 "brbs" k lsl 3) lor b ]
+  | Brbc (b, k) ->
+      check_bit "brbc" b;
+      [ 0xF400 lor (rel7 "brbc" k lsl 3) lor b ]
+  | Data w ->
+      if w < 0 || w > 0xFFFF then fail "data: word out of range";
+      [ w ]
+
+let encode_bytes i =
+  let words = encode i in
+  let buf = Buffer.create 4 in
+  List.iter
+    (fun w ->
+      Buffer.add_char buf (Char.chr (w land 0xFF));
+      Buffer.add_char buf (Char.chr ((w lsr 8) land 0xFF)))
+    words;
+  Buffer.contents buf
+
+let validate i = try ignore (encode i); Ok () with Invalid_argument m -> Error m

@@ -1,0 +1,19 @@
+(** Instruction encoder: {!Isa.t} to AVR machine code.
+
+    Encodings follow the Atmel AVR instruction set manual bit-for-bit, so
+    images produced here are real AVR machine code (the decoder
+    {!Decode.decode} is its exact inverse; this round-trip is
+    property-tested). *)
+
+(** [encode i] is the instruction as one or two 16-bit program words.
+    @raise Invalid_argument when an operand is out of range for the
+    instruction's encoding (e.g. [Ldi] with a register below r16). *)
+val encode : Isa.t -> int list
+
+(** [encode_bytes i] is the little-endian byte string of [encode i]
+    (AVR program words are stored little-endian in flash and HEX files). *)
+val encode_bytes : Isa.t -> string
+
+(** [validate i] checks operand ranges without encoding; returns an error
+    message on failure. *)
+val validate : Isa.t -> (unit, string) result

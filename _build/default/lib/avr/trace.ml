@@ -1,0 +1,51 @@
+type stack_snapshot = { label : string; window_start : int; bytes : string; sp_at : int }
+
+let snapshot cpu ~label ~window_start ~window_len =
+  {
+    label;
+    window_start;
+    bytes = Cpu.stack_slice cpu ~pos:window_start ~len:window_len;
+    sp_at = Cpu.sp cpu;
+  }
+
+let pp_snapshot fmt s =
+  Format.fprintf fmt "%s (SP=0x%04x)@." s.label s.sp_at;
+  let n = String.length s.bytes in
+  let row = 8 in
+  let rec go i =
+    if i < n then begin
+      Format.fprintf fmt "0x%06X:" (s.window_start + i);
+      for j = i to min (i + row - 1) (n - 1) do
+        Format.fprintf fmt " 0x%02X" (Char.code s.bytes.[j])
+      done;
+      Format.fprintf fmt "@.";
+      go (i + row)
+    end
+  in
+  go 0
+
+type event = { byte_addr : int; insn : Isa.t; sp_before : int; cycle : int }
+
+type recorder = { limit : int; q : event Queue.t }
+
+let recorder ~limit = { limit; q = Queue.create () }
+
+let step_traced r cpu =
+  (match Cpu.halted cpu with
+  | Some _ -> ()
+  | None ->
+      let byte_addr = Cpu.pc_byte_addr cpu in
+      let mem = Cpu.mem cpu in
+      let w1 = Memory.flash_word mem (Cpu.pc cpu) in
+      let w2 = Memory.flash_word mem (Cpu.pc cpu + 1) in
+      let insn, _ = Decode.decode w1 w2 in
+      Queue.push { byte_addr; insn; sp_before = Cpu.sp cpu; cycle = Cpu.cycles cpu } r.q;
+      while Queue.length r.q > r.limit do
+        ignore (Queue.pop r.q)
+      done);
+  Cpu.step cpu
+
+let events r = List.of_seq (Queue.to_seq r.q)
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%8d] %6x:\t%a\t(SP=0x%04x)" e.cycle e.byte_addr Isa.pp e.insn e.sp_before

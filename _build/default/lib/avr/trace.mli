@@ -1,0 +1,36 @@
+(** Execution and stack tracing.
+
+    Captures the artefacts the paper displays: per-instruction execution
+    traces and the labelled stack-window snapshots of Fig. 6 ("stack
+    progression during attack"). *)
+
+(** A labelled snapshot of a data-space window. *)
+type stack_snapshot = {
+  label : string;
+  window_start : int;  (** data-space address of the first byte shown *)
+  bytes : string;
+  sp_at : int;  (** stack pointer when the snapshot was taken *)
+}
+
+val snapshot : Cpu.t -> label:string -> window_start:int -> window_len:int -> stack_snapshot
+
+(** Renders in the paper's Fig. 6 style: rows of eight hex bytes prefixed
+    with the row's data-space address. *)
+val pp_snapshot : Format.formatter -> stack_snapshot -> unit
+
+(** {2 Instruction tracing} *)
+
+type event = { byte_addr : int; insn : Isa.t; sp_before : int; cycle : int }
+
+type recorder
+
+(** [recorder ~limit] keeps the most recent [limit] events. *)
+val recorder : limit:int -> recorder
+
+(** [step_traced rec cpu] records the next instruction, then executes it. *)
+val step_traced : recorder -> Cpu.t -> unit
+
+(** Events oldest-first. *)
+val events : recorder -> event list
+
+val pp_event : Format.formatter -> event -> unit

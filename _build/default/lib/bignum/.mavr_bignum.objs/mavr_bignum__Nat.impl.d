@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Buffer Format List Printf Stdlib String

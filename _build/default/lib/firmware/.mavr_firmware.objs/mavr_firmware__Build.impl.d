@@ -1,0 +1,1 @@
+lib/firmware/build.ml: Buffer Char Codegen Layout List Mavr_asm Mavr_mavlink Mavr_obj Mavr_prng Profile Runtime String

@@ -1,0 +1,1 @@
+lib/firmware/build.mli: Mavr_asm Mavr_obj Profile

@@ -1,0 +1,1 @@
+lib/firmware/codegen.ml: Layout List Mavr_asm Mavr_avr Mavr_prng Printf Profile

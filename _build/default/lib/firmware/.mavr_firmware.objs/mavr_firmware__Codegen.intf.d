@@ -1,0 +1,1 @@
+lib/firmware/codegen.mli: Mavr_asm Mavr_prng Profile

@@ -1,0 +1,1 @@
+lib/firmware/layout.mli:

@@ -1,0 +1,1 @@
+lib/firmware/runtime.ml: Layout List Mavr_asm Mavr_avr Profile

@@ -1,0 +1,1 @@
+lib/firmware/runtime.mli: Mavr_asm Profile

@@ -1,0 +1,152 @@
+open Mavr_asm.Assembler
+module Isa = Mavr_avr.Isa
+module Rng = Mavr_prng.Splitmix
+
+let name i = Printf.sprintf "fn_%04d" i
+
+let i x = Insn x
+
+(* Caller-saved working registers used by filler bodies. *)
+let work_regs = [| 18; 19; 20; 21; 22; 23; 24; 25 |]
+
+let gen_alu rng =
+  let a = Rng.pick rng work_regs and b = Rng.pick rng work_regs in
+  let k = Rng.int rng 256 in
+  match Rng.int rng 6 with
+  | 0 -> [ i (Isa.Ldi (a, k)); i (Isa.Add (a, b)) ]
+  | 1 -> [ i (Isa.Ldi (a, k)); i (Isa.Eor (a, b)) ]
+  | 2 -> [ i (Isa.Mov (a, b)); i (Isa.Subi (a, k)) ]
+  | 3 -> [ i (Isa.Andi (a, k)) ]
+  | 4 -> [ i (Isa.Ori (a, k)); i (Isa.Sub (a, b)) ]
+  | _ -> [ i (Isa.Ldi (a, k)); i (Isa.Or (a, b)) ]
+
+let gen_unop rng =
+  let a = Rng.pick rng work_regs in
+  match Rng.int rng 5 with
+  | 0 -> [ i (Isa.Inc a) ]
+  | 1 -> [ i (Isa.Dec a) ]
+  | 2 -> [ i (Isa.Com a) ]
+  | 3 -> [ i (Isa.Swap a) ]
+  | _ -> [ i (Isa.Lsr a) ]
+
+let gen_mem rng ~scratch =
+  let off = Rng.int rng 8 in
+  match Rng.int rng 3 with
+  | 0 -> [ i (Isa.Lds (24, scratch + off)) ]
+  | 1 -> [ i (Isa.Sts (scratch + off, 24)) ]
+  | _ -> [ i (Isa.Lds (24, scratch + off)); i (Isa.Subi (24, Rng.int rng 256)); i (Isa.Sts (scratch + off, 24)) ]
+
+let gen_wide rng =
+  let d = Rng.pick rng [| 24; 26 |] in
+  let k = Rng.int rng 64 in
+  if Rng.bool rng then [ i (Isa.Adiw (d, k)) ] else [ i (Isa.Sbiw (d, k)) ]
+
+let gen_branch rng ~fname ~label_counter =
+  incr label_counter;
+  let l = Printf.sprintf "%s_l%d" fname !label_counter in
+  let a = Rng.pick rng work_regs in
+  [
+    i (Isa.Cpi ((if a >= 16 then a else 24), Rng.int rng 256));
+    Br ((if Rng.bool rng then `Cbit Isa.Flag.z else `Sbit Isa.Flag.z), l);
+    i (Isa.Ldi ((if a >= 16 then a else 24), Rng.int rng 256));
+    Label l;
+  ]
+
+let gen_y rng =
+  let q = 1 + Rng.int rng 8 in
+  if Rng.bool rng then [ i (Isa.Std (Isa.Y, q, 24)) ] else [ i (Isa.Ldd (25, Isa.Y, q)) ]
+
+(* A bounded countdown loop — the shape avr-gcc emits for small memsets
+   and delays. *)
+let gen_loop rng ~fname ~label_counter =
+  incr label_counter;
+  let l = Printf.sprintf "%s_l%d" fname !label_counter in
+  let counter = 16 + Rng.int rng 8 in
+  [
+    i (Isa.Ldi (counter, 1 + Rng.int rng 7));
+    Label l;
+    i (Isa.Dec counter);
+    Br (`Cbit Isa.Flag.z, l);
+  ]
+
+(* Register-bit skips and T-flag bit moves (sbrc/sbrs/bst/bld). *)
+let gen_bitops rng =
+  let a = Rng.pick rng work_regs and b = Rng.pick rng work_regs in
+  let bit = Rng.int rng 8 in
+  match Rng.int rng 3 with
+  | 0 -> [ i (Isa.Sbrc (a, bit)); i (Isa.Inc b) ]
+  | 1 -> [ i (Isa.Sbrs (a, bit)); i (Isa.Dec b) ]
+  | _ -> [ i (Isa.Bst (a, bit)); i (Isa.Bld (b, Rng.int rng 8)) ]
+
+(* One filler function.  [callee] is the single optional call target (a
+   bounded-depth DAG: at most one call per function keeps the number of
+   dynamic call paths linear). *)
+let gen_function ~toolchain ~rng ~idx ~count ~avg_body_units =
+  let fname = name idx in
+  let scratch = Layout.scratch idx in
+  let callee =
+    if idx + 10 < count && Rng.int rng 100 < 65 then
+      Some (name (Rng.range rng (idx + 10) (min (idx + 60) (count - 1))))
+    else None
+  in
+  let framed = Rng.int rng 100 < 12 in
+  let k_saved = Rng.int rng 4 in
+  (* Draw unconditionally so stock and MAVR toolchains consume the same
+     random stream: size deltas then reflect the flags alone. *)
+  let shared_draw = Rng.int rng 100 in
+  let tail_draw = Rng.int rng 100 in
+  let shared_epi =
+    toolchain.Profile.call_prologues && (not framed) && k_saved >= 1 && shared_draw < 60
+  in
+  let tail_jump =
+    (not framed) && (not shared_epi) && k_saved = 0 && callee = None && tail_draw < 8
+  in
+  let saved = List.init k_saved (fun j -> 10 + j) in
+  let pushes =
+    (if framed || shared_epi then [ i (Isa.Push 28); i (Isa.Push 29) ] else [])
+    @ List.map (fun r -> i (Isa.Push r)) saved
+  in
+  let frame_setup =
+    if framed then
+      [ i (Isa.Ldi (28, scratch land 0xFF)); i (Isa.Ldi (29, (scratch lsr 8) land 0xFF)) ]
+    else []
+  in
+  let label_counter = ref 0 in
+  let units = Rng.range rng (max 1 (avg_body_units / 2)) (max 2 (avg_body_units * 3 / 2)) in
+  let body = ref [] in
+  let call_slot = if callee = None then -1 else Rng.int rng units in
+  for u = 0 to units - 1 do
+    let unit =
+      if u = call_slot then
+        match callee with Some c -> [ Call_sym c ] | None -> gen_alu rng
+      else
+        match Rng.int rng 100 with
+        | n when n < 38 -> gen_alu rng
+        | n when n < 52 -> gen_mem rng ~scratch
+        | n when n < 62 -> gen_unop rng
+        | n when n < 70 -> gen_branch rng ~fname ~label_counter
+        | n when n < 76 -> gen_wide rng
+        | n when n < 82 -> gen_loop rng ~fname ~label_counter
+        | n when n < 88 -> gen_bitops rng
+        | n when n < 94 && framed -> gen_y rng
+        | _ -> gen_alu rng
+    in
+    body := !body @ unit
+  done;
+  let epilogue =
+    if tail_jump then [ Jmp_sym_off ("__shared_tail", Rng.pick rng [| 0; 2; 4 |]) ]
+    else if shared_epi then
+      (* Enter the shared pop run at the offset matching k_saved registers:
+         word offsets 0..5 pop r15..r10, then r29, r28, ret. *)
+      [ Jmp_sym_off ("__epilogue_restores__", 6 - k_saved) ]
+    else
+      List.map (fun r -> i (Isa.Pop r)) (List.rev saved)
+      @ (if framed then [ i (Isa.Pop 29); i (Isa.Pop 28) ] else [])
+      @ [ i Isa.Ret ]
+  in
+  { name = fname; items = pushes @ frame_setup @ !body @ epilogue }
+
+let generate ~toolchain ~rng ~count ~avg_body_units =
+  List.init count (fun idx ->
+      let frng = Rng.split rng in
+      gen_function ~toolchain ~rng:frng ~idx ~count ~avg_body_units)

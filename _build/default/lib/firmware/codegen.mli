@@ -1,0 +1,27 @@
+(** Deterministic generator of filler functions.
+
+    Produces the body of the synthetic autopilot: hundreds of small
+    functions with realistic shapes — callee-saved register save/restore,
+    ALU work on caller-saved registers, loads/stores to per-function
+    scratch addresses, calls along a bounded-depth DAG, local branches,
+    Y-indexed frames — so that the image exhibits the structures the MAVR
+    randomizer and the gadget scanner must handle.  With the stock
+    toolchain a share of functions use the consolidated
+    [__epilogue_restores__] tail (the [-mcall-prologues] model); some
+    functions tail-jump into the middle of [__shared_tail] (the switch
+    trampoline patching case, §VI-B3).
+
+    All choices derive from the given generator; the same seed yields the
+    same functions byte for byte. *)
+
+(** [generate ~toolchain ~rng ~count ~avg_body_units] returns the filler
+    functions [fn_0000 .. fn_<count-1>] in index order. *)
+val generate :
+  toolchain:Profile.toolchain ->
+  rng:Mavr_prng.Splitmix.t ->
+  count:int ->
+  avg_body_units:int ->
+  Mavr_asm.Assembler.func list
+
+(** [name i] is the canonical filler-function name ["fn_%04d"]. *)
+val name : int -> string

@@ -1,0 +1,19 @@
+type t = { name : string; n_functions : int; target_size : int; seed : int }
+
+let arduplane = { name = "Arduplane"; n_functions = 917; target_size = 221608; seed = 0x41504C31 }
+let arducopter = { name = "Arducopter"; n_functions = 1030; target_size = 244532; seed = 0x41435031 }
+let ardurover = { name = "Ardurover"; n_functions = 800; target_size = 177870; seed = 0x41525631 }
+
+let all = [ arduplane; arducopter; ardurover ]
+
+let tiny ~n ~seed =
+  { name = Printf.sprintf "tiny-%d" n; n_functions = n; target_size = 0; seed }
+
+type toolchain = { relax : bool; call_prologues : bool; vulnerable : bool }
+
+let stock = { relax = true; call_prologues = true; vulnerable = true }
+let mavr = { relax = false; call_prologues = false; vulnerable = true }
+let patched = { relax = false; call_prologues = false; vulnerable = false }
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%d functions, %d bytes target)" t.name t.n_functions t.target_size

@@ -1,0 +1,1 @@
+lib/mavlink/frame.ml: Buffer Char Crc Format List Messages String

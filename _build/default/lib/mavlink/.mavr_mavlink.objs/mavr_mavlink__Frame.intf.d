@@ -1,0 +1,1 @@
+lib/mavlink/frame.mli: Format

@@ -1,0 +1,1 @@
+lib/mavlink/messages.ml: Array Buffer Char Int32 List String

@@ -1,0 +1,1 @@
+lib/mavlink/parser.ml: Buffer Char Frame List Messages String

@@ -1,0 +1,1 @@
+lib/mavlink/parser.mli: Frame

@@ -1,0 +1,14 @@
+type t = int
+
+let init = 0xFFFF
+
+let accumulate crc byte =
+  let tmp = (byte lxor (crc land 0xFF)) land 0xFF in
+  let tmp = (tmp lxor (tmp lsl 4)) land 0xFF in
+  ((crc lsr 8) lxor (tmp lsl 8) lxor (tmp lsl 3) lxor (tmp lsr 4)) land 0xFFFF
+
+let accumulate_string crc s = String.fold_left (fun c ch -> accumulate c (Char.code ch)) crc s
+
+let value crc = crc
+
+let of_string s = value (accumulate_string init s)

@@ -1,0 +1,21 @@
+(** CRC-16/MCRF4XX, the checksum of the MAVLink protocol (Fig. 2).
+
+    MAVLink seeds the accumulator with 0xFFFF, covers every frame byte
+    after the start magic, and finally accumulates the per-message
+    CRC_EXTRA byte so that sender and receiver must agree on message
+    layouts. *)
+
+type t
+
+val init : t
+
+(** [accumulate crc byte] folds one byte (0..255) into the checksum. *)
+val accumulate : t -> int -> t
+
+val accumulate_string : t -> string -> t
+
+(** Final 16-bit value. *)
+val value : t -> int
+
+(** [of_string s] is the checksum of all of [s] from the initial seed. *)
+val of_string : string -> int

@@ -1,0 +1,42 @@
+(** MAVLink v1 frames (Fig. 2 of the paper).
+
+    Wire layout: start magic 0xFE, payload length, packet sequence number,
+    sender system id, sender component id, message id, payload (up to 255
+    bytes), CRC-16/MCRF4XX low byte, high byte.  The checksum covers every
+    byte after the magic plus the message's CRC_EXTRA byte. *)
+
+val magic : int
+
+type t = { seq : int; sysid : int; compid : int; msgid : int; payload : string }
+
+(** Minimum on-wire frame size (the paper's "minimum packet length of 17
+    bytes" counts the 9-byte minimum payload; an empty payload gives 8). *)
+val header_len : int
+
+val crc_len : int
+
+(** [encode t] renders the frame.  [crc_extra] defaults to the catalog
+    value for [t.msgid].
+    @raise Invalid_argument when the payload exceeds 255 bytes or ids are
+    out of byte range. *)
+val encode : ?crc_extra:int -> t -> string
+
+(** [encode_raw ~declared_len t] renders a frame whose {e length field} is
+    [declared_len] regardless of the actual payload size — the malformed
+    packet a malicious ground station sends once the receiver's length
+    check is disabled (§IV-B).  The CRC is computed over the bytes
+    actually sent so the firmware accepts it. *)
+val encode_raw : ?crc_extra:int -> declared_len:int -> t -> string
+
+type error =
+  | Bad_magic
+  | Bad_crc of { got : int; expected : int }
+  | Truncated
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [decode ?crc_extra s] parses one complete frame from the start of [s];
+    returns the frame and the number of bytes consumed. *)
+val decode : ?crc_extra_of:(int -> int) -> string -> (t * int, error) result
+
+val wire_length : t -> int

@@ -1,0 +1,60 @@
+type stats = { frames_ok : int; crc_errors : int; bytes_dropped : int }
+
+type t = {
+  crc_extra_of : int -> int;
+  buf : Buffer.t;
+  mutable frames_ok : int;
+  mutable crc_errors : int;
+  mutable bytes_dropped : int;
+}
+
+let create ?(crc_extra_of = Messages.crc_extra_of) () =
+  { crc_extra_of; buf = Buffer.create 64; frames_ok = 0; crc_errors = 0; bytes_dropped = 0 }
+
+let feed t bytes =
+  Buffer.add_string t.buf bytes;
+  let frames = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let data = Buffer.contents t.buf in
+    let n = String.length data in
+    if n > 0 then begin
+      if Char.code data.[0] <> Frame.magic then begin
+        (* Resync: drop bytes up to the next magic. *)
+        let next =
+          match String.index_opt data (Char.chr Frame.magic) with Some i -> i | None -> n
+        in
+        t.bytes_dropped <- t.bytes_dropped + next;
+        Buffer.clear t.buf;
+        Buffer.add_string t.buf (String.sub data next (n - next));
+        progress := next > 0 && n - next > 0
+      end
+      else
+        match Frame.decode ~crc_extra_of:t.crc_extra_of data with
+        | Ok (frame, consumed) ->
+            t.frames_ok <- t.frames_ok + 1;
+            frames := frame :: !frames;
+            Buffer.clear t.buf;
+            Buffer.add_string t.buf (String.sub data consumed (n - consumed));
+            progress := true
+        | Error Frame.Truncated -> ()
+        | Error (Frame.Bad_crc _) ->
+            (* Skip the bad frame's magic byte and resync. *)
+            t.crc_errors <- t.crc_errors + 1;
+            t.bytes_dropped <- t.bytes_dropped + 1;
+            Buffer.clear t.buf;
+            Buffer.add_string t.buf (String.sub data 1 (n - 1));
+            progress := true
+        | Error Frame.Bad_magic ->
+            t.bytes_dropped <- t.bytes_dropped + 1;
+            Buffer.clear t.buf;
+            Buffer.add_string t.buf (String.sub data 1 (n - 1));
+            progress := true
+    end
+  done;
+  List.rev !frames
+
+let stats t = { frames_ok = t.frames_ok; crc_errors = t.crc_errors; bytes_dropped = t.bytes_dropped }
+
+let pending t = Buffer.length t.buf

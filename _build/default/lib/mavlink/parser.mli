@@ -1,0 +1,25 @@
+(** Incremental MAVLink byte-stream parser.
+
+    Decodes frames from an arbitrary chunking of the serial stream, the
+    way a ground station (or the APM's software decoder, §II-C) consumes
+    telemetry.  Resynchronizes on the start magic after garbage and keeps
+    link-quality statistics used by the anomaly detector. *)
+
+type stats = {
+  frames_ok : int;
+  crc_errors : int;
+  bytes_dropped : int;  (** garbage bytes skipped while hunting for magic *)
+}
+
+type t
+
+val create : ?crc_extra_of:(int -> int) -> unit -> t
+
+(** [feed t bytes] consumes a chunk and returns the frames completed by
+    it, in order. *)
+val feed : t -> string -> Frame.t list
+
+val stats : t -> stats
+
+(** Bytes currently buffered waiting for a complete frame. *)
+val pending : t -> int

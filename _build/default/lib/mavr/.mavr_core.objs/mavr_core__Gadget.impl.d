@@ -1,0 +1,1 @@
+lib/mavr/gadget.ml: Array Format List Mavr_avr Mavr_obj

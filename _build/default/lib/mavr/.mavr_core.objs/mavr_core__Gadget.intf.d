@@ -1,0 +1,1 @@
+lib/mavr/gadget.mli: Format Mavr_avr Mavr_obj

@@ -1,0 +1,1 @@
+lib/mavr/lifetime.mli:

@@ -1,0 +1,1 @@
+lib/mavr/master.ml: Format List Logs Mavr_avr Mavr_obj Mavr_prng Serial Stream_patch String

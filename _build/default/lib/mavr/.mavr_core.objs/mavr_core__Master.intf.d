@@ -1,0 +1,1 @@
+lib/mavr/master.mli: Format Mavr_avr Mavr_obj Serial

@@ -1,0 +1,1 @@
+lib/mavr/patch.ml: Array Bytes Char List Mavr_avr Mavr_obj Printf Shuffle String

@@ -1,0 +1,1 @@
+lib/mavr/patch.mli: Mavr_obj Shuffle

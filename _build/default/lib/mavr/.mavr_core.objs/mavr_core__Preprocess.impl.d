@@ -1,0 +1,1 @@
+lib/mavr/preprocess.ml: Char Hashtbl List Mavr_obj Printf String

@@ -1,0 +1,1 @@
+lib/mavr/preprocess.mli: Mavr_obj

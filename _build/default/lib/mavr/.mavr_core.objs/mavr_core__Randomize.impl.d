@@ -1,0 +1,1 @@
+lib/mavr/randomize.ml: List Mavr_obj Mavr_prng Patch Shuffle

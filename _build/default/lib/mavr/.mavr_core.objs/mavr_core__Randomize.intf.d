@@ -1,0 +1,1 @@
+lib/mavr/randomize.mli: Mavr_obj Mavr_prng

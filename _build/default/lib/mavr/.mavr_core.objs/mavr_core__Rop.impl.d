@@ -1,0 +1,1 @@
+lib/mavr/rop.ml: Array Buffer Char Gadget List Mavr_avr Mavr_firmware Mavr_mavlink Mavr_obj String

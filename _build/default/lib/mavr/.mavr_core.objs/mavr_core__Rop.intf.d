@@ -1,0 +1,1 @@
+lib/mavr/rop.mli: Gadget Mavr_firmware Mavr_obj

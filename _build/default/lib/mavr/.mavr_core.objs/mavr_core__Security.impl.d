@@ -1,0 +1,1 @@
+lib/mavr/security.ml: Mavr_bignum Mavr_prng

@@ -1,0 +1,1 @@
+lib/mavr/security.mli: Mavr_bignum

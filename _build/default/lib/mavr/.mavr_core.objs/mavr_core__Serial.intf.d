@@ -1,0 +1,1 @@
+lib/mavr/serial.mli:

@@ -1,0 +1,1 @@
+lib/mavr/shuffle.ml: Array List Mavr_obj Mavr_prng

@@ -1,0 +1,1 @@
+lib/mavr/shuffle.mli: Mavr_obj Mavr_prng

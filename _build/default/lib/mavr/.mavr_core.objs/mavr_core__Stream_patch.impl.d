@@ -1,0 +1,1 @@
+lib/mavr/stream_patch.ml: Array Buffer Bytes Char List Mavr_avr Mavr_obj Mavr_prng Patch Printf Shuffle String

@@ -1,0 +1,1 @@
+lib/mavr/stream_patch.mli: Mavr_obj Mavr_prng

@@ -1,0 +1,51 @@
+(** ROP gadget discovery over AVR flash images (§IV, §VII-A).
+
+    A gadget is a short instruction sequence ending in [ret], reached by
+    placing its address on the stack.  AVR instructions are 16-bit-word
+    aligned, so the scan is a forward linear sweep; every decodable suffix
+    of at most [max_len] instructions ending at a [ret] and containing at
+    least one useful operation counts as a gadget (the metric behind the
+    paper's "953 gadgets" figure).
+
+    The two gadget classes the stealthy attack needs are recognized
+    structurally:
+    - {e stk_move} (Fig. 4): writes both stack-pointer I/O registers
+      ([out 0x3d]/[out 0x3e]) before returning — a stack pivot;
+    - {e write_mem} (Fig. 5): [std Y+q] stores followed by a pop run — an
+      arbitrary 3-byte memory write with register reload. *)
+
+type kind =
+  | Stk_move  (** writes SPL and SPH via [out] *)
+  | Write_mem  (** [std Y+q] stores then a pop run *)
+  | Pop_chain  (** three or more pops (a register loader) *)
+  | Plain  (** anything else useful *)
+
+type t = {
+  byte_addr : int;  (** address of the gadget's first instruction *)
+  insns : Mavr_avr.Isa.t list;  (** including the final [ret] *)
+  kind : kind;
+}
+
+val kind_name : kind -> string
+
+(** [scan ?max_len image] finds all gadgets in the executable regions of
+    [image] ([max_len] defaults to 8 instructions, counting [ret]). *)
+val scan : ?max_len:int -> Mavr_obj.Image.t -> t list
+
+(** [count_by_kind gadgets] is an association list kind → count. *)
+val count_by_kind : t list -> (kind * int) list
+
+(** The concrete addresses the paper's attack uses, located by structural
+    search on the {e unprotected} image (the attacker's view). *)
+type paper_gadgets = {
+  stk_move : int;  (** byte address of the Fig. 4 gadget *)
+  write_mem : int;  (** byte address of the Fig. 5 stores *)
+  write_mem_pops : int;  (** byte address of its pop half (mid-entry) *)
+}
+
+(** [locate_paper_gadgets image] finds a stk_move and a write_mem gadget.
+    Returns [None] when either is absent (e.g. after the binary was
+    rebuilt without the frame-teardown idiom). *)
+val locate_paper_gadgets : Mavr_obj.Image.t -> paper_gadgets option
+
+val pp : Format.formatter -> t -> unit

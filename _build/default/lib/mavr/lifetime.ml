@@ -1,0 +1,21 @@
+type policy = { randomize_every_boots : int }
+
+let check policy =
+  if policy.randomize_every_boots < 1 then
+    invalid_arg "Lifetime: randomize_every_boots must be >= 1"
+
+let reflashes_per_boot policy ~attack_rate_per_boot =
+  check policy;
+  if attack_rate_per_boot < 0.0 then invalid_arg "Lifetime: negative attack rate";
+  (1.0 /. float_of_int policy.randomize_every_boots) +. attack_rate_per_boot
+
+let boots_until_wearout policy ~endurance ~attack_rate_per_boot =
+  float_of_int endurance /. reflashes_per_boot policy ~attack_rate_per_boot
+
+let layout_exposure_boots policy =
+  check policy;
+  policy.randomize_every_boots
+
+let years_until_wearout policy ~endurance ~attack_rate_per_boot ~boots_per_day =
+  if boots_per_day <= 0.0 then invalid_arg "Lifetime: boots_per_day must be positive";
+  boots_until_wearout policy ~endurance ~attack_rate_per_boot /. boots_per_day /. 365.25

@@ -1,0 +1,32 @@
+(** Randomization frequency vs. flash endurance (§V-C, §VI-A).
+
+    Every randomization reprograms the application processor's internal
+    flash, which is rated for 10,000 program/erase cycles; randomizing at
+    every restart therefore "significantly reduces the lifetime of the
+    processor".  MAVR's schedule randomizes every [k] boots — plus,
+    always, after a detected attack.  This module quantifies that
+    trade-off: expected reprogramming per boot, boots until wear-out, and
+    the staleness window an attacker gets to study one layout. *)
+
+type policy = {
+  randomize_every_boots : int;  (** k: randomize on boots 1, 1+k, 1+2k, … *)
+}
+
+(** [reflashes_per_boot policy ~attack_rate_per_boot] — expected flash
+    programmings per boot: the scheduled share [1/k] plus one per detected
+    attack. *)
+val reflashes_per_boot : policy -> attack_rate_per_boot:float -> float
+
+(** [boots_until_wearout policy ~endurance ~attack_rate_per_boot] —
+    expected number of boots before the flash endurance is exhausted. *)
+val boots_until_wearout : policy -> endurance:int -> attack_rate_per_boot:float -> float
+
+(** [layout_exposure_boots policy] — how many boots a single layout stays
+    live when no attacks occur: the window an attacker has to brute-force
+    one permutation before it changes anyway. *)
+val layout_exposure_boots : policy -> int
+
+(** [years_until_wearout policy ~endurance ~attack_rate_per_boot
+    ~boots_per_day] — the same wear-out horizon on a calendar. *)
+val years_until_wearout :
+  policy -> endurance:int -> attack_rate_per_boot:float -> boots_per_day:float -> float

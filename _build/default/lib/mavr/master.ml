@@ -1,0 +1,164 @@
+module Cpu = Mavr_avr.Cpu
+module Image = Mavr_obj.Image
+module Symtab = Mavr_obj.Symtab
+module Flash = Mavr_avr.Device.External_flash
+module Rng = Mavr_prng.Splitmix
+
+let src = Logs.Src.create "mavr.master" ~doc:"MAVR master processor"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  link : Serial.t;
+  randomize_every_boots : int;
+  watchdog_window_cycles : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    link = Serial.prototype;
+    randomize_every_boots = 1;
+    watchdog_window_cycles = 60_000;
+    seed = 0xD15EA5E;
+  }
+
+type event =
+  | Booted of { boot : int; randomized : bool; overhead_ms : float }
+  | Attack_detected of { at_cycles : int; reason : string }
+  | Reflashed of { generation : int; overhead_ms : float }
+
+let pp_event fmt = function
+  | Booted { boot; randomized; overhead_ms } ->
+      Format.fprintf fmt "boot #%d (%s, %.0f ms)" boot
+        (if randomized then "randomized" else "cached layout")
+        overhead_ms
+  | Attack_detected { at_cycles; reason } ->
+      Format.fprintf fmt "failed attack detected at cycle %d (%s)" at_cycles reason
+  | Reflashed { generation; overhead_ms } ->
+      Format.fprintf fmt "re-randomized: generation %d (%.0f ms)" generation overhead_ms
+
+type t = {
+  config : config;
+  ext_flash : Flash.t;
+  rng : Rng.t;
+  mutable boots : int;
+  mutable reflashes : int;
+  mutable last_overhead_ms : float;
+  mutable current : Image.t option;
+  mutable events : event list;
+  mutable attacks : int;
+  mutable pages_programmed : int;
+  mutable peak_ws : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    ext_flash = Flash.create ~bytes:(1 lsl 20);
+    rng = Rng.create ~seed:config.seed;
+    boots = 0;
+    reflashes = 0;
+    last_overhead_ms = 0.0;
+    current = None;
+    events = [];
+    attacks = 0;
+    pages_programmed = 0;
+    peak_ws = 0;
+  }
+
+let provision t image = Flash.program t.ext_flash (Symtab.to_hex image)
+
+let stored_hex t = Flash.read t.ext_flash ~pos:0 ~len:(Flash.content_length t.ext_flash)
+
+let read_stored_image t =
+  let hex = stored_hex t in
+  if String.length hex = 0 then invalid_arg "Master: not provisioned";
+  Symtab.of_hex hex
+
+let startup_overhead_ms t bytes = Serial.programming_ms t.config.link bytes
+
+(* Run the §VI-B3 streaming pipeline: draw a permutation, stream the
+   patched binary page by page (here collected back into an image for the
+   emulated application processor), and account for the pages programmed
+   and the randomizer's working set. *)
+let randomize_streaming t stored =
+  let page_bytes = Mavr_avr.Device.atmega2560.flash_page_bytes in
+  let image, stats = Stream_patch.randomize_image_rng ~rng:t.rng stored ~page_bytes in
+  t.pages_programmed <- t.pages_programmed + stats.Stream_patch.pages_emitted;
+  t.peak_ws <- max t.peak_ws stats.Stream_patch.peak_working_set;
+  image
+
+(* Program the application processor: stream the (randomized) binary
+   through the bootloader and restart it. *)
+let program_app t ~app image =
+  Cpu.load_program app image.Image.code;
+  t.reflashes <- t.reflashes + 1;
+  t.last_overhead_ms <- startup_overhead_ms t (Image.size image);
+  t.current <- Some image
+
+let boot t ~app =
+  let stored = read_stored_image t in
+  t.boots <- t.boots + 1;
+  let randomize =
+    t.config.randomize_every_boots <= 1
+    || (t.boots - 1) mod t.config.randomize_every_boots = 0
+    || t.current = None
+  in
+  let image =
+    if randomize then randomize_streaming t stored
+    else match t.current with Some img -> img | None -> assert false
+  in
+  program_app t ~app image;
+  Log.info (fun m ->
+      m "boot #%d: %s layout, %.0f ms startup overhead" t.boots
+        (if randomize then "fresh randomized" else "cached")
+        t.last_overhead_ms);
+  t.events <- Booted { boot = t.boots; randomized = randomize; overhead_ms = t.last_overhead_ms } :: t.events
+
+let current_image t =
+  match t.current with Some img -> img | None -> invalid_arg "Master: application not booted"
+
+let boots t = t.boots
+let reflashes t = t.reflashes
+let last_overhead_ms t = t.last_overhead_ms
+let events t = List.rev t.events
+let attacks_detected t = t.attacks
+let pages_programmed t = t.pages_programmed
+let peak_working_set t = t.peak_ws
+
+let rerandomize_after_attack t ~app ~reason =
+  Log.warn (fun m -> m "failed attack detected (%s); re-randomizing" reason);
+  t.attacks <- t.attacks + 1;
+  t.events <- Attack_detected { at_cycles = Cpu.cycles app; reason } :: t.events;
+  let stored = read_stored_image t in
+  let image = randomize_streaming t stored in
+  program_app t ~app image;
+  t.events <- Reflashed { generation = t.reflashes; overhead_ms = t.last_overhead_ms } :: t.events
+
+let check_and_recover t ~app =
+  match Cpu.halted app with
+  | Some h ->
+      rerandomize_after_attack t ~app ~reason:(Format.asprintf "%a" Cpu.pp_halt h);
+      true
+  | None ->
+      if Cpu.cycles app - Cpu.last_feed_cycles app > t.config.watchdog_window_cycles then begin
+        rerandomize_after_attack t ~app ~reason:"watchdog feed silence";
+        true
+      end
+      else false
+
+let supervise t ~app ~cycles =
+  (* Count the budget locally: a recovery resets the application's cycle
+     counter, which must not extend the supervision window. *)
+  let detected0 = t.attacks in
+  let remaining = ref cycles in
+  while !remaining > 0 do
+    let slice = min 1_000 !remaining in
+    let before = Cpu.cycles app in
+    ignore (Cpu.run app ~max_cycles:slice);
+    let ran = Cpu.cycles app - before in
+    remaining := !remaining - max 1 (if ran >= 0 then ran else slice);
+    ignore (check_and_recover t ~app)
+  done;
+  t.attacks - detected0

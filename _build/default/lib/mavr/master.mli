@@ -1,0 +1,84 @@
+(** The MAVR master processor (§V-A2, §VI-A).
+
+    An ATmega1284P added to the APM board that (1) holds the preprocessed
+    application HEX on the external flash chip — the only entry point for
+    new code, (2) randomizes and programs the application processor at
+    boot or on a configured schedule, and (3) then acts as a watchdog
+    listener: when the application stops feeding it (the signature of a
+    failed ROP attempt executing garbage), it resets, re-randomizes and
+    reprograms the application processor, so the UAV recovers in flight
+    and every attack faces a fresh layout. *)
+
+type config = {
+  link : Serial.t;
+  randomize_every_boots : int;
+      (** randomize on boots 1, 1+k, 1+2k, … ; 1 = every boot.  Larger
+          values trade entropy refresh for flash endurance (§V-C). *)
+  watchdog_window_cycles : int;
+      (** application cycles without a feed before an attack is flagged *)
+  seed : int;  (** the master's entropy source *)
+}
+
+val default_config : config
+
+type event =
+  | Booted of { boot : int; randomized : bool; overhead_ms : float }
+  | Attack_detected of { at_cycles : int; reason : string }
+  | Reflashed of { generation : int; overhead_ms : float }
+
+val pp_event : Format.formatter -> event -> unit
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** [provision t image] is the host-side flashing step: the preprocessed
+    HEX (symbol table prepended, §VI-B2) is stored verbatim on the
+    external flash chip. *)
+val provision : t -> Mavr_obj.Image.t -> unit
+
+(** Raw HEX text currently on the external flash. *)
+val stored_hex : t -> string
+
+(** [boot t ~app] programs the application processor and starts it.  The
+    binary is randomized when the boot counter hits the schedule.
+    @raise Invalid_argument when not provisioned. *)
+val boot : t -> app:Mavr_avr.Cpu.t -> unit
+
+(** The image currently running on the application processor.  Note this
+    is the master's knowledge; the attacker can never read it (readout
+    protection fuse, §V-A3). *)
+val current_image : t -> Mavr_obj.Image.t
+
+val boots : t -> int
+
+(** Number of reprogramming operations performed (flash wear; the part is
+    rated for 10,000, §VI-A). *)
+val reflashes : t -> int
+
+(** Flash pages programmed in total and the streaming randomizer's peak
+    working set (bytes) — the §VI-B3 memory discipline, which must stay
+    under the ATmega1284P's 16 KB SRAM. *)
+val pages_programmed : t -> int
+
+val peak_working_set : t -> int
+
+val last_overhead_ms : t -> float
+val events : t -> event list
+val attacks_detected : t -> int
+
+(** [check_and_recover t ~app] performs one watchdog evaluation: when the
+    application has halted or has been silent past the configured window,
+    the master re-randomizes and reprograms it.  Returns [true] when a
+    failed attack was detected and handled. *)
+val check_and_recover : t -> app:Mavr_avr.Cpu.t -> bool
+
+(** [supervise t ~app ~cycles] runs the application for [cycles] cycles
+    under watchdog supervision.  Every halt or feed-silence is handled by
+    re-randomizing and restarting the application processor.  Returns the
+    number of failed attacks detected during this window. *)
+val supervise : t -> app:Mavr_avr.Cpu.t -> cycles:int -> int
+
+(** [startup_overhead_ms t image_bytes] — the Table II quantity for this
+    master's link. *)
+val startup_overhead_ms : t -> int -> float

@@ -1,0 +1,29 @@
+(** Host-side preprocessing analyses (§VI-B2).
+
+    The assembler hands us exact function-pointer locations, but the
+    paper's preprocessing works on compiled binaries: it {e scans} the
+    data sections for words that look like function pointers ("references
+    in the data section are scanned for function pointers ... C++ class
+    vtables and global arrays of functions").  This module implements that
+    conservative scan independently, so the two sources can be
+    cross-checked — and so images reconstructed without assembler
+    metadata could still be preprocessed. *)
+
+(** [scan_function_pointers image] returns the flash offsets (within the
+    non-executable low-flash rodata region, [exec_low_end ..
+    text_start)) holding 16-bit words that decode as the word address of
+    some function start.  A superset-of-truth heuristic: every real
+    pointer is found; coincidental data may be too. *)
+val scan_function_pointers : Mavr_obj.Image.t -> int list
+
+(** [verify image] checks the assembler-recorded [funptr_locs] against the
+    scan: [Ok ()] when every recorded pointer is discovered by the scan.
+    The inverse direction (scan ⊆ recorded) does not hold in general —
+    that asymmetry is exactly why the paper prefers symbol information
+    from the ELF file over scanning when it is available. *)
+val verify : Mavr_obj.Image.t -> (unit, string) result
+
+(** [false_positive_count image] — scanned-but-not-recorded locations: the
+    cost of the scan-only approach (each one would be needlessly patched,
+    corrupting constants that merely look like code pointers). *)
+val false_positive_count : Mavr_obj.Image.t -> int

@@ -1,0 +1,36 @@
+module Image = Mavr_obj.Image
+module Rng = Mavr_prng.Splitmix
+
+let randomize_rng ~rng img = Patch.apply img (Shuffle.draw ~rng img)
+
+let randomize ~seed img = randomize_rng ~rng:(Rng.create ~seed) img
+
+let with_order img order = Patch.apply img (Shuffle.of_order img order)
+
+let verify_structure ~original ~randomized =
+  let open Image in
+  if size original <> size randomized then Error "image size changed"
+  else if
+    original.text_start <> randomized.text_start || original.text_end <> randomized.text_end
+  then Error "text bounds changed"
+  else
+    let key (s : symbol) = (s.name, s.size) in
+    let sorted img = List.sort compare (List.map key img.symbols) in
+    if sorted original <> sorted randomized then Error "symbol multiset changed"
+    else
+      match validate randomized with
+      | Error m -> Error ("randomized image invalid: " ^ m)
+      | Ok () -> Ok ()
+
+let layout_distance a b =
+  let addr_of img =
+    List.fold_left
+      (fun acc (s : Image.symbol) -> (s.name, s.addr) :: acc)
+      [] img.Image.symbols
+  in
+  let bmap = addr_of b in
+  List.fold_left
+    (fun n (name, addr) -> match List.assoc_opt name bmap with
+      | Some addr' when addr' = addr -> n
+      | _ -> n + 1)
+    0 (addr_of a)

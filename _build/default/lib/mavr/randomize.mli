@@ -1,0 +1,28 @@
+(** The complete MAVR randomization pipeline (§V-B).
+
+    [randomize] = draw a permutation ({!Shuffle}) + rewrite control flow
+    ({!Patch}).  The result is a firmware image with identical behaviour
+    and a different code layout; an attacker holding the original binary
+    no longer knows any gadget address. *)
+
+(** [randomize ~seed image] produces the randomized image.
+    @raise Patch.Unpatchable when the image was not built with the MAVR
+    toolchain flags (cross-block relative transfers present). *)
+val randomize : seed:int -> Mavr_obj.Image.t -> Mavr_obj.Image.t
+
+(** [randomize_rng ~rng image] draws the permutation from an existing
+    generator (the master processor's state across re-randomizations). *)
+val randomize_rng : rng:Mavr_prng.Splitmix.t -> Mavr_obj.Image.t -> Mavr_obj.Image.t
+
+(** [with_order image order] applies a specific permutation — used by the
+    brute-force experiments where the attacker enumerates layouts. *)
+val with_order : Mavr_obj.Image.t -> int array -> Mavr_obj.Image.t
+
+(** Structural sanity of a randomization: same size, same text bounds,
+    same multiset of (name, size) symbols, permuted addresses. *)
+val verify_structure :
+  original:Mavr_obj.Image.t -> randomized:Mavr_obj.Image.t -> (unit, string) result
+
+(** [layout_distance a b] is the number of functions whose address differs
+    between the two images (0 = same layout) — a quick diversity metric. *)
+val layout_distance : Mavr_obj.Image.t -> Mavr_obj.Image.t -> int

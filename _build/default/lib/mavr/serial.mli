@@ -1,0 +1,39 @@
+(** Serial-link and flash-programming timing model (§VII-B1).
+
+    The MAVR prototype streams the randomized binary to the application
+    processor's bootloader over a 115200-baud UART — at 10 bits per byte
+    on the wire that is 11.52 bytes/ms, which makes programming
+    transfer-bound and reproduces Table II directly from the code sizes.
+    A production PCB at mega-baud rates shifts the bottleneck to the
+    internal flash page writes (~4 s for a full 256 KB part — the paper's
+    "conservative estimate"). *)
+
+type t = {
+  baud : int;  (** UART rate; 115200 in the prototype *)
+  bits_per_byte : int;  (** 10 with 8N1 framing *)
+  page_write_ms : float;  (** erase+program time per flash page *)
+  page_bytes : int;
+  patch_overhead_ms_per_kb : float;
+      (** master-side randomization compute per KB of image *)
+}
+
+val prototype : t
+(** 115200 baud, 4 ms per 256-byte page. *)
+
+val production : t
+(** 4 Mbaud (impedance-controlled PCB), same flash timing. *)
+
+(** [transfer_ms t bytes] — wire time for [bytes]. *)
+val transfer_ms : t -> int -> float
+
+(** [flash_ms t bytes] — page-programming time. *)
+val flash_ms : t -> int -> float
+
+(** [programming_ms t bytes] — total startup overhead for reprogramming a
+    [bytes]-byte application: randomization compute plus the larger of
+    the (pipelined) transfer and flash-write phases. *)
+val programming_ms : t -> int -> float
+
+(** Effective throughput in bytes per millisecond (the paper's "11 bytes
+    per millisecond" figure). *)
+val bytes_per_ms : t -> float

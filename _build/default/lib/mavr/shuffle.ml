@@ -1,0 +1,56 @@
+module Image = Mavr_obj.Image
+module Rng = Mavr_prng.Splitmix
+
+type t = { order : int array; new_addr : int array }
+
+let layout (img : Image.t) order =
+  let syms = Array.of_list img.symbols in
+  let n = Array.length syms in
+  let new_addr = Array.make n 0 in
+  let cursor = ref img.text_start in
+  Array.iter
+    (fun idx ->
+      new_addr.(idx) <- !cursor;
+      cursor := !cursor + syms.(idx).Image.size)
+    order;
+  assert (!cursor = img.text_end);
+  { order; new_addr }
+
+let of_order img order =
+  let n = List.length img.Image.symbols in
+  if Array.length order <> n then invalid_arg "Shuffle.of_order: wrong length";
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then invalid_arg "Shuffle.of_order: not a permutation";
+      seen.(i) <- true)
+    order;
+  layout img order
+
+let identity img = layout img (Array.init (List.length img.Image.symbols) (fun i -> i))
+
+let draw ~rng img =
+  let order = Array.init (List.length img.Image.symbols) (fun i -> i) in
+  Rng.shuffle rng order;
+  layout img order
+
+let is_identity t =
+  let id = ref true in
+  Array.iteri (fun k i -> if k <> i then id := false) t.order;
+  !id
+
+let map_addr (img : Image.t) t addr =
+  if addr < img.text_start || addr >= img.text_end then addr
+  else
+    match Image.function_containing img addr with
+    | None -> addr
+    | Some sym ->
+        (* The symbol's index in the ascending list. *)
+        let idx =
+          let rec find i = function
+            | [] -> raise Not_found
+            | (s : Image.symbol) :: rest -> if s.addr = sym.addr then i else find (i + 1) rest
+          in
+          find 0 img.symbols
+        in
+        t.new_addr.(idx) + (addr - sym.addr)

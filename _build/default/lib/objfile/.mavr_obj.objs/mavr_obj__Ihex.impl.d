@@ -1,0 +1,1 @@
+lib/objfile/ihex.ml: Buffer Bytes Char List Printf String

@@ -1,0 +1,1 @@
+lib/objfile/image.ml: Array Char Format List Mavr_asm Printf String

@@ -1,0 +1,1 @@
+lib/objfile/image.mli: Format Mavr_asm

@@ -1,0 +1,1 @@
+lib/objfile/symtab.ml: Buffer Char Ihex Image List Printf String

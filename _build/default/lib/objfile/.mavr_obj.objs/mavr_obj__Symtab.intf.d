@@ -1,0 +1,1 @@
+lib/objfile/symtab.mli: Image

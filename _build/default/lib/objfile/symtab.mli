@@ -1,0 +1,42 @@
+(** The MAVR preprocessed-HEX format (§VI-B2).
+
+    The standard flash utility strips ELF symbol information before
+    uploading, so MAVR's preprocessing phase re-encodes the minimum the
+    on-board randomizer needs — the ascending list of function start
+    addresses and the flash locations of function pointers — and prepends
+    it to the application's HEX file.  We place the blob in a segment at
+    {!meta_base}, far above any real AVR flash address, so standard tools
+    still understand the file. *)
+
+(** Address of the metadata segment inside the combined HEX file. *)
+val meta_base : int
+
+type meta = {
+  exec_low_end : int;
+  text_start : int;
+  text_end : int;
+  func_addrs : int list;  (** ascending function start addresses *)
+  funptr_locs : int list;  (** flash offsets of stored function pointers *)
+}
+
+val meta_of_image : Image.t -> meta
+
+(** [to_blob meta] serializes (little-endian, magic ["MAVR1"]). *)
+val to_blob : meta -> string
+
+(** [of_blob s]
+    @raise Invalid_argument on bad magic or truncated input. *)
+val of_blob : string -> meta
+
+(** [to_hex image] is the preprocessed HEX file: symbol blob at
+    {!meta_base} followed by the program at 0. *)
+val to_hex : Image.t -> string
+
+(** [of_hex text] parses a preprocessed HEX back into the program image
+    and its metadata.  Function symbols are reconstructed from the address
+    list (names are synthesized; sizes from consecutive starts).
+    @raise Invalid_argument when the metadata segment is missing. *)
+val of_hex : string -> Image.t
+
+(** [equal_meta a b] *)
+val equal_meta : meta -> meta -> bool

@@ -1,0 +1,39 @@
+(* SplitMix64 (Steele, Lea, Flood 2014), computed in OCaml's 63-bit ints.
+   The top bit of the 64-bit stream is lost, which is fine for our use. *)
+
+type t = { mutable state : int }
+
+let create ~seed = { state = seed land max_int }
+
+let mask = max_int (* 63 bits *)
+
+let next t =
+  t.state <- (t.state + 0x1ed0e5a2613b9b9b (* 0x9E3779B97F4A7C15 land max_int *)) land mask;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 land mask in
+  let z = (z lxor (z lsr 27)) * 0x14cab25e62ef6eb5 land mask in
+  (z lxor (z lsr 31)) land mask
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  next t mod bound
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Splitmix.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = next t land 1 = 1
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Splitmix.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split t = create ~seed:(next t lxor 0x5851f42d4c957f2d)

@@ -1,0 +1,31 @@
+(** SplitMix64 pseudo-random number generator.
+
+    Every random choice in this repository — firmware code generation,
+    MAVR's randomization permutations, attack fuzzing — flows from an
+    explicit seed through this generator, so all experiments are
+    reproducible bit-for-bit. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Next raw 64-bit (truncated to OCaml's 63-bit int, non-negative). *)
+val next : t -> int
+
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** [pick t arr] uniform element of a non-empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** [shuffle t arr] in-place Fisher–Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** [split t] derives an independent generator. *)
+val split : t -> t

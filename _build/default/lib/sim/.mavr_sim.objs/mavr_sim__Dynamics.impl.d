@@ -1,0 +1,1 @@
+lib/sim/dynamics.ml: Float Format

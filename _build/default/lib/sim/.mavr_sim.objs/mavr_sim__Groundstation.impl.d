@@ -1,0 +1,1 @@
+lib/sim/groundstation.ml: Format List Mavr_mavlink

@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Dynamics Float Format Groundstation List Mavr_avr Mavr_core Mavr_obj Sensors

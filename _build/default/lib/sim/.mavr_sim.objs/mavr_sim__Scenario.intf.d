@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Dynamics Format Groundstation Mavr_avr Mavr_core Mavr_obj Sensors

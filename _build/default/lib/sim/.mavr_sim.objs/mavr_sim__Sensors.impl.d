@@ -1,0 +1,1 @@
+lib/sim/sensors.ml: Dynamics Float Mavr_avr Mavr_prng

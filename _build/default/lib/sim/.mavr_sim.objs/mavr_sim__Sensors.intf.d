@@ -1,0 +1,1 @@
+lib/sim/sensors.mli: Dynamics Mavr_avr

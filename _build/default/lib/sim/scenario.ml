@@ -1,0 +1,98 @@
+module Cpu = Mavr_avr.Cpu
+module Io = Mavr_avr.Device.Io
+module Image = Mavr_obj.Image
+module Master = Mavr_core.Master
+
+type defense = No_defense | Mavr of Master.config
+
+type t = {
+  app : Cpu.t;
+  master : Master.t option;
+  gcs : Groundstation.t;
+  sensors : Sensors.t;
+  cycles_per_ms : int;
+  mutable dyn : Dynamics.state;
+  mutable now_ms : float;
+  mutable uplink : string list;
+}
+
+let create ?(cycles_per_ms = 2000) ~image defense =
+  let app = Cpu.create () in
+  let master =
+    match defense with
+    | No_defense ->
+        Cpu.load_program app image.Image.code;
+        None
+    | Mavr config ->
+        let m = Master.create ~config () in
+        Master.provision m image;
+        Master.boot m ~app;
+        Some m
+  in
+  {
+    app;
+    master;
+    gcs = Groundstation.create ();
+    sensors = Sensors.create ~seed:0xBADC0FFEE ();
+    cycles_per_ms;
+    dyn = Dynamics.initial;
+    now_ms = 0.0;
+    uplink = [];
+  }
+
+let app t = t.app
+let gcs t = t.gcs
+let master t = t.master
+let sensors t = t.sensors
+let now_ms t = t.now_ms
+let dynamics t = t.dyn
+
+let tick t =
+  (* 1 ms of simulated time. *)
+  t.dyn <- Dynamics.step t.dyn ~dt:0.001;
+  Sensors.write_to_cpu (Sensors.sample t.sensors t.dyn) t.app;
+  (match t.uplink with
+  | [] -> ()
+  | frame :: rest ->
+      Cpu.uart_send t.app frame;
+      t.uplink <- rest);
+  ignore (Cpu.run t.app ~max_cycles:t.cycles_per_ms);
+  (match t.master with Some m -> ignore (Master.check_and_recover m ~app:t.app) | None -> ());
+  t.now_ms <- t.now_ms +. 1.0;
+  Groundstation.feed t.gcs ~now_ms:t.now_ms (Cpu.uart_take_tx t.app);
+  ignore (Groundstation.check t.gcs ~now_ms:t.now_ms)
+
+let run t ~ms =
+  let n = int_of_float (Float.ceil ms) in
+  for _ = 1 to n do
+    tick t
+  done
+
+let inject t frames = t.uplink <- t.uplink @ frames
+
+type report = {
+  duration_ms : float;
+  gcs_frames : int;
+  gcs_alarms : Groundstation.alarm list;
+  master_detections : int;
+  app_halted : bool;
+  reflashes : int;
+}
+
+let report t =
+  {
+    duration_ms = t.now_ms;
+    gcs_frames = Groundstation.frames_received t.gcs;
+    gcs_alarms = Groundstation.alarms t.gcs;
+    master_detections =
+      (match t.master with Some m -> Master.attacks_detected m | None -> 0);
+    app_halted = Cpu.halted t.app <> None;
+    reflashes = (match t.master with Some m -> Master.reflashes m | None -> 0);
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>%.0f ms simulated; %d frames at GCS; %d GCS alarms; %d master detections; %d reflashes; app %s@]"
+    r.duration_ms r.gcs_frames (List.length r.gcs_alarms) r.master_detections r.reflashes
+    (if r.app_halted then "HALTED" else "running");
+  List.iter (fun a -> Format.fprintf fmt "@,  alarm: %a" Groundstation.pp_alarm a) r.gcs_alarms

@@ -1,0 +1,54 @@
+(** Closed-loop scenarios: AVR firmware in the loop with UAV dynamics, a
+    ground station, and optionally the MAVR master processor.
+
+    Wall-clock is modeled in milliseconds; each tick advances the
+    physics, refreshes the memory-mapped sensor registers, executes the
+    application processor for the corresponding cycle budget, ships its
+    UART output to the ground station and (with the defense enabled) lets
+    the master processor run its watchdog check.  This is the rig behind
+    the paper's effectiveness experiments (§VII-A) and the in-flight
+    recovery argument (§VIII-A). *)
+
+type defense =
+  | No_defense  (** bare APM: a failed attack bricks the autopilot *)
+  | Mavr of Mavr_core.Master.config
+
+type t
+
+(** [create ?cycles_per_ms ~image defense] boots the system.
+    [cycles_per_ms] scales the emulated clock (default 2000 — a slowed
+    16 MHz part, keeping long scenarios fast while preserving ordering). *)
+val create : ?cycles_per_ms:int -> image:Mavr_obj.Image.t -> defense -> t
+
+val app : t -> Mavr_avr.Cpu.t
+val gcs : t -> Groundstation.t
+
+(** The master processor (when the defense is enabled). *)
+val master : t -> Mavr_core.Master.t option
+
+val now_ms : t -> float
+val dynamics : t -> Dynamics.state
+
+(** The noisy sensor suite feeding the memory-mapped sensor registers. *)
+val sensors : t -> Sensors.t
+
+(** [run t ~ms] advances the closed loop by [ms] milliseconds. *)
+val run : t -> ms:float -> unit
+
+(** [inject t frames] queues attacker frames on the uplink (delivered at
+    the start of the next tick). *)
+val inject : t -> string list -> unit
+
+(** Summary counters for reports. *)
+type report = {
+  duration_ms : float;
+  gcs_frames : int;
+  gcs_alarms : Groundstation.alarm list;
+  master_detections : int;
+  app_halted : bool;
+  reflashes : int;
+}
+
+val report : t -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,26 @@
+(** The APM 2.5 sensor suite (§II-A): 3-axis gyroscope, accelerometer and
+    barometer models.
+
+    Each sensor samples the physical truth from {!Dynamics} and applies a
+    seeded noise process (white noise plus a slowly-drifting bias, the
+    standard MEMS error model).  All randomness flows from the seed, so
+    closed-loop scenarios stay reproducible. *)
+
+type reading = {
+  gyro_x_raw : int;  (** roll rate, 1000 LSB per rad/s, two's complement 16-bit *)
+  accel_x_raw : int;  (** forward acceleration, 1000 LSB per g *)
+  baro_alt_cm : int;  (** barometric altitude in centimetres *)
+}
+
+type t
+
+(** [create ~seed ()] — optional noise magnitudes in raw LSB
+    ([gyro_noise], [accel_noise]) and centimetres ([baro_noise]). *)
+val create : ?gyro_noise:float -> ?accel_noise:float -> ?baro_noise:float -> seed:int -> unit -> t
+
+(** [sample t state] draws one noisy reading of [state]. *)
+val sample : t -> Dynamics.state -> reading
+
+(** [write_to_cpu reading cpu] latches the reading into the memory-mapped
+    sensor registers the firmware reads. *)
+val write_to_cpu : reading -> Mavr_avr.Cpu.t -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Format Lazy Mavr_avr Mavr_core Mavr_firmware Mavr_mavlink Mavr_obj QCheck_alcotest

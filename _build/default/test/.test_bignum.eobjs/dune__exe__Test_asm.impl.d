@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Char List Mavr_asm Mavr_avr String

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Float Helpers List Mavr_bignum QCheck

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Char Helpers List Mavr_avr Printf String

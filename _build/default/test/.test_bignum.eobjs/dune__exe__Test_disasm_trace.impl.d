@@ -1,0 +1,1 @@
+test/test_disasm_trace.ml: Alcotest Format List Mavr_avr Mavr_core String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Char Float Format Helpers List Mavr_avr Mavr_core Mavr_firmware Mavr_mavlink Mavr_obj Printf QCheck String

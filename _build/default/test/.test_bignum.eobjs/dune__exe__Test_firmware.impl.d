@@ -1,0 +1,1 @@
+test/test_firmware.ml: Alcotest Bytes Char Helpers List Mavr_asm Mavr_avr Mavr_firmware Mavr_mavlink Mavr_obj String

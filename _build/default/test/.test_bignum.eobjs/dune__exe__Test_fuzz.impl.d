@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Char Format Helpers List Mavr_avr Mavr_firmware Mavr_mavlink Mavr_prng QCheck String

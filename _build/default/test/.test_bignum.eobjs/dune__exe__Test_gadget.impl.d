@@ -1,0 +1,1 @@
+test/test_gadget.ml: Alcotest Helpers List Mavr_avr Mavr_core Mavr_firmware Mavr_obj Option

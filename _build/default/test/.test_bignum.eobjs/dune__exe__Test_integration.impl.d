@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Char Helpers List Mavr_avr Mavr_core Mavr_firmware Mavr_obj Mavr_sim String

@@ -1,0 +1,1 @@
+test/test_interrupts.ml: Alcotest Helpers List Mavr_avr Mavr_core Mavr_firmware Mavr_obj String

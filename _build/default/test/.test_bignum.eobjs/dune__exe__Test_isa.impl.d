@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Char Helpers List Mavr_avr QCheck String

@@ -1,0 +1,1 @@
+test/test_master.ml: Alcotest Char Float Helpers List Mavr_avr Mavr_core Mavr_firmware Mavr_obj String

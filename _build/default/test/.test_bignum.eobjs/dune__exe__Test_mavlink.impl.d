@@ -1,0 +1,1 @@
+test/test_mavlink.ml: Alcotest Array Bytes Char Float Format Helpers List Mavr_mavlink Printf QCheck String

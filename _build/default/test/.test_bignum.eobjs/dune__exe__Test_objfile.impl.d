@@ -1,0 +1,1 @@
+test/test_objfile.ml: Alcotest Bytes Char Helpers List Mavr_core Mavr_obj QCheck String

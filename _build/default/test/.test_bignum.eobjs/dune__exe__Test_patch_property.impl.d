@@ -1,0 +1,1 @@
+test/test_patch_property.ml: Alcotest Helpers List Mavr_asm Mavr_avr Mavr_core Mavr_obj Mavr_prng Printf QCheck

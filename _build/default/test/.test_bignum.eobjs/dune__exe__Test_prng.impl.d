@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Gen Hashtbl Helpers Mavr_prng QCheck

@@ -1,0 +1,1 @@
+test/test_randomize.ml: Alcotest Array Char Helpers List Mavr_avr Mavr_core Mavr_firmware Mavr_mavlink Mavr_obj Mavr_prng Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_rop.ml: Alcotest Array Char Helpers List Mavr_avr Mavr_core Mavr_firmware Mavr_obj Printf String

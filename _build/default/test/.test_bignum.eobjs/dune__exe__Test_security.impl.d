@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Float Helpers List Mavr_bignum Mavr_core QCheck

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Helpers List Mavr_avr Mavr_core Mavr_firmware Mavr_mavlink Mavr_sim

@@ -1,0 +1,286 @@
+module Asm = Mavr_asm.Assembler
+module Isa = Mavr_avr.Isa
+module Decode = Mavr_avr.Decode
+module Cpu = Mavr_avr.Cpu
+
+let i x = Asm.Insn x
+
+let simple_program ?(relax = false) () =
+  let prog =
+    {
+      Asm.vectors = [ Asm.Jmp_sym "start" ];
+      funcs =
+        [
+          { Asm.name = "start"; items = [ Asm.Call_sym "work"; i Isa.Break ] };
+          { Asm.name = "work"; items = [ i (Isa.Ldi (16, 0x42)); i Isa.Ret ] };
+        ];
+      data = [];
+      defines = [];
+    }
+  in
+  Asm.assemble ~relax prog
+
+let test_layout_and_symbols () =
+  let out = simple_program () in
+  let start = Asm.find_symbol out "start" in
+  let work = Asm.find_symbol out "work" in
+  Alcotest.(check int) "vectors take 4 bytes" 4 out.text_start;
+  Alcotest.(check int) "start at text_start" out.text_start start.addr;
+  Alcotest.(check int) "start size (call+break)" 6 start.size;
+  Alcotest.(check int) "work follows" (start.addr + start.size) work.addr;
+  Alcotest.(check int) "text_end" (work.addr + work.size) out.text_end
+
+let test_program_runs () =
+  let out = simple_program () in
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu out.code;
+  ignore (Cpu.run cpu ~max_cycles:1000);
+  Alcotest.(check int) "executed through call" 0x42 (Cpu.reg cpu 16)
+
+let test_relaxation_shrinks () =
+  let long = simple_program ~relax:false () in
+  let short = simple_program ~relax:true () in
+  Alcotest.(check bool) "relaxed build smaller" true
+    (String.length short.code < String.length long.code);
+  (* The relaxed call must decode as rcall. *)
+  let start = Asm.find_symbol short "start" in
+  let insn, _ = Decode.decode_bytes short.code start.addr in
+  (match insn with
+  | Isa.Rcall _ -> ()
+  | other -> Alcotest.failf "expected rcall, got %s" (Isa.to_string other));
+  (* And still run correctly. *)
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu short.code;
+  ignore (Cpu.run cpu ~max_cycles:1000);
+  Alcotest.(check int) "relaxed program works" 0x42 (Cpu.reg cpu 16)
+
+let test_no_relax_keeps_long_form () =
+  let out = simple_program ~relax:false () in
+  let start = Asm.find_symbol out "start" in
+  let insn, _ = Decode.decode_bytes out.code start.addr in
+  match insn with
+  | Isa.Call _ -> ()
+  | other -> Alcotest.failf "expected call, got %s" (Isa.to_string other)
+
+let test_relax_out_of_range_stays_long () =
+  (* A call across a >4KB gap cannot relax. *)
+  let prog =
+    {
+      Asm.vectors = [];
+      funcs =
+        [
+          { Asm.name = "a"; items = [ Asm.Call_sym "b"; i Isa.Ret ] };
+          { Asm.name = "gap"; items = [ Asm.Raw_bytes (String.make 5000 '\x00') ] };
+          { Asm.name = "b"; items = [ i Isa.Ret ] };
+        ];
+      data = [];
+      defines = [];
+    }
+  in
+  let out = Asm.assemble ~relax:true prog in
+  let insn, _ = Decode.decode_bytes out.code 0 in
+  match insn with
+  | Isa.Call _ -> ()
+  | other -> Alcotest.failf "expected long call, got %s" (Isa.to_string other)
+
+let test_relaxation_cascade () =
+  (* f calls g across a gap that only fits rcall range after g's own call
+     to h has shrunk — the relaxation fixpoint must iterate. *)
+  let gap n = Asm.Raw_bytes (String.make n '\x00') in
+  let prog =
+    {
+      Asm.vectors = [];
+      funcs =
+        [
+          { Asm.name = "f"; items = [ Asm.Call_sym "g"; i Isa.Ret ] };
+          (* 4094 bytes of padding: f->g distance is 4100 with g's call
+             long (out of rcall range 4096) but 4098 once shrunk. *)
+          { Asm.name = "pad1"; items = [ gap 4088 ] };
+          { Asm.name = "g"; items = [ Asm.Call_sym "h"; i Isa.Ret ] };
+          { Asm.name = "h"; items = [ i Isa.Ret ] };
+        ];
+      data = [];
+      defines = [];
+    }
+  in
+  let out = Asm.assemble ~relax:true prog in
+  (* Both calls must end up short. *)
+  let decode_at name =
+    let sym = Asm.find_symbol out name in
+    fst (Mavr_avr.Decode.decode_bytes out.code sym.addr)
+  in
+  (match decode_at "g" with
+  | Isa.Rcall _ -> ()
+  | other -> Alcotest.failf "g's call not relaxed: %s" (Isa.to_string other));
+  match decode_at "f" with
+  | Isa.Rcall _ -> ()
+  | other -> Alcotest.failf "f's call not relaxed after cascade: %s" (Isa.to_string other)
+
+let test_branch_and_local_labels () =
+  let prog =
+    {
+      Asm.vectors = [];
+      funcs =
+        [
+          {
+            Asm.name = "f";
+            items =
+              [
+                i (Isa.Ldi (16, 3));
+                Asm.Label "loop";
+                i (Isa.Dec 16);
+                Asm.Br (`Cbit Isa.Flag.z, "loop");
+                i (Isa.Ldi (17, 0x55));
+                i Isa.Break;
+              ];
+          };
+        ];
+      data = [];
+      defines = [];
+    }
+  in
+  let out = Asm.assemble ~relax:false prog in
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu out.code;
+  ignore (Cpu.run cpu ~max_cycles:1000);
+  Alcotest.(check int) "loop ran to zero" 0 (Cpu.reg cpu 16);
+  Alcotest.(check int) "fell through" 0x55 (Cpu.reg cpu 17)
+
+let test_branch_out_of_range_rejected () =
+  let far_items =
+    [ Asm.Br (`Cbit Isa.Flag.z, "far") ]
+    @ List.init 100 (fun _ -> i Isa.Nop)
+    @ [ Asm.Label "far"; i Isa.Ret ]
+  in
+  let prog =
+    { Asm.vectors = []; funcs = [ { Asm.name = "f"; items = far_items } ]; data = []; defines = [] }
+  in
+  match Asm.assemble ~relax:false prog with
+  | _ -> Alcotest.fail "expected out-of-range branch error"
+  | exception Asm.Error _ -> ()
+
+let test_duplicate_label_rejected () =
+  let prog =
+    {
+      Asm.vectors = [];
+      funcs =
+        [
+          { Asm.name = "f"; items = [ Asm.Label "x"; i Isa.Ret ] };
+          { Asm.name = "g"; items = [ Asm.Label "x"; i Isa.Ret ] };
+        ];
+      data = [];
+      defines = [];
+    }
+  in
+  match Asm.assemble ~relax:false prog with
+  | _ -> Alcotest.fail "expected duplicate label error"
+  | exception Asm.Error _ -> ()
+
+let test_undefined_label_rejected () =
+  let prog =
+    {
+      Asm.vectors = [];
+      funcs = [ { Asm.name = "f"; items = [ Asm.Call_sym "nowhere" ] } ];
+      data = [];
+      defines = [];
+    }
+  in
+  match Asm.assemble ~relax:false prog with
+  | _ -> Alcotest.fail "expected undefined label error"
+  | exception Asm.Error _ -> ()
+
+let test_ldi_sym_parts () =
+  let prog =
+    {
+      Asm.vectors = [];
+      funcs =
+        [
+          {
+            Asm.name = "f";
+            items =
+              [
+                Asm.Ldi_sym (24, Asm.Lo8, "VALUE");
+                Asm.Ldi_sym (25, Asm.Hi8, "VALUE");
+                Asm.Ldi_sym (26, Asm.Lo8_word, "VALUE");
+                i Isa.Break;
+              ];
+          };
+        ];
+      data = [];
+      defines = [ ("VALUE", 0x1234) ];
+    }
+  in
+  let out = Asm.assemble ~relax:false prog in
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu out.code;
+  ignore (Cpu.run cpu ~max_cycles:100);
+  Alcotest.(check int) "lo8" 0x34 (Cpu.reg cpu 24);
+  Alcotest.(check int) "hi8" 0x12 (Cpu.reg cpu 25);
+  Alcotest.(check int) "lo8 of word addr" 0x1A (Cpu.reg cpu 26)
+
+let test_word_sym_funptr () =
+  let prog =
+    {
+      Asm.vectors = [];
+      funcs = [ { Asm.name = "f"; items = [ i Isa.Ret ] } ];
+      data = [ Asm.Word_sym "f"; Asm.Word_sym "f" ];
+      defines = [];
+    }
+  in
+  let out = Asm.assemble ~relax:false prog in
+  Alcotest.(check int) "two pointer locations" 2 (List.length out.funptr_locs);
+  let f = Asm.find_symbol out "f" in
+  List.iter
+    (fun loc ->
+      let w = Char.code out.code.[loc] lor (Char.code out.code.[loc + 1] lsl 8) in
+      Alcotest.(check int) "pointer holds word address" (f.addr / 2) w)
+    out.funptr_locs
+
+let test_jmp_sym_off () =
+  (* Jump into the middle of a block: skip the first ldi. *)
+  let prog =
+    {
+      Asm.vectors = [];
+      funcs =
+        [
+          { Asm.name = "f"; items = [ Asm.Jmp_sym_off ("g", 1) ] };
+          { Asm.name = "g"; items = [ i (Isa.Ldi (16, 1)); i (Isa.Ldi (17, 2)); i Isa.Break ] };
+        ];
+      data = [];
+      defines = [];
+    }
+  in
+  let out = Asm.assemble ~relax:false prog in
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu out.code;
+  ignore (Cpu.run cpu ~max_cycles:100);
+  Alcotest.(check int) "skipped ldi r16" 0 (Cpu.reg cpu 16);
+  Alcotest.(check int) "executed ldi r17" 2 (Cpu.reg cpu 17)
+
+let test_auto_labels () =
+  let out = simple_program () in
+  Alcotest.(check int) "__text_start" out.text_start (Asm.label_value out "__text_start");
+  Alcotest.(check int) "__text_end" out.text_end (Asm.label_value out "__text_end");
+  Alcotest.(check int) "__data_load_start" out.data_load (Asm.label_value out "__data_load_start")
+
+let () =
+  Alcotest.run "asm"
+    [
+      ( "assembler",
+        [
+          Alcotest.test_case "layout and symbols" `Quick test_layout_and_symbols;
+          Alcotest.test_case "assembled program runs" `Quick test_program_runs;
+          Alcotest.test_case "relaxation shrinks calls" `Quick test_relaxation_shrinks;
+          Alcotest.test_case "--no-relax keeps long form" `Quick test_no_relax_keeps_long_form;
+          Alcotest.test_case "out-of-range stays long" `Quick test_relax_out_of_range_stays_long;
+          Alcotest.test_case "relaxation cascade (fixpoint)" `Quick test_relaxation_cascade;
+          Alcotest.test_case "branches and local labels" `Quick test_branch_and_local_labels;
+          Alcotest.test_case "branch out of range rejected" `Quick test_branch_out_of_range_rejected;
+          Alcotest.test_case "duplicate label rejected" `Quick test_duplicate_label_rejected;
+          Alcotest.test_case "undefined label rejected" `Quick test_undefined_label_rejected;
+          Alcotest.test_case "ldi lo8/hi8" `Quick test_ldi_sym_parts;
+          Alcotest.test_case "function pointers (Word_sym)" `Quick test_word_sym_funptr;
+          Alcotest.test_case "jmp into block middle" `Quick test_jmp_sym_off;
+          Alcotest.test_case "auto labels" `Quick test_auto_labels;
+        ] );
+    ]

@@ -1,0 +1,266 @@
+module Cpu = Mavr_avr.Cpu
+module Isa = Mavr_avr.Isa
+module Opcode = Mavr_avr.Opcode
+module Device = Mavr_avr.Device
+module Memory = Mavr_avr.Memory
+
+(* Assemble a raw instruction list (no labels) and load it. *)
+let load insns =
+  let cpu = Cpu.create () in
+  let code = String.concat "" (List.map Opcode.encode_bytes insns) in
+  Cpu.load_program cpu code;
+  cpu
+
+let run_all cpu = ignore (Cpu.run cpu ~max_cycles:100_000)
+
+let check_reg cpu r expected =
+  Alcotest.(check int) (Printf.sprintf "r%d" r) expected (Cpu.reg cpu r)
+
+let test_ldi_mov_add () =
+  let cpu = load Isa.[ Ldi (16, 0x21); Ldi (17, 0x12); Mov (18, 16); Add (18, 17); Break ] in
+  run_all cpu;
+  check_reg cpu 16 0x21;
+  check_reg cpu 18 0x33
+
+let test_add_carry_flags () =
+  let cpu = load Isa.[ Ldi (16, 0xFF); Ldi (17, 0x02); Add (16, 17); Break ] in
+  run_all cpu;
+  check_reg cpu 16 0x01;
+  Alcotest.(check int) "carry set" 1 (Cpu.sreg cpu land 1);
+  let cpu = load Isa.[ Ldi (16, 0x10); Ldi (17, 0x10); Add (16, 17); Break ] in
+  run_all cpu;
+  Alcotest.(check int) "carry clear" 0 (Cpu.sreg cpu land 1)
+
+let test_sub_zero_flag () =
+  let cpu = load Isa.[ Ldi (16, 0x42); Subi (16, 0x42); Break ] in
+  run_all cpu;
+  check_reg cpu 16 0;
+  Alcotest.(check int) "Z set" 2 (Cpu.sreg cpu land 2)
+
+let test_adc_16bit_chain () =
+  (* 0x00FF + 0x0101 = 0x0200 through add/adc. *)
+  let cpu =
+    load
+      Isa.[ Ldi (24, 0xFF); Ldi (25, 0x00); Ldi (18, 0x01); Ldi (19, 0x01);
+            Add (24, 18); Adc (25, 19); Break ]
+  in
+  run_all cpu;
+  check_reg cpu 24 0x00;
+  check_reg cpu 25 0x02
+
+let test_logic_ops () =
+  let cpu =
+    load Isa.[ Ldi (16, 0xF0); Ldi (17, 0x3C); And (16, 17); Ldi (18, 0x0F); Or (16, 18);
+               Ldi (19, 0xFF); Eor (19, 16); Break ]
+  in
+  run_all cpu;
+  check_reg cpu 16 0x3F;
+  check_reg cpu 19 0xC0
+
+let test_shifts () =
+  let cpu = load Isa.[ Ldi (16, 0x81); Lsr 16; Break ] in
+  run_all cpu;
+  check_reg cpu 16 0x40;
+  Alcotest.(check int) "carry from lsb" 1 (Cpu.sreg cpu land 1);
+  let cpu = load Isa.[ Ldi (16, 0x81); Asr 16; Break ] in
+  run_all cpu;
+  check_reg cpu 16 0xC0
+
+let test_swap_com_neg () =
+  let cpu = load Isa.[ Ldi (16, 0xA5); Swap 16; Ldi (17, 0x0F); Com 17; Ldi (18, 1); Neg 18; Break ] in
+  run_all cpu;
+  check_reg cpu 16 0x5A;
+  check_reg cpu 17 0xF0;
+  check_reg cpu 18 0xFF
+
+let test_mul () =
+  let cpu = load Isa.[ Ldi (16, 200); Ldi (17, 100); Mul (16, 17); Break ] in
+  run_all cpu;
+  Alcotest.(check int) "product" 20000 (Cpu.reg cpu 0 lor (Cpu.reg cpu 1 lsl 8))
+
+let test_stack_push_pop () =
+  let cpu = load Isa.[ Ldi (16, 0xAB); Push 16; Ldi (16, 0); Pop 17; Break ] in
+  let sp0 = Device.data_end Device.atmega2560 - 1 in
+  run_all cpu;
+  check_reg cpu 17 0xAB;
+  Alcotest.(check int) "SP restored" sp0 (Cpu.sp cpu)
+
+let test_sp_memory_mapped () =
+  (* Writing SPL/SPH via out moves the stack pointer — the stk_move
+     primitive the paper's attack pivots with. *)
+  let cpu = load Isa.[ Ldi (28, 0x34); Ldi (29, 0x12); Out (0x3D, 28); Out (0x3E, 29); Break ] in
+  run_all cpu;
+  Alcotest.(check int) "SP = 0x1234" 0x1234 (Cpu.sp cpu)
+
+let test_call_ret_3byte () =
+  (* call pushes a 3-byte return address on the ATmega2560. *)
+  let insns = Isa.[ Call 4; Break; (* pc 0,2(words): call occupies words 0-1; break at word 2 *)
+                    Nop; Ldi (16, 0x77); Ret ] in
+  (* layout (words): 0-1 call 4; 2 break; 3 nop; 4 ldi; 5 ret *)
+  let cpu = load insns in
+  let sp0 = Cpu.sp cpu in
+  Cpu.step cpu (* call *);
+  Alcotest.(check int) "SP dropped by 3" (sp0 - 3) (Cpu.sp cpu);
+  Alcotest.(check int) "PC at target" 4 (Cpu.pc cpu);
+  (* return address bytes: big-endian in memory, pointing at word 2 *)
+  Alcotest.(check int) "ret hi" 0 (Cpu.data_peek cpu (sp0 - 2));
+  Alcotest.(check int) "ret mid" 0 (Cpu.data_peek cpu (sp0 - 1));
+  Alcotest.(check int) "ret lo" 2 (Cpu.data_peek cpu sp0);
+  run_all cpu;
+  check_reg cpu 16 0x77;
+  Alcotest.(check int) "SP restored after ret" sp0 (Cpu.sp cpu)
+
+let test_rcall_icall () =
+  let cpu = load Isa.[ Ldi (30, 5); Ldi (31, 0); Icall; Break; Nop; Ldi (16, 9); Ret ] in
+  run_all cpu;
+  check_reg cpu 16 9
+
+let test_branches () =
+  (* breq skips the ldi when Z is set. *)
+  let cpu = load Isa.[ Ldi (16, 1); Cpi (16, 1); Brbs (1, 1); Ldi (17, 0xEE); Break ] in
+  run_all cpu;
+  check_reg cpu 17 0;
+  let cpu = load Isa.[ Ldi (16, 1); Cpi (16, 2); Brbs (1, 1); Ldi (17, 0xEE); Break ] in
+  run_all cpu;
+  check_reg cpu 17 0xEE
+
+let test_cpse_skips_two_word () =
+  (* cpse must skip a full 2-word instruction. *)
+  let cpu = load Isa.[ Ldi (16, 5); Ldi (17, 5); Cpse (16, 17); Sts (0x500, 16); Ldi (18, 1); Break ] in
+  run_all cpu;
+  Alcotest.(check int) "sts skipped" 0 (Cpu.data_peek cpu 0x500);
+  check_reg cpu 18 1
+
+let test_data_space_ld_st () =
+  let cpu =
+    load
+      Isa.[ Ldi (16, 0x5A); Sts (0x700, 16); Lds (17, 0x700);
+            Ldi (26, 0x00); Ldi (27, 0x07); Ld (18, X); Break ]
+  in
+  run_all cpu;
+  check_reg cpu 17 0x5A;
+  check_reg cpu 18 0x5A
+
+let test_displacement_and_pointers () =
+  let cpu =
+    load
+      Isa.[ Ldi (28, 0x00); Ldi (29, 0x07); Ldi (16, 0x42); Std (Y, 3, 16);
+            Ldd (17, Y, 3);
+            Ldi (30, 0x00); Ldi (31, 0x07); Ldi (18, 0x24); St (Z_inc, 18); St (Z_inc, 18);
+            Lds (19, 0x701); Break ]
+  in
+  run_all cpu;
+  check_reg cpu 17 0x42;
+  Alcotest.(check int) "st Z+ advanced" 0x24 (Cpu.reg cpu 19);
+  Alcotest.(check int) "Z advanced twice" 0x702 (Cpu.reg cpu 30 lor (Cpu.reg cpu 31 lsl 8))
+
+let test_registers_memory_mapped () =
+  (* Storing to data address 5 IS register r5 — the property write_mem
+     exploits. *)
+  let cpu = load Isa.[ Ldi (16, 0x99); Sts (5, 16); Break ] in
+  run_all cpu;
+  check_reg cpu 5 0x99
+
+let test_lpm_reads_flash () =
+  let cpu = load Isa.[ Ldi (30, 0x00); Ldi (31, 0x00); Lpm (16, false); Break ] in
+  run_all cpu;
+  (* flash[0] = low byte of the first ldi encoding *)
+  let expected = Char.code (Opcode.encode_bytes (Isa.Ldi (30, 0x00))).[0] in
+  check_reg cpu 16 expected
+
+let test_harvard_faults () =
+  (* Erased flash beyond the program = illegal instruction halt. *)
+  let cpu = load Isa.[ Nop; Nop ] in
+  (match Cpu.run cpu ~max_cycles:100 with
+  | `Halted (Cpu.Wild_pc _) -> ()
+  | r -> Alcotest.failf "expected wild PC, got %s" (Helpers.run_result_to_string r));
+  (* A ret into garbage halts too. *)
+  let cpu = load (Isa.[ Ldi (16, 0xFF); Push 16; Push 16; Push 16; Ret ]) in
+  match Cpu.run cpu ~max_cycles:1000 with
+  | `Halted _ -> ()
+  | r -> Alcotest.failf "expected halt, got %s" (Helpers.run_result_to_string r)
+
+let test_uart_roundtrip () =
+  (* Echo firmware: poll UCSRA bit7, read UDR, write it back. *)
+  let insns =
+    Isa.[
+      In (24, Device.Io.ucsra); Andi (24, 0x80);
+      Brbs (1, -3) (* breq back to start *);
+      In (24, Device.Io.udr); Out (Device.Io.udr, 24);
+      Rjmp (-6);
+    ]
+  in
+  let cpu = load insns in
+  Cpu.uart_send cpu "hello";
+  ignore (Cpu.run cpu ~max_cycles:2_000);
+  Alcotest.(check string) "echoed" "hello" (Cpu.uart_take_tx cpu);
+  Alcotest.(check int) "rx drained" 0 (Cpu.uart_rx_pending cpu)
+
+let test_watchdog_feed () =
+  let cpu = load Isa.[ Ldi (16, 1); Out (Device.Io.wdt_feed, 16); Out (Device.Io.wdt_feed, 16); Break ] in
+  run_all cpu;
+  Alcotest.(check int) "two feeds" 2 (Cpu.watchdog_feeds cpu);
+  Alcotest.(check bool) "feed timestamp" true (Cpu.last_feed_cycles cpu > 0)
+
+let test_cycle_counts () =
+  let cycles insns =
+    let cpu = load insns in
+    (* run to break, subtract break's own cycle *)
+    run_all cpu;
+    Cpu.cycles cpu - 1
+  in
+  Alcotest.(check int) "nop is 1" 1 (cycles Isa.[ Nop; Break ]);
+  Alcotest.(check int) "push is 2" 2 (cycles Isa.[ Push 0; Break ]);
+  Alcotest.(check int) "jmp is 3" 3 (cycles Isa.[ Jmp 2; Break ]);
+  Alcotest.(check int) "call+ret = 10 (3-byte PC)" 10 (cycles Isa.[ Call 3; Break; Ret ]);
+  Alcotest.(check int) "taken branch is 2" 3
+    (cycles Isa.[ Cp (0, 0); Brbs (1, 0); Break ])
+
+let test_reset_preserves_memory () =
+  let cpu = load Isa.[ Ldi (16, 7); Sts (0x600, 16); Break ] in
+  run_all cpu;
+  Cpu.reset cpu;
+  Alcotest.(check int) "PC reset" 0 (Cpu.pc cpu);
+  Alcotest.(check int) "cycles reset" 0 (Cpu.cycles cpu);
+  Alcotest.(check bool) "halt cleared" true (Cpu.halted cpu = None);
+  Alcotest.(check int) "SRAM preserved" 7 (Cpu.data_peek cpu 0x600)
+
+let () =
+  Alcotest.run "cpu"
+    [
+      ( "alu",
+        [
+          Alcotest.test_case "ldi/mov/add" `Quick test_ldi_mov_add;
+          Alcotest.test_case "add carry" `Quick test_add_carry_flags;
+          Alcotest.test_case "sub zero flag" `Quick test_sub_zero_flag;
+          Alcotest.test_case "16-bit adc chain" `Quick test_adc_16bit_chain;
+          Alcotest.test_case "logic" `Quick test_logic_ops;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "swap/com/neg" `Quick test_swap_com_neg;
+          Alcotest.test_case "mul" `Quick test_mul;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "stack push/pop" `Quick test_stack_push_pop;
+          Alcotest.test_case "SP memory-mapped" `Quick test_sp_memory_mapped;
+          Alcotest.test_case "call/ret 3-byte PC" `Quick test_call_ret_3byte;
+          Alcotest.test_case "icall" `Quick test_rcall_icall;
+          Alcotest.test_case "branches" `Quick test_branches;
+          Alcotest.test_case "cpse skips 2-word" `Quick test_cpse_skips_two_word;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "lds/sts/ld" `Quick test_data_space_ld_st;
+          Alcotest.test_case "std/ldd/pointers" `Quick test_displacement_and_pointers;
+          Alcotest.test_case "registers memory-mapped" `Quick test_registers_memory_mapped;
+          Alcotest.test_case "lpm reads flash" `Quick test_lpm_reads_flash;
+          Alcotest.test_case "Harvard faults" `Quick test_harvard_faults;
+        ] );
+      ( "peripherals",
+        [
+          Alcotest.test_case "uart echo" `Quick test_uart_roundtrip;
+          Alcotest.test_case "watchdog feed" `Quick test_watchdog_feed;
+          Alcotest.test_case "cycle accounting" `Quick test_cycle_counts;
+          Alcotest.test_case "reset semantics" `Quick test_reset_preserves_memory;
+        ] );
+    ]

@@ -1,0 +1,136 @@
+module Gadget = Mavr_core.Gadget
+module Isa = Mavr_avr.Isa
+module Image = Mavr_obj.Image
+
+let image () = (Helpers.build_mavr ()).image
+
+let test_scan_finds_gadgets () =
+  let gs = Gadget.scan (image ()) in
+  Alcotest.(check bool) "hundreds of gadgets" true (List.length gs > 100);
+  List.iter
+    (fun (g : Gadget.t) ->
+      (* Every gadget ends in ret and starts in an executable region. *)
+      match List.rev g.insns with
+      | Isa.Ret :: _ -> ()
+      | _ -> Alcotest.failf "gadget at 0x%x does not end in ret" g.byte_addr)
+    gs
+
+let test_gadget_bodies_straightline () =
+  List.iter
+    (fun (g : Gadget.t) ->
+      let body = List.filteri (fun i _ -> i < List.length g.insns - 1) g.insns in
+      if
+        List.exists
+          (function
+            | Isa.Ret | Isa.Jmp _ | Isa.Rjmp _ | Isa.Call _ | Isa.Rcall _ | Isa.Data _ -> true
+            | _ -> false)
+          body
+      then Alcotest.failf "gadget at 0x%x has a control transfer mid-body" g.byte_addr)
+    (Gadget.scan (image ()))
+
+let test_classification () =
+  (* The Fig. 5 gadget body spans 20 instructions (3 stds + 16 pops +
+     ret); classify over a window that can contain it. *)
+  let gs = Gadget.scan ~max_len:22 (image ()) in
+  let by_kind = Gadget.count_by_kind gs in
+  let count k = try List.assoc k by_kind with Not_found -> 0 in
+  Alcotest.(check bool) "found stk_move" true (count Gadget.Stk_move >= 1);
+  Alcotest.(check bool) "found write_mem" true (count Gadget.Write_mem >= 1);
+  Alcotest.(check bool) "found pop chains" true (count Gadget.Pop_chain >= 10)
+
+let test_max_len_monotone () =
+  let img = image () in
+  let short = List.length (Gadget.scan ~max_len:3 img) in
+  let long = List.length (Gadget.scan ~max_len:10 img) in
+  Alcotest.(check bool) "longer window finds at least as many" true (long >= short)
+
+let test_locate_paper_gadgets () =
+  let b = Helpers.build_mavr () in
+  match Gadget.locate_paper_gadgets b.image with
+  | None -> Alcotest.fail "paper gadgets not found"
+  | Some pg ->
+      (* The scan-located addresses must coincide with the runtime's
+         known labels (the attacker finds them without symbols). *)
+      Alcotest.(check int) "stk_move = teardown label"
+        (Mavr_firmware.Build.label b Mavr_firmware.Runtime.label_stk_move)
+        pg.stk_move;
+      Alcotest.(check int) "write_mem = std label"
+        (Mavr_firmware.Build.label b Mavr_firmware.Runtime.label_write_mem)
+        pg.write_mem;
+      Alcotest.(check int) "pop half = pops label"
+        (Mavr_firmware.Build.label b Mavr_firmware.Runtime.label_write_mem_pops)
+        pg.write_mem_pops
+
+let test_fig5_gadget_shape () =
+  (* The located write_mem gadget has the exact Fig. 5 body: three stds
+     through Y then a 16-pop run then ret. *)
+  let img = image () in
+  let pg = Option.get (Gadget.locate_paper_gadgets img) in
+  let insns = ref [] in
+  let pos = ref pg.write_mem in
+  for _ = 1 to 20 do
+    let insn, size = Mavr_avr.Decode.decode_bytes img.Image.code !pos in
+    insns := insn :: !insns;
+    pos := !pos + size
+  done;
+  match List.rev !insns with
+  | Isa.Std (Isa.Y, 1, 5) :: Isa.Std (Isa.Y, 2, 6) :: Isa.Std (Isa.Y, 3, 7) :: rest ->
+      let pops = List.filteri (fun i _ -> i < 16) rest in
+      Alcotest.(check int) "sixteen pops" 16
+        (List.length (List.filter (function Isa.Pop _ -> true | _ -> false) pops));
+      (match List.nth rest 16 with
+      | Isa.Ret -> ()
+      | other -> Alcotest.failf "expected ret, got %s" (Isa.to_string other))
+  | i :: _ -> Alcotest.failf "unexpected first instruction %s" (Isa.to_string i)
+  | [] -> Alcotest.fail "empty"
+
+let test_gadgets_move_under_randomization () =
+  let img = image () in
+  let pg = Option.get (Gadget.locate_paper_gadgets img) in
+  let r = Mavr_core.Randomize.randomize ~seed:123 img in
+  let pg' = Option.get (Gadget.locate_paper_gadgets r) in
+  Alcotest.(check bool) "stk_move moved" true (pg.stk_move <> pg'.stk_move);
+  Alcotest.(check bool) "write_mem moved" true (pg.write_mem <> pg'.write_mem)
+
+let test_gadget_count_stable_under_randomization () =
+  (* Randomization relocates gadgets; it does not (by itself) remove
+     them — the defense works by hiding addresses, not by erasing
+     gadgets (§V-B). *)
+  let img = image () in
+  let r = Mavr_core.Randomize.randomize ~seed:5 img in
+  let n0 = List.length (Gadget.scan img) in
+  let n1 = List.length (Gadget.scan r) in
+  let diff = abs (n0 - n1) in
+  Alcotest.(check bool) "count approximately preserved" true
+    (float_of_int diff /. float_of_int n0 < 0.02)
+
+let test_stock_has_consolidated_pop_run () =
+  (* -mcall-prologues consolidates epilogues: the stock build exposes the
+     shared __epilogue_restores__ pop run as a gadget-rich region. *)
+  let b = Helpers.build_stock () in
+  let gs = Gadget.scan b.image in
+  let pops = List.filter (fun (g : Gadget.t) -> g.kind = Gadget.Pop_chain) gs in
+  Alcotest.(check bool) "stock exposes pop chains" true (List.length pops > 5)
+
+let () =
+  Alcotest.run "gadget"
+    [
+      ( "scan",
+        [
+          Alcotest.test_case "finds gadgets" `Quick test_scan_finds_gadgets;
+          Alcotest.test_case "bodies are straight-line" `Quick test_gadget_bodies_straightline;
+          Alcotest.test_case "classification" `Quick test_classification;
+          Alcotest.test_case "max_len monotone" `Quick test_max_len_monotone;
+        ] );
+      ( "paper-gadgets",
+        [
+          Alcotest.test_case "locate matches labels" `Quick test_locate_paper_gadgets;
+          Alcotest.test_case "Fig.5 shape" `Quick test_fig5_gadget_shape;
+          Alcotest.test_case "gadgets move under randomization" `Quick
+            test_gadgets_move_under_randomization;
+          Alcotest.test_case "count stable under randomization" `Quick
+            test_gadget_count_stable_under_randomization;
+          Alcotest.test_case "stock pop-run consolidation" `Quick
+            test_stock_has_consolidated_pop_run;
+        ] );
+    ]

@@ -1,0 +1,163 @@
+(* End-to-end flows spanning every layer: firmware generation, the HEX
+   provisioning path, the master processor, the attacks, the defense, and
+   the closed-loop simulation — the experiments of §VII in miniature. *)
+
+module Cpu = Mavr_avr.Cpu
+module Image = Mavr_obj.Image
+module Rop = Mavr_core.Rop
+module Master = Mavr_core.Master
+module Randomize = Mavr_core.Randomize
+module Layout = Mavr_firmware.Layout
+module Sc = Mavr_sim.Scenario
+
+let gyro_cfg cpu =
+  Cpu.data_peek cpu Layout.gyro_cfg lor (Cpu.data_peek cpu (Layout.gyro_cfg + 1) lsl 8)
+
+let test_full_provisioning_path () =
+  (* build -> preprocess -> HEX -> external flash -> master boot ->
+     randomized app -> equivalent behaviour. *)
+  let b = Helpers.build_mavr () in
+  let m = Master.create () in
+  Master.provision m b.image;
+  let app = Cpu.create () in
+  Master.boot m ~app;
+  Cpu.io_poke app Mavr_avr.Device.Io.gyro_lo 0x21;
+  Cpu.io_poke app Mavr_avr.Device.Io.gyro_hi 0x43;
+  ignore (Cpu.run app ~max_cycles:300_000);
+  let _, frames, stats = Helpers.telemetry app ~cycles:300_000 in
+  Alcotest.(check int) "clean telemetry through full path" 0 stats.crc_errors;
+  Alcotest.(check bool) "frames" true (List.length frames > 3)
+
+let test_effectiveness_experiment () =
+  (* §VII-A in miniature: the attack succeeds on the unprotected binary
+     and fails on every randomized instance. *)
+  let b, ti, obs = Helpers.attack_target () in
+  let attack = Rop.v2_stealthy ti obs ~writes:[ Rop.write_u16 obs ~addr:Layout.gyro_cfg ~value:0x4141 ~neighbour:0 ] in
+  let run image =
+    let cpu = Helpers.boot image in
+    List.iter (Cpu.uart_send cpu) attack;
+    ignore (Cpu.run cpu ~max_cycles:2_500_000);
+    gyro_cfg cpu = 0x4141
+  in
+  Alcotest.(check bool) "succeeds unprotected" true (run b.image);
+  let successes = ref 0 in
+  for seed = 1 to 12 do
+    if run (Randomize.randomize ~seed b.image) then incr successes
+  done;
+  Alcotest.(check int) "0 of 12 randomized instances fall" 0 !successes
+
+let test_rerandomization_defeats_repeat_attacks () =
+  (* After detection the master re-randomizes, so even an attacker who
+     somehow learned the new layout's failure gets a fresh layout. *)
+  let b, ti, obs = Helpers.attack_target () in
+  ignore b;
+  let m = Master.create () in
+  Master.provision m (Helpers.build_mavr ()).image;
+  let app = Cpu.create () in
+  Master.boot m ~app;
+  let layout_before = (Master.current_image m).Image.code in
+  ignore (Cpu.run app ~max_cycles:60_000);
+  ignore obs;
+  (* A wrong gadget guess: the return address leaves flash on any layout. *)
+  List.iter (Cpu.uart_send app) (Rop.crash_probe ti);
+  ignore (Master.supervise m ~app ~cycles:3_000_000);
+  Alcotest.(check bool) "detected" true (Master.attacks_detected m >= 1);
+  Alcotest.(check bool) "layout changed after detection" true
+    ((Master.current_image m).Image.code <> layout_before);
+  Alcotest.(check bool) "app recovered" true (Cpu.halted app = None && Cpu.watchdog_feeds app > 0)
+
+let test_flash_wear_accounting () =
+  let m = Master.create () in
+  Master.provision m (Helpers.build_mavr ()).image;
+  let app = Cpu.create () in
+  for _ = 1 to 5 do
+    Master.boot m ~app
+  done;
+  Alcotest.(check int) "five programming cycles" 5 (Master.reflashes m);
+  (* 10,000-cycle endurance: the default every-boot policy would allow
+     10,000 boots; the §V-C schedule trades frequency for lifetime. *)
+  let endurance = Mavr_avr.Device.atmega2560.flash_endurance in
+  Alcotest.(check bool) "endurance budget meaningful" true (Master.reflashes m < endurance)
+
+let test_fig6_stack_progression () =
+  (* Reproduce the shape of Fig. 6: snapshots before/during/after the
+     stealthy attack show damage and then byte-exact repair.  The frame's
+     pristine contents are the dry-run observation [obs.saved_bytes]; the
+     repair check samples at the instant of the clean return (afterwards
+     the region is legitimately reused by other call frames). *)
+  let b, ti, obs = Helpers.attack_target () in
+  let cpu = Helpers.boot b.image in
+  let window () = Cpu.stack_slice cpu ~pos:(obs.s0 - 5) ~len:6 in
+  List.iter (Cpu.uart_send cpu)
+    (Rop.v2_stealthy ti obs ~writes:[ Rop.write_u16 obs ~addr:Layout.gyro_cfg ~value:7 ~neighbour:0 ]);
+  (* Run until the trigger's copy has smashed the frame (PC at teardown). *)
+  (match
+     Cpu.run_until cpu ~max_cycles:3_000_000 (fun c ->
+         Cpu.pc_byte_addr c = ti.gadgets.Mavr_core.Gadget.stk_move
+         && Cpu.data_peek c (obs.s0 - 5) <> Char.code obs.saved_bytes.[0])
+   with
+  | `Pred -> ()
+  | _ -> Alcotest.fail "never observed the smashed frame");
+  let dirty = window () in
+  Alcotest.(check bool) "frame was smashed" true (dirty <> obs.saved_bytes);
+  let byte i = Char.code obs.saved_bytes.[i] in
+  let ret_target = ((byte 3 lsl 16) lor (byte 4 lsl 8) lor byte 5) * 2 in
+  (match Cpu.run_until cpu ~max_cycles:3_000_000 (fun c -> Cpu.pc_byte_addr c = ret_target) with
+  | `Pred -> ()
+  | _ -> Alcotest.fail "clean return never happened");
+  Alcotest.(check string) "frame repaired byte-exactly" obs.saved_bytes (window ());
+  ignore (Cpu.run cpu ~max_cycles:500_000);
+  Alcotest.(check int) "payload executed" 7 (gyro_cfg cpu)
+
+let test_defended_flight_under_attack_barrage () =
+  (* Sustained attack volleys against a defended UAV: none succeed, the
+     UAV keeps flying, every crash is recovered. *)
+  let b, ti, obs = Helpers.attack_target () in
+  ignore b;
+  let config = { Master.default_config with watchdog_window_cycles = 20_000 } in
+  let s = Sc.create ~image:(Helpers.build_mavr ()).image (Sc.Mavr config) in
+  Sc.run s ~ms:300.0;
+  ignore obs;
+  for _ = 1 to 3 do
+    Sc.inject s (Rop.crash_probe ti);
+    Sc.run s ~ms:1200.0
+  done;
+  let r = Sc.report s in
+  Alcotest.(check bool) "multiple detections" true (r.master_detections >= 2);
+  Alcotest.(check bool) "flying at the end" true (not r.app_halted);
+  let cfg = gyro_cfg (Sc.app s) in
+  Alcotest.(check bool) "never taken over" false (cfg = 0x4141)
+
+let test_software_only_defense_is_fragile () =
+  (* §VIII-A: a software-only deployment ships one fixed permutation and
+     has no recovery path — a failed attack leaves the autopilot dead,
+     which in flight means losing the vehicle. *)
+  let b, ti, obs = Helpers.attack_target () in
+  let fixed = Randomize.randomize ~seed:77 b.image in
+  let cpu = Helpers.boot fixed in
+  ignore obs;
+  List.iter (Cpu.uart_send cpu) (Rop.crash_probe ti);
+  (match Cpu.run cpu ~max_cycles:3_000_000 with
+  | `Halted _ -> ()
+  | `Budget_exhausted -> Alcotest.fail "expected the fixed-layout victim to crash");
+  (* Nothing resets it: it is still halted arbitrarily later. *)
+  ignore (Cpu.run cpu ~max_cycles:1_000_000);
+  Alcotest.(check bool) "no recovery without the master" true (Cpu.halted cpu <> None)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "full provisioning path" `Quick test_full_provisioning_path;
+          Alcotest.test_case "effectiveness (§VII-A)" `Slow test_effectiveness_experiment;
+          Alcotest.test_case "re-randomization on detection" `Quick
+            test_rerandomization_defeats_repeat_attacks;
+          Alcotest.test_case "flash wear accounting" `Quick test_flash_wear_accounting;
+          Alcotest.test_case "Fig.6 stack progression" `Quick test_fig6_stack_progression;
+          Alcotest.test_case "defended flight under barrage" `Slow
+            test_defended_flight_under_attack_barrage;
+          Alcotest.test_case "software-only defense fragile (§VIII-A)" `Quick
+            test_software_only_defense_is_fragile;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+module Isa = Mavr_avr.Isa
+module Opcode = Mavr_avr.Opcode
+module Decode = Mavr_avr.Decode
+
+let check_words msg expected insn = Alcotest.(check (list int)) msg expected (Opcode.encode insn)
+
+(* Golden encodings cross-checked against avr-gcc objdump output. *)
+let test_golden_encodings () =
+  check_words "nop" [ 0x0000 ] Isa.Nop;
+  check_words "ret" [ 0x9508 ] Isa.Ret;
+  check_words "reti" [ 0x9518 ] Isa.Reti;
+  check_words "icall" [ 0x9509 ] Isa.Icall;
+  check_words "ijmp" [ 0x9409 ] Isa.Ijmp;
+  (* the classic frame-pointer spills seen in every AVR prologue *)
+  check_words "out 0x3e,r29" [ 0xBFDE ] (Isa.Out (0x3E, 29));
+  check_words "out 0x3d,r28" [ 0xBFCD ] (Isa.Out (0x3D, 28));
+  check_words "in r28,0x3d" [ 0xB7CD ] (Isa.In (28, 0x3D));
+  check_words "push r28" [ 0x93CF ] (Isa.Push 28);
+  check_words "pop r29" [ 0x91DF ] (Isa.Pop 29);
+  check_words "ldi r16,0xAA" [ 0xEA0A ] (Isa.Ldi (16, 0xAA));
+  check_words "mov r1,r2" [ 0x2C12 ] (Isa.Mov (1, 2));
+  check_words "add r24,r25" [ 0x0F89 ] (Isa.Add (24, 25));
+  check_words "eor r1,r1" [ 0x2411 ] (Isa.Eor (1, 1));
+  check_words "rjmp .-2" [ 0xCFFF ] (Isa.Rjmp (-1));
+  check_words "rjmp .+0" [ 0xC000 ] (Isa.Rjmp 0);
+  check_words "breq .+2" [ 0xF009 ] (Isa.Brbs (1, 1));
+  check_words "brne .-10" [ 0xF7D9 ] (Isa.Brbc (1, -5));
+  check_words "movw r30,r28" [ 0x01FE ] (Isa.Movw (30, 28));
+  check_words "adiw r28,1" [ 0x9621 ] (Isa.Adiw (28, 1));
+  check_words "sbiw r26,32" [ 0x9790 ] (Isa.Sbiw (26, 32));
+  check_words "std Y+1,r5" [ 0x8259 ] (Isa.Std (Isa.Y, 1, 5));
+  check_words "ldd r24,Z+3" [ 0x8183 ] (Isa.Ldd (24, Isa.Z, 3));
+  check_words "lds r24,0x0123" [ 0x9180; 0x0123 ] (Isa.Lds (24, 0x123));
+  check_words "sts 0x0456,r17" [ 0x9310; 0x0456 ] (Isa.Sts (0x456, 17));
+  check_words "jmp 0x1b284" [ 0x940C; 0xD942 ] (Isa.Jmp (0x1B284 / 2));
+  check_words "call 0x5de" [ 0x940E; 0x02EF ] (Isa.Call (0x5DE / 2));
+  check_words "lpm r24,Z" [ 0x9184 ] (Isa.Lpm (24, false));
+  check_words "lpm r0,Z+ variant" [ 0x9005 ] (Isa.Lpm (0, true));
+  check_words "sei" [ 0x9478 ] (Isa.Bset 7);
+  check_words "cli" [ 0x94F8 ] (Isa.Bclr 7);
+  check_words "wdr" [ 0x95A8 ] Isa.Wdr
+
+let test_operand_validation () =
+  let rejects name insn =
+    match Opcode.validate insn with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "%s should be rejected" name
+  in
+  rejects "ldi r5" (Isa.Ldi (5, 1));
+  rejects "ldi k=256" (Isa.Ldi (16, 256));
+  rejects "movw odd" (Isa.Movw (1, 2));
+  rejects "out addr 64" (Isa.Out (64, 0));
+  rejects "sbi addr 32" (Isa.Sbi (32, 0));
+  rejects "adiw r25" (Isa.Adiw (25, 1));
+  rejects "adiw k=64" (Isa.Adiw (24, 64));
+  rejects "rjmp 2048" (Isa.Rjmp 2048);
+  rejects "rjmp -2049" (Isa.Rjmp (-2049));
+  rejects "brbs 64" (Isa.Brbs (1, 64));
+  rejects "std q=64" (Isa.Std (Isa.Y, 64, 0));
+  rejects "call out of range" (Isa.Call (1 lsl 22));
+  rejects "bad register" (Isa.Push 32)
+
+let test_decode_garbage_total () =
+  (* Any 16-bit word decodes to something (possibly Data); never raises. *)
+  for w = 0 to 0xFFFF do
+    ignore (Decode.decode w 0x0000)
+  done
+
+let test_decode_known_data () =
+  (* Erased flash must decode as Data (and halt the CPU). *)
+  (match Decode.decode 0xFFFF 0xFFFF with
+  | Isa.Data 0xFFFF, 1 -> ()
+  | i, _ -> Alcotest.failf "0xFFFF decoded as %s" (Isa.to_string i));
+  match Decode.decode 0x0300 0x0000 with
+  | Isa.Data _, 1 -> ()
+  | i, _ -> Alcotest.failf "MULS-space word decoded as %s" (Isa.to_string i)
+
+(* Random valid instruction generator for the round-trip property. *)
+let gen_insn =
+  let open QCheck.Gen in
+  let reg = int_range 0 31 in
+  let hreg = int_range 16 31 in
+  let imm8 = int_range 0 255 in
+  let io6 = int_range 0 63 in
+  let io5 = int_range 0 31 in
+  let bit = int_range 0 7 in
+  let wreg = map (fun i -> 24 + (2 * i)) (int_range 0 3) in
+  let ereg = map (fun i -> 2 * i) (int_range 0 15) in
+  let ptr = oneofl Isa.[ X; X_inc; X_dec; Y_inc; Y_dec; Z_inc; Z_dec ] in
+  let base = oneofl Isa.[ Y; Z ] in
+  oneof
+    [
+      return Isa.Nop;
+      map2 (fun d r -> Isa.Movw (d, r)) ereg ereg;
+      map2 (fun d k -> Isa.Ldi (d, k)) hreg imm8;
+      map2 (fun d r -> Isa.Mov (d, r)) reg reg;
+      map2 (fun d r -> Isa.Add (d, r)) reg reg;
+      map2 (fun d r -> Isa.Adc (d, r)) reg reg;
+      map2 (fun d r -> Isa.Sub (d, r)) reg reg;
+      map2 (fun d r -> Isa.Sbc (d, r)) reg reg;
+      map2 (fun d r -> Isa.And (d, r)) reg reg;
+      map2 (fun d r -> Isa.Or (d, r)) reg reg;
+      map2 (fun d r -> Isa.Eor (d, r)) reg reg;
+      map2 (fun d r -> Isa.Cp (d, r)) reg reg;
+      map2 (fun d r -> Isa.Cpc (d, r)) reg reg;
+      map2 (fun d r -> Isa.Cpse (d, r)) reg reg;
+      map2 (fun d r -> Isa.Mul (d, r)) reg reg;
+      map2 (fun d k -> Isa.Subi (d, k)) hreg imm8;
+      map2 (fun d k -> Isa.Sbci (d, k)) hreg imm8;
+      map2 (fun d k -> Isa.Andi (d, k)) hreg imm8;
+      map2 (fun d k -> Isa.Ori (d, k)) hreg imm8;
+      map2 (fun d k -> Isa.Cpi (d, k)) hreg imm8;
+      map (fun d -> Isa.Com d) reg;
+      map (fun d -> Isa.Neg d) reg;
+      map (fun d -> Isa.Inc d) reg;
+      map (fun d -> Isa.Dec d) reg;
+      map (fun d -> Isa.Lsr d) reg;
+      map (fun d -> Isa.Ror d) reg;
+      map (fun d -> Isa.Asr d) reg;
+      map (fun d -> Isa.Swap d) reg;
+      map (fun r -> Isa.Push r) reg;
+      map (fun r -> Isa.Pop r) reg;
+      return Isa.Ret;
+      return Isa.Reti;
+      return Isa.Icall;
+      return Isa.Ijmp;
+      map (fun a -> Isa.Call a) (int_range 0 0x3FFFFF);
+      map (fun a -> Isa.Jmp a) (int_range 0 0x3FFFFF);
+      map (fun k -> Isa.Rcall k) (int_range (-2048) 2047);
+      map (fun k -> Isa.Rjmp k) (int_range (-2048) 2047);
+      map2 (fun b k -> Isa.Brbs (b, k)) bit (int_range (-64) 63);
+      map2 (fun b k -> Isa.Brbc (b, k)) bit (int_range (-64) 63);
+      map2 (fun d a -> Isa.In (d, a)) reg io6;
+      map2 (fun a r -> Isa.Out (a, r)) io6 reg;
+      map2 (fun d a -> Isa.Lds (d, a)) reg (int_range 0 0xFFFF);
+      map2 (fun a r -> Isa.Sts (a, r)) (int_range 0 0xFFFF) reg;
+      map3 (fun d b q -> Isa.Ldd (d, b, q)) reg base (int_range 0 63);
+      map3 (fun b q r -> Isa.Std (b, q, r)) base (int_range 0 63) reg;
+      map2 (fun d p -> Isa.Ld (d, p)) reg ptr;
+      map2 (fun p r -> Isa.St (p, r)) ptr reg;
+      map2 (fun d k -> Isa.Adiw (d, k)) wreg (int_range 0 63);
+      map2 (fun d k -> Isa.Sbiw (d, k)) wreg (int_range 0 63);
+      return Isa.Lpm0;
+      map2 (fun d inc -> Isa.Lpm (d, inc)) reg bool;
+      return Isa.Elpm0;
+      map2 (fun d inc -> Isa.Elpm (d, inc)) reg bool;
+      map2 (fun d b -> Isa.Bld (d, b)) reg bit;
+      map2 (fun d b -> Isa.Bst (d, b)) reg bit;
+      map2 (fun r b -> Isa.Sbrc (r, b)) reg bit;
+      map2 (fun r b -> Isa.Sbrs (r, b)) reg bit;
+      map2 (fun a b -> Isa.Sbi (a, b)) io5 bit;
+      map2 (fun a b -> Isa.Cbi (a, b)) io5 bit;
+      map2 (fun a b -> Isa.Sbic (a, b)) io5 bit;
+      map2 (fun a b -> Isa.Sbis (a, b)) io5 bit;
+      map (fun b -> Isa.Bset b) bit;
+      map (fun b -> Isa.Bclr b) bit;
+      return Isa.Wdr;
+      return Isa.Sleep;
+      return Isa.Break;
+    ]
+
+let arb_insn = QCheck.make ~print:Isa.to_string gen_insn
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:3000 arb_insn (fun insn ->
+      let words = Opcode.encode insn in
+      let w1 = List.nth words 0 in
+      let w2 = match words with [ _; w ] -> w | _ -> 0 in
+      let decoded, size = Decode.decode w1 w2 in
+      Isa.equal decoded insn && size = List.length words)
+
+let prop_size_matches =
+  QCheck.Test.make ~name:"size_words matches encoding" ~count:1000 arb_insn (fun insn ->
+      List.length (Opcode.encode insn) = Isa.size_words insn)
+
+let prop_bytes_le =
+  QCheck.Test.make ~name:"encode_bytes is little-endian words" ~count:500 arb_insn (fun insn ->
+      let words = Opcode.encode insn in
+      let bytes = Opcode.encode_bytes insn in
+      String.length bytes = 2 * List.length words
+      && List.for_all2
+           (fun w i ->
+             Char.code bytes.[2 * i] = w land 0xFF
+             && Char.code bytes.[(2 * i) + 1] = (w lsr 8) land 0xFF)
+           words
+           (List.init (List.length words) (fun i -> i)))
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "encodings",
+        [
+          Alcotest.test_case "golden encodings" `Quick test_golden_encodings;
+          Alcotest.test_case "operand validation" `Quick test_operand_validation;
+          Alcotest.test_case "decode is total" `Quick test_decode_garbage_total;
+          Alcotest.test_case "garbage decodes as Data" `Quick test_decode_known_data;
+        ] );
+      ( "properties",
+        List.map Helpers.qtest [ prop_roundtrip; prop_size_matches; prop_bytes_le ] );
+    ]

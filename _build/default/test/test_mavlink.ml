@@ -1,0 +1,260 @@
+module Crc = Mavr_mavlink.Crc
+module Frame = Mavr_mavlink.Frame
+module Messages = Mavr_mavlink.Messages
+module Parser = Mavr_mavlink.Parser
+
+let test_crc_vectors () =
+  (* CRC-16/MCRF4XX check value: "123456789" -> 0x6F91. *)
+  Alcotest.(check int) "check string" 0x6F91 (Crc.of_string "123456789");
+  Alcotest.(check int) "empty is seed" 0xFFFF (Crc.of_string "");
+  Alcotest.(check int) "single byte" (Crc.value (Crc.accumulate Crc.init 0x00))
+    (Crc.of_string "\x00")
+
+let test_crc_incremental () =
+  let whole = Crc.of_string "MAVLINK" in
+  let split = Crc.accumulate_string (Crc.accumulate_string Crc.init "MAV") "LINK" in
+  Alcotest.(check int) "incremental equals whole" whole (Crc.value split)
+
+let sample_frame =
+  { Frame.seq = 42; sysid = 1; compid = 1; msgid = 0; payload = String.make 9 '\x07' }
+
+let test_frame_roundtrip () =
+  let wire = Frame.encode sample_frame in
+  Alcotest.(check int) "wire length" (Frame.wire_length sample_frame) (String.length wire);
+  Alcotest.(check int) "magic" 0xFE (Char.code wire.[0]);
+  match Frame.decode wire with
+  | Ok (f, consumed) ->
+      Alcotest.(check int) "consumed all" (String.length wire) consumed;
+      Alcotest.(check int) "seq" 42 f.seq;
+      Alcotest.(check int) "msgid" 0 f.msgid;
+      Alcotest.(check string) "payload" sample_frame.payload f.payload
+  | Error e -> Alcotest.failf "decode failed: %s" (Format.asprintf "%a" Frame.pp_error e)
+
+let test_frame_crc_includes_extra () =
+  (* Same bytes, different CRC_EXTRA => decode must fail. *)
+  let wire = Frame.encode ~crc_extra:50 sample_frame in
+  match Frame.decode ~crc_extra_of:(fun _ -> 51) wire with
+  | Error (Frame.Bad_crc _) -> ()
+  | Ok _ -> Alcotest.fail "wrong CRC_EXTRA accepted"
+  | Error e -> Alcotest.failf "unexpected error %s" (Format.asprintf "%a" Frame.pp_error e)
+
+let test_frame_errors () =
+  (match Frame.decode "\x55\x01\x02" with
+  | Error Frame.Bad_magic -> ()
+  | _ -> Alcotest.fail "expected bad magic");
+  let wire = Frame.encode sample_frame in
+  (match Frame.decode (String.sub wire 0 5) with
+  | Error Frame.Truncated -> ()
+  | _ -> Alcotest.fail "expected truncated");
+  let corrupted = Bytes.of_string wire in
+  Bytes.set corrupted 7 '\xFF';
+  match Frame.decode (Bytes.to_string corrupted) with
+  | Error (Frame.Bad_crc _) -> ()
+  | _ -> Alcotest.fail "expected bad CRC"
+
+let test_encode_raw_length_lie () =
+  (* The malicious frame: declared length differs from the payload. *)
+  let wire = Frame.encode_raw ~declared_len:200 { sample_frame with payload = "abc" } in
+  Alcotest.(check int) "length field lies" 200 (Char.code wire.[1])
+
+let test_parser_reassembles_chunks () =
+  let wire = Frame.encode sample_frame in
+  let p = Parser.create () in
+  let all = ref [] in
+  String.iter (fun c -> all := !all @ Parser.feed p (String.make 1 c)) wire;
+  Alcotest.(check int) "one frame from byte-wise feed" 1 (List.length !all);
+  Alcotest.(check int) "no pending bytes" 0 (Parser.pending p)
+
+let test_parser_resync_after_garbage () =
+  let wire = Frame.encode sample_frame in
+  let p = Parser.create () in
+  let frames = Parser.feed p ("GARBAGE!!" ^ wire ^ "\x01\x02" ^ wire) in
+  Alcotest.(check int) "both frames recovered" 2 (List.length frames);
+  let st = Parser.stats p in
+  Alcotest.(check bool) "garbage counted" true (st.bytes_dropped >= 9)
+
+let test_parser_crc_error_recovery () =
+  let wire = Frame.encode sample_frame in
+  let bad = Bytes.of_string wire in
+  Bytes.set bad 7 '\xEE';
+  let p = Parser.create () in
+  let frames = Parser.feed p (Bytes.to_string bad ^ wire) in
+  Alcotest.(check int) "good frame after bad" 1 (List.length frames);
+  Alcotest.(check int) "crc error counted" 1 (Parser.stats p).crc_errors
+
+let test_messages_catalog () =
+  List.iter
+    (fun (d : Messages.def) ->
+      match Messages.find d.msgid with
+      | Some d' -> Alcotest.(check string) "find returns same def" d.name d'.name
+      | None -> Alcotest.failf "%s not found by id" d.name)
+    Messages.all;
+  Alcotest.(check int) "unknown crc_extra is 0" 0 (Messages.crc_extra_of 200);
+  Alcotest.(check int) "heartbeat extra" 50 (Messages.crc_extra_of 0);
+  Alcotest.(check int) "raw_imu extra" 144 (Messages.crc_extra_of 27)
+
+let test_heartbeat_codec () =
+  let hb = { Messages.Heartbeat.typ = 1; autopilot = 3; base_mode = 81; custom_mode = 0xDEAD; system_status = 4 } in
+  let s = Messages.Heartbeat.encode hb in
+  Alcotest.(check int) "payload length" Messages.heartbeat.payload_len (String.length s);
+  match Messages.Heartbeat.decode s with
+  | Ok hb' -> Alcotest.(check bool) "roundtrip" true (hb = hb')
+  | Error e -> Alcotest.fail e
+
+let test_attitude_codec () =
+  let att =
+    { Messages.Attitude.time_boot_ms = 123456; roll = 0.12; pitch = -0.03; yaw = 1.57;
+      rollspeed = 0.5; pitchspeed = -0.25; yawspeed = 0.0 }
+  in
+  match Messages.Attitude.decode (Messages.Attitude.encode att) with
+  | Ok att' ->
+      let close a b = Float.abs (a -. b) < 1e-6 in
+      Alcotest.(check bool) "floats roundtrip" true
+        (close att.roll att'.roll && close att.pitch att'.pitch && close att.yaw att'.yaw)
+  | Error e -> Alcotest.fail e
+
+let test_raw_imu_codec () =
+  let imu =
+    { Messages.Raw_imu.time_usec = 987654321; xacc = -100; yacc = 50; zacc = 981;
+      xgyro = -32768; ygyro = 32767; zgyro = 0; xmag = 1; ymag = -1; zmag = 7 }
+  in
+  match Messages.Raw_imu.decode (Messages.Raw_imu.encode imu) with
+  | Ok imu' -> Alcotest.(check bool) "i16 fields roundtrip" true (imu = imu')
+  | Error e -> Alcotest.fail e
+
+let test_statustext_codec () =
+  let st = { Messages.Statustext.severity = 2; text = "ROP detected?" } in
+  match Messages.Statustext.decode (Messages.Statustext.encode st) with
+  | Ok st' -> Alcotest.(check string) "text" st.text st'.Messages.Statustext.text
+  | Error e -> Alcotest.fail e
+
+let test_param_set_codec () =
+  let ps =
+    { Messages.Param_set.target_system = 1; target_component = 1; param_id = "GYRO_SCALE";
+      param_value = 1.25; param_type = 9 }
+  in
+  match Messages.Param_set.decode (Messages.Param_set.encode ps) with
+  | Ok ps' ->
+      Alcotest.(check string) "param id" ps.param_id ps'.param_id;
+      Alcotest.(check bool) "value" true (Float.abs (ps.param_value -. ps'.param_value) < 1e-6)
+  | Error e -> Alcotest.fail e
+
+let test_command_long_codec () =
+  let cl =
+    { Messages.Command_long.target_system = 1; target_component = 250; command = 400;
+      confirmation = 0; params = [| 1.0; 0.0; -3.5; 120.25; 0.0; 47.5; -122.25 |] }
+  in
+  match Messages.Command_long.decode (Messages.Command_long.encode cl) with
+  | Ok cl' ->
+      Alcotest.(check int) "command" cl.command cl'.command;
+      Alcotest.(check int) "target" cl.target_component cl'.target_component;
+      Array.iteri
+        (fun i p ->
+          if Float.abs (p -. cl'.params.(i)) > 1e-6 then
+            Alcotest.failf "param %d: %f vs %f" i p cl'.params.(i))
+        cl.params
+  | Error e -> Alcotest.fail e
+
+let test_command_long_arity () =
+  match Messages.Command_long.encode
+          { target_system = 1; target_component = 1; command = 0; confirmation = 0;
+            params = [| 1.0 |] } with
+  | _ -> Alcotest.fail "wrong arity accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_gps_raw_int_codec () =
+  let gps =
+    { Messages.Gps_raw_int.time_usec = 1234567890; fix_type = 3;
+      lat = 476205000; lon = -1223493000; alt = 120500; eph = 121; epv = 65535;
+      vel = 1404; cog = 17500; satellites_visible = 11 }
+  in
+  match Messages.Gps_raw_int.decode (Messages.Gps_raw_int.encode gps) with
+  | Ok gps' -> Alcotest.(check bool) "roundtrip incl. negative lon" true (gps = gps')
+  | Error e -> Alcotest.fail e
+
+let test_sys_status_codec () =
+  let st =
+    { Messages.Sys_status.onboard_control_sensors_present = 0x3FFFFFFF;
+      onboard_control_sensors_enabled = 0x1FFFFFFF;
+      onboard_control_sensors_health = 0x3FFFFFFF;
+      load = 960 (* the paper's 96%% CPU usage *); voltage_battery = 12600;
+      current_battery = -1; battery_remaining = 87; drop_rate_comm = 0;
+      errors_comm = 0; errors_count = (1, 2, 3, 4) }
+  in
+  match Messages.Sys_status.decode (Messages.Sys_status.encode st) with
+  | Ok st' -> Alcotest.(check bool) "roundtrip incl. i8/i16 fields" true (st = st')
+  | Error e -> Alcotest.fail e
+
+let test_bad_payload_lengths () =
+  (match Messages.Heartbeat.decode "short" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short heartbeat accepted");
+  match Messages.Raw_imu.decode (String.make 27 'x') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "long raw_imu accepted"
+
+let gen_frame =
+  QCheck.Gen.(
+    map
+      (fun (seq, sysid, compid, msgid, payload) -> { Frame.seq; sysid; compid; msgid; payload })
+      (tup5 (int_range 0 255) (int_range 0 255) (int_range 0 255) (int_range 0 255)
+         (string_size (int_range 0 255))))
+
+let arb_frame =
+  QCheck.make
+    ~print:(fun f -> Printf.sprintf "{seq=%d;msgid=%d;|payload|=%d}" f.Frame.seq f.msgid (String.length f.payload))
+    gen_frame
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"frame roundtrip" ~count:300 arb_frame (fun f ->
+      match Frame.decode (Frame.encode f) with
+      | Ok (f', n) -> f = f' && n = Frame.wire_length f
+      | Error _ -> false)
+
+let prop_parser_stream =
+  QCheck.Test.make ~name:"parser recovers a random frame stream" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 10) arb_frame)
+    (fun frames ->
+      let stream = String.concat "" (List.map Frame.encode frames) in
+      let p = Parser.create () in
+      let out = Parser.feed p stream in
+      List.length out = List.length frames
+      && List.for_all2 (fun a b -> a = b) frames out)
+
+let () =
+  Alcotest.run "mavlink"
+    [
+      ( "crc",
+        [
+          Alcotest.test_case "check vectors" `Quick test_crc_vectors;
+          Alcotest.test_case "incremental" `Quick test_crc_incremental;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "crc_extra matters" `Quick test_frame_crc_includes_extra;
+          Alcotest.test_case "errors" `Quick test_frame_errors;
+          Alcotest.test_case "encode_raw length lie" `Quick test_encode_raw_length_lie;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "byte-wise reassembly" `Quick test_parser_reassembles_chunks;
+          Alcotest.test_case "resync after garbage" `Quick test_parser_resync_after_garbage;
+          Alcotest.test_case "crc error recovery" `Quick test_parser_crc_error_recovery;
+        ] );
+      ( "messages",
+        [
+          Alcotest.test_case "catalog" `Quick test_messages_catalog;
+          Alcotest.test_case "heartbeat codec" `Quick test_heartbeat_codec;
+          Alcotest.test_case "attitude codec" `Quick test_attitude_codec;
+          Alcotest.test_case "raw_imu codec" `Quick test_raw_imu_codec;
+          Alcotest.test_case "statustext codec" `Quick test_statustext_codec;
+          Alcotest.test_case "param_set codec" `Quick test_param_set_codec;
+          Alcotest.test_case "command_long codec" `Quick test_command_long_codec;
+          Alcotest.test_case "command_long arity" `Quick test_command_long_arity;
+          Alcotest.test_case "gps_raw_int codec" `Quick test_gps_raw_int_codec;
+          Alcotest.test_case "sys_status codec" `Quick test_sys_status_codec;
+          Alcotest.test_case "bad payload lengths" `Quick test_bad_payload_lengths;
+        ] );
+      ("properties", List.map Helpers.qtest [ prop_frame_roundtrip; prop_parser_stream ]);
+    ]

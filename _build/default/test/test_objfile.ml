@@ -1,0 +1,151 @@
+module Ihex = Mavr_obj.Ihex
+module Image = Mavr_obj.Image
+module Symtab = Mavr_obj.Symtab
+
+let test_ihex_simple_roundtrip () =
+  let data = String.init 100 (fun i -> Char.chr (i land 0xFF)) in
+  let hex = Ihex.encode [ (0, data) ] in
+  match Ihex.decode hex with
+  | [ (0, d) ] -> Alcotest.(check string) "roundtrip" data d
+  | segs -> Alcotest.failf "unexpected segments: %d" (List.length segs)
+
+let test_ihex_crosses_64k () =
+  (* Images above 64 KB need type-04 extended address records. *)
+  let data = String.init 200 (fun i -> Char.chr (i land 0xFF)) in
+  let base = 0xFFE0 in
+  let hex = Ihex.encode [ (base, data) ] in
+  Alcotest.(check bool) "has type-04 record" true
+    (String.split_on_char '\n' hex |> List.exists (fun l -> String.length l > 8 && String.sub l 7 2 = "04"));
+  match Ihex.decode hex with
+  | [ (b, d) ] ->
+      Alcotest.(check int) "base preserved" base b;
+      Alcotest.(check string) "data preserved" data d
+  | segs -> Alcotest.failf "unexpected segments: %d" (List.length segs)
+
+let test_ihex_multi_segment () =
+  let hex = Ihex.encode [ (0x800000, "META"); (0, "CODE") ] in
+  let segs = Ihex.decode hex in
+  Alcotest.(check int) "two segments" 2 (List.length segs);
+  Alcotest.(check string) "code first (ascending)" "CODE" (snd (List.hd segs));
+  Alcotest.(check string) "meta second" "META" (snd (List.nth segs 1))
+
+let test_ihex_bad_checksum () =
+  let hex = Ihex.encode [ (0, "hello world") ] in
+  (* Corrupt one data nibble. *)
+  let bad = Bytes.of_string hex in
+  Bytes.set bad 10 (if Bytes.get bad 10 = '0' then '1' else '0');
+  match Ihex.decode (Bytes.to_string bad) with
+  | _ -> Alcotest.fail "expected checksum error"
+  | exception Ihex.Parse_error _ -> ()
+
+let test_ihex_missing_eof () =
+  match Ihex.decode ":0100000001FE\n" (* data record only, no EOF *) with
+  | _ -> Alcotest.fail "expected missing-EOF error"
+  | exception Ihex.Parse_error _ -> ()
+
+let test_ihex_flatten () =
+  let flat = Ihex.flatten ~fill:'\xff' [ (2, "AB"); (6, "C") ] in
+  Alcotest.(check string) "gap filled" "\xff\xffAB\xff\xffC" flat;
+  let flat = Ihex.flatten ~limit:4 [ (2, "AB"); (0x800000, "META") ] in
+  Alcotest.(check string) "limit drops high segment" "\xff\xffAB" flat
+
+let build_image () = (Helpers.build_mavr ()).image
+
+let test_image_invariants () =
+  let img = build_image () in
+  Helpers.assert_ok (Image.validate img);
+  Alcotest.(check int) "function count" 120 (Image.function_count img);
+  Alcotest.(check bool) "has function pointers" true (List.length img.funptr_locs > 0)
+
+let test_image_function_containing () =
+  let img = build_image () in
+  let sym = List.nth img.Image.symbols 5 in
+  (match Image.function_containing img sym.addr with
+  | Some s -> Alcotest.(check string) "exact start" sym.name s.name
+  | None -> Alcotest.fail "no function at symbol start");
+  (match Image.function_containing img (sym.addr + sym.size - 1) with
+  | Some s -> Alcotest.(check string) "last byte" sym.name s.name
+  | None -> Alcotest.fail "no function at last byte");
+  (match Image.function_containing img (img.text_start - 1) with
+  | Some s -> Alcotest.failf "below text resolved to %s" s.Image.name
+  | None -> ());
+  match Image.function_containing img img.text_end with
+  | Some s -> Alcotest.failf "text_end resolved to %s" s.Image.name
+  | None -> ()
+
+let test_image_broken_coverage_rejected () =
+  let img = build_image () in
+  let broken = { img with symbols = List.tl img.Image.symbols } in
+  match Image.validate broken with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "gap should be rejected"
+
+let test_symtab_blob_roundtrip () =
+  let img = build_image () in
+  let meta = Symtab.meta_of_image img in
+  let meta' = Symtab.of_blob (Symtab.to_blob meta) in
+  Alcotest.(check bool) "meta roundtrip" true (Symtab.equal_meta meta meta')
+
+let test_symtab_bad_magic () =
+  match Symtab.of_blob "XXXXX garbage" with
+  | _ -> Alcotest.fail "expected bad magic"
+  | exception Invalid_argument _ -> ()
+
+let test_preprocessed_hex_roundtrip () =
+  (* The §VI-B2 flow: image -> prepended HEX -> (external flash) -> image. *)
+  let img = build_image () in
+  let hex = Symtab.to_hex img in
+  let img' = Symtab.of_hex hex in
+  Alcotest.(check string) "code identical" img.Image.code img'.Image.code;
+  Alcotest.(check int) "same text bounds" img.text_start img'.Image.text_start;
+  Alcotest.(check int) "same function count" (Image.function_count img) (Image.function_count img');
+  Alcotest.(check (list int)) "same funptr locs" img.funptr_locs img'.Image.funptr_locs;
+  (* Names are synthesized, but addresses and sizes must agree. *)
+  List.iter2
+    (fun (a : Image.symbol) (b : Image.symbol) ->
+      Alcotest.(check int) "symbol addr" a.addr b.addr;
+      Alcotest.(check int) "symbol size" a.size b.size)
+    img.symbols img'.Image.symbols;
+  Helpers.assert_ok (Image.validate img')
+
+let test_fingerprint_changes () =
+  let img = build_image () in
+  let r = Mavr_core.Randomize.randomize ~seed:3 img in
+  Alcotest.(check bool) "randomization changes fingerprint" true
+    (Image.fingerprint img <> Image.fingerprint r)
+
+let prop_ihex_roundtrip =
+  QCheck.Test.make ~name:"ihex roundtrip on random payloads" ~count:100
+    QCheck.(pair (int_bound 100_000) (string_of_size (QCheck.Gen.int_range 1 600)))
+    (fun (base, data) ->
+      match Ihex.decode (Ihex.encode [ (base, data) ]) with
+      | [ (b, d) ] -> b = base && d = data
+      | _ -> false)
+
+let () =
+  Alcotest.run "objfile"
+    [
+      ( "ihex",
+        [
+          Alcotest.test_case "simple roundtrip" `Quick test_ihex_simple_roundtrip;
+          Alcotest.test_case "crosses 64K" `Quick test_ihex_crosses_64k;
+          Alcotest.test_case "multi segment" `Quick test_ihex_multi_segment;
+          Alcotest.test_case "bad checksum" `Quick test_ihex_bad_checksum;
+          Alcotest.test_case "missing EOF" `Quick test_ihex_missing_eof;
+          Alcotest.test_case "flatten" `Quick test_ihex_flatten;
+        ] );
+      ( "image",
+        [
+          Alcotest.test_case "invariants" `Quick test_image_invariants;
+          Alcotest.test_case "function_containing" `Quick test_image_function_containing;
+          Alcotest.test_case "coverage gaps rejected" `Quick test_image_broken_coverage_rejected;
+          Alcotest.test_case "fingerprint" `Quick test_fingerprint_changes;
+        ] );
+      ( "symtab",
+        [
+          Alcotest.test_case "blob roundtrip" `Quick test_symtab_blob_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_symtab_bad_magic;
+          Alcotest.test_case "preprocessed hex roundtrip" `Quick test_preprocessed_hex_roundtrip;
+        ] );
+      ("properties", [ Helpers.qtest prop_ihex_roundtrip ]);
+    ]

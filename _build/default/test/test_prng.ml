@@ -1,0 +1,98 @@
+module Rng = Mavr_prng.Splitmix
+
+let test_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:8 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check int) "streams differ" 0 !same
+
+let test_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "int out of bound: %d" v;
+    let w = Rng.range rng 5 9 in
+    if w < 5 || w > 9 then Alcotest.failf "range out of bound: %d" w
+  done;
+  Alcotest.check_raises "bound zero" (Invalid_argument "Splitmix.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_uniformity () =
+  (* Coarse chi-square-ish check over 8 buckets. *)
+  let rng = Rng.create ~seed:11 in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 8 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 8 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket %d count %d too far from %d" i c expected)
+    buckets
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 20 do
+    let arr = Array.init 50 (fun i -> i) in
+    Rng.shuffle rng arr;
+    let sorted = Array.copy arr in
+    Array.sort compare sorted;
+    Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+  done
+
+let test_shuffle_covers_orders () =
+  (* All 6 orders of a 3-element shuffle appear (uniformity smoke). *)
+  let rng = Rng.create ~seed:13 in
+  let seen = Hashtbl.create 6 in
+  for _ = 1 to 500 do
+    let arr = [| 0; 1; 2 |] in
+    Rng.shuffle rng arr;
+    Hashtbl.replace seen (arr.(0), arr.(1), arr.(2)) ()
+  done;
+  Alcotest.(check int) "all 6 permutations occur" 6 (Hashtbl.length seen)
+
+let test_split_independent () =
+  let rng = Rng.create ~seed:21 in
+  let c1 = Rng.split rng in
+  let c2 = Rng.split rng in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.next c1 = Rng.next c2 then incr same
+  done;
+  Alcotest.(check int) "children differ" 0 !same
+
+let prop_pick_member =
+  QCheck.Test.make ~name:"pick returns a member" ~count:200
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 20) int))
+    (fun (seed, l) ->
+      let arr = Array.of_list l in
+      let rng = Rng.create ~seed in
+      let v = Rng.pick rng arr in
+      Array.exists (fun x -> x = v) arr)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "uniformity" `Quick test_uniformity;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "shuffle covers orders" `Quick test_shuffle_covers_orders;
+          Alcotest.test_case "split independent" `Quick test_split_independent;
+        ] );
+      ("properties", [ Helpers.qtest prop_pick_member ]);
+    ]

