@@ -34,6 +34,28 @@ type t = {
   mutable interrupts_taken : int;
   mutable tx_cycles_per_byte : int;
   mutable tx_busy_until : int;
+  (* Predecode cache: one entry per word PC.  [icache_words.(pc)] is the
+     instruction length in words (1 or 2), with 0 meaning "not decoded
+     yet"; [icache_insn.(pc)] is only meaningful when the length is
+     non-zero.  Entries are filled on first execution and the whole
+     cache is discarded whenever the flash epoch moves (reflash /
+     bootloader page write), so a freshly randomized lifetime can never
+     dispatch a stale decode. *)
+  mutable icache_insn : Isa.t array;
+  mutable icache_words : int array;
+  mutable icache_epoch : int;
+  mutable use_icache : bool;
+  (* SREG and SP are architecturally memory-mapped (0x5F / 0x5D-0x5E) but
+     live here as plain ints: the flag helpers touch SREG on nearly every
+     instruction and the stack pointer on every push/pop, so routing them
+     through the byte array costs bounds checks and char conversions on
+     the hottest path.  [io_read]/[io_write] intercept their I/O addresses
+     so guest loads/stores still see the same values. *)
+  mutable sreg_v : int;
+  mutable sp_v : int;
+  (* Scratch for the cycle cost of the instruction being executed; a
+     field rather than a [ref] so [exec_one] does not allocate. *)
+  mutable cyc : int;
 }
 
 let create ?(device = Device.atmega2560) () =
@@ -55,27 +77,27 @@ let create ?(device = Device.atmega2560) () =
     interrupts_taken = 0;
     tx_cycles_per_byte = 0;
     tx_busy_until = 0;
+    icache_insn = [||];
+    icache_words = [||];
+    icache_epoch = -1;
+    use_icache = true;
+    sreg_v = 0;
+    sp_v = 0;
+    cyc = 0;
   }
 
 let mem t = t.mem
 let device t = t.dev
 
 (* Register file: memory-mapped at data 0x00..0x1F. *)
-let reg t r = Memory.data_get t.mem r
-let set_reg t r v = Memory.data_set t.mem r v
+let reg t r = Memory.reg_get t.mem r
+let set_reg t r v = Memory.reg_set t.mem r v
 
 let io_addr t a = t.dev.Device.io_base + a
-let spl_addr t = io_addr t Device.Io.spl
-let sph_addr t = io_addr t Device.Io.sph
-let sreg_addr t = io_addr t Device.Io.sreg
-let sp t = Memory.data_get t.mem (spl_addr t) lor (Memory.data_get t.mem (sph_addr t) lsl 8)
-
-let set_sp t v =
-  Memory.data_set t.mem (spl_addr t) (v land 0xFF);
-  Memory.data_set t.mem (sph_addr t) ((v lsr 8) land 0xFF)
-
-let sreg t = Memory.data_get t.mem (sreg_addr t)
-let set_sreg t v = Memory.data_set t.mem (sreg_addr t) v
+let sp t = t.sp_v
+let set_sp t v = t.sp_v <- v land 0xFFFF
+let sreg t = t.sreg_v
+let set_sreg t v = t.sreg_v <- v land 0xFF
 let pc t = t.pc
 let pc_byte_addr t = t.pc * 2
 let set_pc t v = t.pc <- v
@@ -96,6 +118,14 @@ let reset t =
      lifetime and a watchdog that never times out. *)
   t.tx_busy_until <- 0;
   t.last_feed <- 0;
+  (* Likewise the UART FIFOs and event counters: a reflashed lifetime
+     must not inherit the previous lifetime's pending RX bytes (a
+     half-received attack payload would replay into the fresh image),
+     untaken TX bytes, or watchdog/interrupt tallies. *)
+  Queue.clear t.uart_rx;
+  Buffer.clear t.uart_tx;
+  t.feeds <- 0;
+  t.interrupts_taken <- 0;
   set_sp t (Device.data_end t.dev - 1);
   set_sreg t 0
 
@@ -103,6 +133,60 @@ let load_program t image =
   Memory.load_flash t.mem image;
   t.program_bytes <- String.length image;
   reset t
+
+(* ---- Predecode cache ------------------------------------------------ *)
+
+let set_decode_cache t enabled = t.use_icache <- enabled
+let decode_cache_enabled t = t.use_icache
+
+(* Rebuild (or first-build) the cache skeleton for the current flash
+   epoch.  Entries are decoded lazily on first execution: per-lifetime
+   randomized images rarely execute every word, and ROP gadgets enter
+   mid-instruction, so the cache must cover *every* word address rather
+   than just a linear disassembly — lazy fill gives both for free. *)
+let refresh_icache t =
+  let nwords = (t.program_bytes + 1) / 2 in
+  if Array.length t.icache_words = nwords then Array.fill t.icache_words 0 nwords 0
+  else begin
+    t.icache_words <- Array.make nwords 0;
+    t.icache_insn <- Array.make nwords Isa.Nop
+  end;
+  t.icache_epoch <- Memory.flash_epoch t.mem
+
+let decode_raw t pc =
+  Decode.decode (Memory.flash_word t.mem pc) (Memory.flash_word t.mem (pc + 1))
+
+(* Decode word address [pc] and store it in the cache (in-range [pc]
+   only).  Returns the instruction; the length lands in [icache_words]. *)
+let fill_entry t pc =
+  let insn, words = decode_raw t pc in
+  Array.unsafe_set t.icache_insn pc insn;
+  Array.unsafe_set t.icache_words pc words;
+  insn
+
+(* Re-validate the cache against the flash epoch, so a reflash (the
+   per-lifetime re-randomization path) can never serve stale decodes.
+   Nothing executed by [exec_one] can mutate flash (there is no SPM
+   instruction; reflashes happen host-side between calls), so the public
+   execution entry points sync once instead of paying an epoch compare
+   per instruction. *)
+let sync_icache t =
+  if t.use_icache && t.icache_epoch <> Memory.flash_epoch t.mem then refresh_icache t
+
+(* Fetch the (insn, length-in-words) pair at word address [pc].
+   Precondition: the cache is sync'd ([sync_icache]).  [skip_next] can
+   probe one word past the programmed image; out-of-range addresses fall
+   back to a raw decode, exactly as the uncached path reads erased
+   flash. *)
+let fetch t pc =
+  if t.use_icache && pc >= 0 && pc < Array.length t.icache_words then begin
+    let words = Array.unsafe_get t.icache_words pc in
+    if words <> 0 then (Array.unsafe_get t.icache_insn pc, words)
+    else
+      let insn = fill_entry t pc in
+      (insn, Array.unsafe_get t.icache_words pc)
+  end
+  else decode_raw t pc
 
 (* I/O-aware data-space access: reads/writes to the I/O file trigger
    peripheral behaviour; everything else is plain memory (including the
@@ -112,6 +196,9 @@ let io_read t a =
   else if a = Device.Io.ucsra then
     (if Queue.is_empty t.uart_rx then 0 else 0x80)
     lor (if t.cycles >= t.tx_busy_until then 0x20 else 0)
+  else if a = Device.Io.sreg then t.sreg_v
+  else if a = Device.Io.spl then t.sp_v land 0xFF
+  else if a = Device.Io.sph then (t.sp_v lsr 8) land 0xFF
   else Memory.data_get t.mem (io_addr t a)
 
 let io_write t a v =
@@ -135,6 +222,9 @@ let io_write t a v =
     end
     else t.timer_next_fire <- max_int
   end
+  else if a = Device.Io.sreg then t.sreg_v <- v land 0xFF
+  else if a = Device.Io.spl then t.sp_v <- t.sp_v land 0xFF00 lor (v land 0xFF)
+  else if a = Device.Io.sph then t.sp_v <- (v land 0xFF) lsl 8 lor (t.sp_v land 0xFF)
   else if a = Device.Io.eecr then begin
     (* EEPROM access, triggered by the EERE/EEPE strobe bits. *)
     let ear =
@@ -210,30 +300,50 @@ let set_flag t f v =
   let s = sreg t in
   set_sreg t (if v then s lor (1 lsl f) else s land lnot (1 lsl f))
 
-let set_zns t r =
-  set_flag t Flag.z (r = 0);
-  set_flag t Flag.n (r land 0x80 <> 0);
-  set_flag t Flag.s (get_flag t Flag.n <> get_flag t Flag.v)
+(* Flag batching: [set_flag] costs a memory-mapped SREG read and write
+   per flag, and the ALU instructions set up to six — a dozen byte
+   accesses per instruction on the hot path.  These helpers compose the
+   freshly computed bits and commit them with a single read-modify-write,
+   preserving the net effect of the former per-flag sequences. *)
+let fbit f cond = if cond then 1 lsl f else 0
+
+let mask_zns = (1 lsl Flag.z) lor (1 lsl Flag.n) lor (1 lsl Flag.s)
+let mask_vzns = mask_zns lor (1 lsl Flag.v)
+let mask_cvzns = mask_vzns lor (1 lsl Flag.c)
+let mask_cvzn = mask_cvzns land lnot (1 lsl Flag.s)
+let mask_hcvzns = mask_cvzns lor (1 lsl Flag.h)
+
+let update_flags t ~mask bits = set_sreg t (sreg t land lnot mask lor bits)
+
+(* z/n/s for a 8-bit result given the (new) V flag; S = N xor V. *)
+let zns_bits r ~v =
+  let n = r land 0x80 <> 0 in
+  fbit Flag.z (r = 0) lor fbit Flag.n n lor fbit Flag.s (n <> v)
 
 let flags_add t d r res =
+  let res8 = res land 0xFF in
   let c = (d land r) lor (r land lnot res) lor (lnot res land d) in
-  set_flag t Flag.h (c land 0x08 <> 0);
-  set_flag t Flag.c (c land 0x80 <> 0);
-  set_flag t Flag.v ((d land r land lnot res lor (lnot d land lnot r land res)) land 0x80 <> 0);
-  set_zns t (res land 0xFF)
+  let v = (d land r land lnot res lor (lnot d land lnot r land res)) land 0x80 <> 0 in
+  update_flags t ~mask:mask_hcvzns
+    (fbit Flag.h (c land 0x08 <> 0)
+    lor fbit Flag.c (c land 0x80 <> 0)
+    lor fbit Flag.v v lor zns_bits res8 ~v)
 
 let flags_sub ?(keep_z = false) t d r res =
+  let s0 = sreg t in
+  let res8 = res land 0xFF in
   let bw = (lnot d land r) lor (r land res) lor (res land lnot d) in
-  set_flag t Flag.h (bw land 0x08 <> 0);
-  set_flag t Flag.c (bw land 0x80 <> 0);
-  set_flag t Flag.v ((d land lnot r land lnot res lor (lnot d land r land res)) land 0x80 <> 0);
-  let z_before = get_flag t Flag.z in
-  set_zns t (res land 0xFF);
-  if keep_z then set_flag t Flag.z (res land 0xFF = 0 && z_before)
+  let v = (d land lnot r land lnot res lor (lnot d land r land res)) land 0x80 <> 0 in
+  let n = res8 land 0x80 <> 0 in
+  let z = res8 = 0 && (not keep_z || (s0 lsr Flag.z) land 1 = 1) in
+  set_sreg t
+    (s0 land lnot mask_hcvzns
+    lor fbit Flag.h (bw land 0x08 <> 0)
+    lor fbit Flag.c (bw land 0x80 <> 0)
+    lor fbit Flag.v v lor fbit Flag.z z lor fbit Flag.n n
+    lor fbit Flag.s (n <> v))
 
-let flags_logic t res =
-  set_flag t Flag.v false;
-  set_zns t res
+let flags_logic t res = update_flags t ~mask:mask_vzns (zns_bits res ~v:false)
 
 let word_reg t r = reg t r lor (reg t (r + 1) lsl 8)
 
@@ -265,10 +375,11 @@ let ptr_access t p ~write =
   addr
 
 let skip_next t =
-  (* Used by cpse/sbic/sbis: skip over the next instruction (1 or 2 words). *)
-  let w1 = Memory.flash_word t.mem t.pc in
-  let w2 = Memory.flash_word t.mem (t.pc + 1) in
-  let _, words = Decode.decode w1 w2 in
+  (* Used by cpse/sbic/sbis/sbrc/sbrs: skip over the next instruction
+     (1 or 2 words), through the predecode cache — the second decode of
+     the skipped word was pure waste, and the skip distance must agree
+     with what would execute at that address. *)
+  let _, words = fetch t t.pc in
   t.pc <- t.pc + words;
   t.cycles <- t.cycles + words
 
@@ -290,20 +401,43 @@ let take_timer_interrupt t =
   t.interrupts_taken <- t.interrupts_taken + 1;
   t.cycles <- t.cycles + 5
 
-let step t =
-  match t.halt with
-  | Some _ -> ()
-  | None ->
-      if get_flag t Flag.i && t.cycles >= t.timer_next_fire then take_timer_interrupt t
-      else if t.pc < 0 || t.pc * 2 >= t.program_bytes then t.halt <- Some (Wild_pc (t.pc * 2))
-      else begin
+(* Execute exactly one instruction (or take a pending interrupt).
+   Precondition: not halted — the halt check lives in the callers so the
+   batched [run] loops pay for it once per iteration condition rather
+   than re-matching inside.  The timer comparison is ordered before the
+   SREG read so that with the timer disarmed ([max_int], the common
+   case) the memory-mapped I flag is never touched on the hot path. *)
+let exec_one t =
+  if t.cycles >= t.timer_next_fire && get_flag t Flag.i then take_timer_interrupt t
+  else if t.pc < 0 || t.pc * 2 >= t.program_bytes then t.halt <- Some (Wild_pc (t.pc * 2))
+  else begin
         let pc0 = t.pc in
-        let w1 = Memory.flash_word t.mem pc0 in
-        let w2 = Memory.flash_word t.mem (pc0 + 1) in
-        let insn, words = Decode.decode w1 w2 in
-        t.pc <- pc0 + words;
+        (* Inline fetch, split so the cache-hit path allocates nothing
+           (building the (insn, words) pair costs a heap block per
+           instruction without flambda).  No bounds check: the wild-PC
+           guard above bounds pc0 by program_bytes, and a sync'd cache
+           spans exactly (program_bytes + 1) / 2 entries. *)
+        let insn =
+          if t.use_icache then begin
+            let words = Array.unsafe_get t.icache_words pc0 in
+            if words <> 0 then begin
+              t.pc <- pc0 + words;
+              Array.unsafe_get t.icache_insn pc0
+            end
+            else begin
+              let insn = fill_entry t pc0 in
+              t.pc <- pc0 + Array.unsafe_get t.icache_words pc0;
+              insn
+            end
+          end
+          else begin
+            let insn, words = decode_raw t pc0 in
+            t.pc <- pc0 + words;
+            insn
+          end
+        in
         t.retired <- t.retired + 1;
-        let cyc = ref 1 in
+        t.cyc <- 1;
         (match insn with
         | Nop -> ()
         | Data w ->
@@ -355,9 +489,10 @@ let step t =
             let p = reg t d * reg t r in
             set_reg t 0 (p land 0xFF);
             set_reg t 1 ((p lsr 8) land 0xFF);
-            set_flag t Flag.c (p land 0x8000 <> 0);
-            set_flag t Flag.z (p land 0xFFFF = 0);
-            cyc := 2
+            update_flags t
+              ~mask:((1 lsl Flag.c) lor (1 lsl Flag.z))
+              (fbit Flag.c (p land 0x8000 <> 0) lor fbit Flag.z (p land 0xFFFF = 0));
+            t.cyc <- 2
         | Subi (d, k) ->
             let a = reg t d in
             let res = a - k in
@@ -379,147 +514,157 @@ let step t =
         | Cpi (d, k) -> flags_sub t (reg t d) k (reg t d - k)
         | Com d ->
             let res = 0xFF - reg t d in
-            set_flag t Flag.c true;
-            flags_logic t res;
+            update_flags t ~mask:mask_cvzns ((1 lsl Flag.c) lor zns_bits res ~v:false);
             set_reg t d res
         | Neg d ->
             let a = reg t d in
             let res = (0x100 - a) land 0xFF in
-            set_flag t Flag.c (res <> 0);
-            set_flag t Flag.v (res = 0x80);
-            set_flag t Flag.h ((res lor a) land 0x08 <> 0);
-            set_zns t res;
+            let v = res = 0x80 in
+            update_flags t ~mask:mask_hcvzns
+              (fbit Flag.c (res <> 0) lor fbit Flag.v v
+              lor fbit Flag.h ((res lor a) land 0x08 <> 0)
+              lor zns_bits res ~v);
             set_reg t d res
         | Inc d ->
             let res = (reg t d + 1) land 0xFF in
-            set_flag t Flag.v (res = 0x80);
-            set_zns t res;
+            let v = res = 0x80 in
+            update_flags t ~mask:mask_vzns (fbit Flag.v v lor zns_bits res ~v);
             set_reg t d res
         | Dec d ->
             let res = (reg t d - 1) land 0xFF in
-            set_flag t Flag.v (res = 0x7F);
-            set_zns t res;
+            let v = res = 0x7F in
+            update_flags t ~mask:mask_vzns (fbit Flag.v v lor zns_bits res ~v);
             set_reg t d res
         | Lsr d ->
             let a = reg t d in
             let res = a lsr 1 in
-            set_flag t Flag.c (a land 1 <> 0);
-            set_flag t Flag.n false;
-            set_flag t Flag.z (res = 0);
-            set_flag t Flag.v (get_flag t Flag.c);
-            set_flag t Flag.s (get_flag t Flag.v);
+            (* n = 0, v = c, s = n xor v = v. *)
+            let c = a land 1 <> 0 in
+            update_flags t ~mask:mask_cvzns
+              (fbit Flag.c c lor fbit Flag.z (res = 0) lor fbit Flag.v c lor fbit Flag.s c);
             set_reg t d res
         | Ror d ->
             let a = reg t d in
             let res = (a lsr 1) lor (if get_flag t Flag.c then 0x80 else 0) in
-            set_flag t Flag.c (a land 1 <> 0);
-            set_zns t res;
-            set_flag t Flag.v (get_flag t Flag.n <> get_flag t Flag.c);
-            set_flag t Flag.s (get_flag t Flag.n <> get_flag t Flag.v);
+            let c = a land 1 <> 0 in
+            let n = res land 0x80 <> 0 in
+            let v = n <> c in
+            update_flags t ~mask:mask_cvzns
+              (fbit Flag.c c lor fbit Flag.z (res = 0) lor fbit Flag.n n lor fbit Flag.v v
+              lor fbit Flag.s (n <> v));
             set_reg t d res
         | Asr d ->
             let a = reg t d in
             let res = (a lsr 1) lor (a land 0x80) in
-            set_flag t Flag.c (a land 1 <> 0);
-            set_zns t res;
-            set_flag t Flag.v (get_flag t Flag.n <> get_flag t Flag.c);
+            let s0 = sreg t in
+            let c = a land 1 <> 0 in
+            let n = res land 0x80 <> 0 in
+            (* Net effect of the former sequence: S pairs N with the
+               pre-update V, then V becomes n xor c. *)
+            let v_old = (s0 lsr Flag.v) land 1 = 1 in
+            set_sreg t
+              (s0 land lnot mask_cvzns
+              lor fbit Flag.c c lor fbit Flag.z (res = 0) lor fbit Flag.n n
+              lor fbit Flag.v (n <> c) lor fbit Flag.s (n <> v_old));
             set_reg t d res
         | Swap d ->
             let a = reg t d in
             set_reg t d (((a lsl 4) lor (a lsr 4)) land 0xFF)
         | Push r ->
             push_byte t (reg t r);
-            cyc := 2
+            t.cyc <- 2
         | Pop r ->
             set_reg t r (pop_byte t);
-            cyc := 2
+            t.cyc <- 2
         | Ret ->
             t.pc <- pop_pc t;
             shadow_ret t t.pc;
-            cyc := (if t.dev.Device.pc_bytes = 3 then 5 else 4)
+            t.cyc <- (if t.dev.Device.pc_bytes = 3 then 5 else 4)
         | Reti ->
             t.pc <- pop_pc t;
             shadow_ret t t.pc;
             set_flag t Flag.i true;
-            cyc := (if t.dev.Device.pc_bytes = 3 then 5 else 4)
+            t.cyc <- (if t.dev.Device.pc_bytes = 3 then 5 else 4)
         | Icall ->
             push_pc t t.pc;
             shadow_call t t.pc;
             t.pc <- word_reg t z_reg;
-            cyc := (if t.dev.Device.pc_bytes = 3 then 4 else 3)
+            t.cyc <- (if t.dev.Device.pc_bytes = 3 then 4 else 3)
         | Ijmp ->
             t.pc <- word_reg t z_reg;
-            cyc := 2
+            t.cyc <- 2
         | Call a ->
             push_pc t t.pc;
             shadow_call t t.pc;
             t.pc <- a;
-            cyc := (if t.dev.Device.pc_bytes = 3 then 5 else 4)
+            t.cyc <- (if t.dev.Device.pc_bytes = 3 then 5 else 4)
         | Jmp a ->
             t.pc <- a;
-            cyc := 3
+            t.cyc <- 3
         | Rcall k ->
             push_pc t t.pc;
             shadow_call t t.pc;
             t.pc <- t.pc + k;
-            cyc := (if t.dev.Device.pc_bytes = 3 then 4 else 3)
+            t.cyc <- (if t.dev.Device.pc_bytes = 3 then 4 else 3)
         | Rjmp k ->
             t.pc <- t.pc + k;
-            cyc := 2
+            t.cyc <- 2
         | Brbs (b, k) -> branch t (get_flag t b) k
         | Brbc (b, k) -> branch t (not (get_flag t b)) k
         | In (d, a) -> set_reg t d (io_read t a)
         | Out (a, r) -> io_write t a (reg t r)
         | Lds (d, a) ->
             set_reg t d (data_read t a);
-            cyc := 2
+            t.cyc <- 2
         | Sts (a, r) ->
             data_write t a (reg t r);
-            cyc := 2
+            t.cyc <- 2
         | Ldd (d, b, q) ->
             let base = if b = Y then y_reg else z_reg in
             set_reg t d (data_read t (word_reg t base + q));
-            cyc := 2
+            t.cyc <- 2
         | Std (b, q, r) ->
             let base = if b = Y then y_reg else z_reg in
             data_write t (word_reg t base + q) (reg t r);
-            cyc := 2
+            t.cyc <- 2
         | Ld (d, p) ->
             set_reg t d (data_read t (ptr_access t p ~write:false));
-            cyc := 2
+            t.cyc <- 2
         | St (p, r) ->
             data_write t (ptr_access t p ~write:true) (reg t r);
-            cyc := 2
+            t.cyc <- 2
         | Adiw (d, k) ->
             let v = word_reg t d in
             let res = (v + k) land 0xFFFF in
-            set_flag t Flag.c (v + k > 0xFFFF);
-            set_flag t Flag.z (res = 0);
-            set_flag t Flag.n (res land 0x8000 <> 0);
-            set_flag t Flag.v (res land 0x8000 <> 0 && v land 0x8000 = 0);
+            update_flags t ~mask:mask_cvzn
+              (fbit Flag.c (v + k > 0xFFFF)
+              lor fbit Flag.z (res = 0)
+              lor fbit Flag.n (res land 0x8000 <> 0)
+              lor fbit Flag.v (res land 0x8000 <> 0 && v land 0x8000 = 0));
             set_word_reg t d res;
-            cyc := 2
+            t.cyc <- 2
         | Sbiw (d, k) ->
             let v = word_reg t d in
             let res = (v - k) land 0xFFFF in
-            set_flag t Flag.c (v < k);
-            set_flag t Flag.z (res = 0);
-            set_flag t Flag.n (res land 0x8000 <> 0);
-            set_flag t Flag.v (res land 0x8000 = 0 && v land 0x8000 <> 0);
+            update_flags t ~mask:mask_cvzn
+              (fbit Flag.c (v < k)
+              lor fbit Flag.z (res = 0)
+              lor fbit Flag.n (res land 0x8000 <> 0)
+              lor fbit Flag.v (res land 0x8000 = 0 && v land 0x8000 <> 0));
             set_word_reg t d res;
-            cyc := 2
+            t.cyc <- 2
         | Lpm0 ->
             set_reg t 0 (Memory.flash_byte t.mem (word_reg t z_reg));
-            cyc := 3
+            t.cyc <- 3
         | Lpm (d, inc) ->
             let z = word_reg t z_reg in
             set_reg t d (Memory.flash_byte t.mem z);
             if inc then set_word_reg t z_reg ((z + 1) land 0xFFFF);
-            cyc := 3
+            t.cyc <- 3
         | Elpm0 ->
             let rampz = Memory.data_get t.mem (io_addr t 0x3B) in
             set_reg t 0 (Memory.flash_byte t.mem ((rampz lsl 16) lor word_reg t z_reg));
-            cyc := 3
+            t.cyc <- 3
         | Elpm (d, inc) ->
             let rampz = Memory.data_get t.mem (io_addr t 0x3B) in
             let z = word_reg t z_reg in
@@ -530,13 +675,13 @@ let step t =
               set_word_reg t z_reg (full land 0xFFFF);
               Memory.data_set t.mem (io_addr t 0x3B) ((full lsr 16) land 0xFF)
             end;
-            cyc := 3
+            t.cyc <- 3
         | Sbi (a, b) ->
             io_write t a (io_read t a lor (1 lsl b));
-            cyc := 2
+            t.cyc <- 2
         | Cbi (a, b) ->
             io_write t a (io_read t a land lnot (1 lsl b));
-            cyc := 2
+            t.cyc <- 2
         | Sbic (a, b) -> if io_read t a land (1 lsl b) = 0 then skip_next t
         | Sbis (a, b) -> if io_read t a land (1 lsl b) <> 0 then skip_next t
         | Bld (d, b) ->
@@ -550,19 +695,42 @@ let step t =
         | Wdr -> ()
         | Sleep -> t.halt <- Some Sleep_mode
         | Break -> t.halt <- Some Break_hit);
-        t.cycles <- t.cycles + !cyc
+        t.cycles <- t.cycles + t.cyc
       end
 
+let step t =
+  match t.halt with
+  | Some _ -> ()
+  | None ->
+      sync_icache t;
+      exec_one t
+
+(* Batched execution: the halt state is threaded through the loop
+   condition once per instruction instead of being re-matched both by a
+   driver and by [step]; all per-instruction work happens in
+   [exec_one]'s tight path (cached fetch, no closure allocation). *)
 let run t ~max_cycles =
+  sync_icache t;
   let stop = t.cycles + max_cycles in
   let rec go () =
     match t.halt with
     | Some h -> `Halted h
-    | None -> if t.cycles >= stop then `Budget_exhausted else (step t; go ())
+    | None -> if t.cycles >= stop then `Budget_exhausted else (exec_one t; go ())
+  in
+  go ()
+
+let run_until_halt t ~max_cycles =
+  sync_icache t;
+  let stop = t.cycles + max_cycles in
+  let rec go () =
+    match t.halt with
+    | Some h -> Some h
+    | None -> if t.cycles >= stop then None else (exec_one t; go ())
   in
   go ()
 
 let run_until t ~max_cycles pred =
+  sync_icache t;
   let stop = t.cycles + max_cycles in
   let rec go () =
     match t.halt with
@@ -570,7 +738,7 @@ let run_until t ~max_cycles pred =
     | None ->
         if pred t then `Pred
         else if t.cycles >= stop then `Budget_exhausted
-        else (step t; go ())
+        else (exec_one t; go ())
   in
   go ()
 
@@ -598,10 +766,30 @@ let uart_take_tx t =
 
 let watchdog_feeds t = t.feeds
 let last_feed_cycles t = t.last_feed
-let io_peek t a = Memory.data_get t.mem (io_addr t a)
-let io_poke t a v = Memory.data_set t.mem (io_addr t a) v
+(* Host-side inspection: side-effect free, but SREG and SP live in
+   fields rather than the byte array, so those addresses are routed. *)
+let io_peek t a =
+  if a = Device.Io.sreg then t.sreg_v
+  else if a = Device.Io.spl then t.sp_v land 0xFF
+  else if a = Device.Io.sph then (t.sp_v lsr 8) land 0xFF
+  else Memory.data_get t.mem (io_addr t a)
+
+let io_poke t a v =
+  if a = Device.Io.sreg then t.sreg_v <- v land 0xFF
+  else if a = Device.Io.spl then t.sp_v <- t.sp_v land 0xFF00 lor (v land 0xFF)
+  else if a = Device.Io.sph then t.sp_v <- (v land 0xFF) lsl 8 lor (t.sp_v land 0xFF)
+  else Memory.data_set t.mem (io_addr t a) v
+
 let eeprom_peek t a = Memory.eeprom_get t.mem a
 let eeprom_poke t a v = Memory.eeprom_set t.mem a v
-let data_peek t a = Memory.data_get t.mem a
-let data_poke t a v = Memory.data_set t.mem a v
+
+let is_sp_or_sreg t a =
+  let r = a - t.dev.Device.io_base in
+  r = Device.Io.sreg || r = Device.Io.spl || r = Device.Io.sph
+
+let data_peek t a =
+  if is_sp_or_sreg t a then io_peek t (a - t.dev.Device.io_base) else Memory.data_get t.mem a
+
+let data_poke t a v =
+  if is_sp_or_sreg t a then io_poke t (a - t.dev.Device.io_base) v else Memory.data_set t.mem a v
 let stack_slice t ~pos ~len = Memory.data_slice t.mem ~pos ~len

@@ -38,8 +38,12 @@ val device : t -> Device.t
 val load_program : t -> string -> unit
 
 (** [reset t] : PC ← 0, SP ← top of SRAM, SREG ← 0, halt cleared, cycle
-    counter zeroed.  Register file and SRAM are preserved (as on real
-    hardware after an external reset). *)
+    counter zeroed.  Peripheral state is also re-initialized: the UART
+    RX queue and TX buffer are drained and the watchdog-feed /
+    interrupt counters zeroed, so a reflashed lifetime starts clean
+    rather than inheriting the previous lifetime's half-received bytes.
+    Register file and SRAM are preserved (as on real hardware after an
+    external reset). *)
 val reset : t -> unit
 
 (** {2 State accessors} *)
@@ -67,14 +71,36 @@ val force_halt : t -> halt -> unit
 (** [step t] executes one instruction (no-op when halted). *)
 val step : t -> unit
 
-(** [run t ~max_cycles] steps until halt or until at least [max_cycles]
-    cycles have elapsed since the call. *)
+(** [run t ~max_cycles] executes batched until halt or until at least
+    [max_cycles] cycles have elapsed since the call.  The per-instruction
+    dispatch comes from the predecode cache (below); halt and interrupt
+    checks are folded into the loop condition rather than paid twice per
+    instruction as with a [step] driver loop. *)
 val run : t -> max_cycles:int -> [ `Halted of halt | `Budget_exhausted ]
+
+(** [run_until_halt t ~max_cycles] is [run] for callers that only care
+    whether the CPU faulted: [Some halt] on a fault within the budget,
+    [None] when the budget is exhausted with the CPU still healthy. *)
+val run_until_halt : t -> max_cycles:int -> halt option
 
 (** [run_until t ~max_cycles pred] additionally stops when [pred t]
     becomes true (checked after every instruction). *)
 val run_until :
   t -> max_cycles:int -> (t -> bool) -> [ `Pred | `Halted of halt | `Budget_exhausted ]
+
+(** {2 Predecode cache}
+
+    Flash is decoded at most once per word address per lifetime: decoded
+    instructions are memoized in an array indexed by word PC (covering
+    every word offset, since ROP gadgets enter mid-instruction) and
+    invalidated whenever the flash epoch moves — [load_program] or a
+    bootloader page write — so a freshly randomized image never executes
+    a stale decode.  Enabled by default; the switch exists for the
+    differential tests and before/after benchmarks. *)
+
+val set_decode_cache : t -> bool -> unit
+
+val decode_cache_enabled : t -> bool
 
 (** {2 Peripherals} *)
 

@@ -4,6 +4,7 @@ type t = {
   data : Bytes.t;
   eeprom : Bytes.t;
   mutable page_writes : int;
+  mutable flash_epoch : int;
 }
 
 let create dev =
@@ -13,15 +14,18 @@ let create dev =
     data = Bytes.make (Device.data_end dev) '\x00';
     eeprom = Bytes.make dev.Device.eeprom_bytes '\xff';
     page_writes = 0;
+    flash_epoch = 0;
   }
 
 let device t = t.dev
+let flash_epoch t = t.flash_epoch
 
 let load_flash t image =
   if String.length image > Bytes.length t.flash then
     invalid_arg "Memory.load_flash: image larger than flash";
   Bytes.fill t.flash 0 (Bytes.length t.flash) '\xff';
-  Bytes.blit_string image 0 t.flash 0 (String.length image)
+  Bytes.blit_string image 0 t.flash 0 (String.length image);
+  t.flash_epoch <- t.flash_epoch + 1
 
 let flash_byte t addr =
   if addr < 0 || addr >= Bytes.length t.flash then 0xFF else Char.code (Bytes.get t.flash addr)
@@ -39,16 +43,23 @@ let flash_write_page t ~page_addr data =
   if page_addr + page > Bytes.length t.flash then
     invalid_arg "Memory.flash_write_page: beyond flash";
   Bytes.blit_string data 0 t.flash page_addr page;
-  t.page_writes <- t.page_writes + 1
+  t.page_writes <- t.page_writes + 1;
+  t.flash_epoch <- t.flash_epoch + 1
 
 let flash_page_writes t = t.page_writes
 let flash_contents t = Bytes.to_string t.flash
+
+(* Register-file fast path: addresses 0..31 are always inside the data
+   array, so skip the range test.  The [land 31] keeps the access memory
+   safe even for a hand-constructed out-of-range register number. *)
+let reg_get t r = Char.code (Bytes.unsafe_get t.data (r land 31))
+let reg_set t r v = Bytes.unsafe_set t.data (r land 31) (Char.unsafe_chr (v land 0xFF))
 
 let data_get t addr =
   if addr < 0 || addr >= Bytes.length t.data then 0 else Char.code (Bytes.get t.data addr)
 
 let data_set t addr v =
-  if addr >= 0 && addr < Bytes.length t.data then Bytes.set t.data addr (Char.chr (v land 0xFF))
+  if addr >= 0 && addr < Bytes.length t.data then Bytes.set t.data addr (Char.unsafe_chr (v land 0xFF))
 
 let in_data_space t addr = addr >= 0 && addr < Bytes.length t.data
 

@@ -39,6 +39,12 @@ val flash_page_writes : t -> int
 (** Copy of the full flash contents (for host-side scanning/disassembly). *)
 val flash_contents : t -> string
 
+(** [flash_epoch t] increments on every flash mutation ({!load_flash} or
+    {!flash_write_page}).  Consumers that cache decoded program words
+    (the CPU's predecode cache) compare epochs to detect a reflash —
+    the per-lifetime re-randomization path — and invalidate. *)
+val flash_epoch : t -> int
+
 (** {2 Data space} *)
 
 (** Raw data-space accessors: no I/O side effects (used by the CPU for
@@ -46,6 +52,13 @@ val flash_contents : t -> string
 val data_get : t -> int -> int
 
 val data_set : t -> int -> int -> unit
+
+(** Register-file accessors for the CPU's hot path: like [data_get] /
+    [data_set] but specialized to the 32 registers at data 0x00..0x1F
+    (the register index is masked to that range rather than checked). *)
+val reg_get : t -> int -> int
+
+val reg_set : t -> int -> int -> unit
 
 (** [in_data_space t addr] is true when [addr] is a legal data address. *)
 val in_data_space : t -> int -> bool

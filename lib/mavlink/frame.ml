@@ -43,28 +43,29 @@ let pp_error fmt = function
   | Bad_crc { got; expected } -> Format.fprintf fmt "bad CRC: got 0x%04x, expected 0x%04x" got expected
   | Truncated -> Format.pp_print_string fmt "truncated frame"
 
-let decode ?(crc_extra_of = Messages.crc_extra_of) s =
-  let n = String.length s in
+let decode ?(crc_extra_of = Messages.crc_extra_of) ?(pos = 0) s =
+  let n = String.length s - pos in
+  if pos < 0 || pos > String.length s then invalid_arg "Frame.decode: pos out of range";
   if n < 1 then Error Truncated
-  else if Char.code s.[0] <> magic then Error Bad_magic
+  else if Char.code s.[pos] <> magic then Error Bad_magic
   else if n < header_len then Error Truncated
   else begin
-    let len = Char.code s.[1] in
+    let len = Char.code s.[pos + 1] in
     let total = header_len + len + crc_len in
     if n < total then Error Truncated
     else begin
-      let seq = Char.code s.[2] in
-      let sysid = Char.code s.[3] in
-      let compid = Char.code s.[4] in
-      let msgid = Char.code s.[5] in
-      let payload = String.sub s header_len len in
+      let seq = Char.code s.[pos + 2] in
+      let sysid = Char.code s.[pos + 3] in
+      let compid = Char.code s.[pos + 4] in
+      let msgid = Char.code s.[pos + 5] in
+      let payload = String.sub s (pos + header_len) len in
       let crc =
         Crc.accumulate
-          (Crc.accumulate_string Crc.init (String.sub s 1 (header_len - 1 + len)))
+          (Crc.accumulate_string Crc.init (String.sub s (pos + 1) (header_len - 1 + len)))
           (crc_extra_of msgid)
       in
       let expected = Crc.value crc in
-      let got = Char.code s.[total - 2] lor (Char.code s.[total - 1] lsl 8) in
+      let got = Char.code s.[pos + total - 2] lor (Char.code s.[pos + total - 1] lsl 8) in
       if got <> expected then Error (Bad_crc { got; expected })
       else Ok ({ seq; sysid; compid; msgid; payload }, total)
     end

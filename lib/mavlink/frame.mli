@@ -35,8 +35,11 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-(** [decode ?crc_extra s] parses one complete frame from the start of [s];
-    returns the frame and the number of bytes consumed. *)
-val decode : ?crc_extra_of:(int -> int) -> string -> (t * int, error) result
+(** [decode ?crc_extra ?pos s] parses one complete frame starting at
+    offset [pos] (default 0) of [s]; returns the frame and the number of
+    bytes consumed from [pos].  Taking an offset lets streaming callers
+    scan a buffer without copying a fresh suffix per attempt.
+    @raise Invalid_argument when [pos] is outside [s]. *)
+val decode : ?crc_extra_of:(int -> int) -> ?pos:int -> string -> (t * int, error) result
 
 val wire_length : t -> int

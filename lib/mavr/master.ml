@@ -156,7 +156,7 @@ let supervise t ~app ~cycles =
   while !remaining > 0 do
     let slice = min 1_000 !remaining in
     let before = Cpu.cycles app in
-    ignore (Cpu.run app ~max_cycles:slice);
+    ignore (Cpu.run_until_halt app ~max_cycles:slice);
     let ran = Cpu.cycles app - before in
     remaining := !remaining - max 1 (if ran >= 0 then ran else slice);
     ignore (check_and_recover t ~app)

@@ -56,7 +56,7 @@ let tick t =
   | frame :: rest ->
       Cpu.uart_send t.app frame;
       t.uplink <- rest);
-  ignore (Cpu.run t.app ~max_cycles:t.cycles_per_ms);
+  ignore (Cpu.run_until_halt t.app ~max_cycles:t.cycles_per_ms);
   (match t.master with Some m -> ignore (Master.check_and_recover m ~app:t.app) | None -> ());
   t.now_ms <- t.now_ms +. 1.0;
   Groundstation.feed t.gcs ~now_ms:t.now_ms (Cpu.uart_take_tx t.app);

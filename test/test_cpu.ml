@@ -216,6 +216,62 @@ let test_cycle_counts () =
   Alcotest.(check int) "taken branch is 2" 3
     (cycles Isa.[ Cp (0, 0); Brbs (1, 0); Break ])
 
+let test_skip_cycle_costs () =
+  (* Datasheet costs for cpse/sbic/sbis: 1 cycle when not skipping,
+     2 when skipping a 1-word instruction, 3 when skipping a 2-word
+     one.  Step up to the skip instruction, then measure it alone. *)
+  let skip_cost ~setup_steps insns =
+    let cpu = load insns in
+    for _ = 1 to setup_steps do Cpu.step cpu done;
+    let c0 = Cpu.cycles cpu in
+    Cpu.step cpu;
+    Cpu.cycles cpu - c0
+  in
+  Alcotest.(check int) "cpse no skip" 1
+    (skip_cost ~setup_steps:2 Isa.[ Ldi (16, 1); Ldi (17, 2); Cpse (16, 17); Nop; Break ]);
+  Alcotest.(check int) "cpse skip 1-word" 2
+    (skip_cost ~setup_steps:2 Isa.[ Ldi (16, 1); Ldi (17, 1); Cpse (16, 17); Nop; Break ]);
+  Alcotest.(check int) "cpse skip 2-word" 3
+    (skip_cost ~setup_steps:2
+       Isa.[ Ldi (16, 1); Ldi (17, 1); Cpse (16, 17); Sts (0x500, 16); Break ]);
+  (* I/O 0x15 is plain memory-backed: bit 0 starts clear. *)
+  Alcotest.(check int) "sbic skip 1-word (bit clear)" 2
+    (skip_cost ~setup_steps:0 Isa.[ Sbic (0x15, 0); Nop; Break ]);
+  Alcotest.(check int) "sbic no skip" 1
+    (skip_cost ~setup_steps:1 Isa.[ Sbi (0x15, 0); Sbic (0x15, 0); Nop; Break ]);
+  Alcotest.(check int) "sbis no skip (bit clear)" 1
+    (skip_cost ~setup_steps:0 Isa.[ Sbis (0x15, 0); Nop; Break ]);
+  Alcotest.(check int) "sbis skip 2-word" 3
+    (skip_cost ~setup_steps:1
+       Isa.[ Sbi (0x15, 0); Sbis (0x15, 0); Sts (0x500, 16); Break ])
+
+let test_reflash_clears_peripherals () =
+  (* A reflash mid-receive must start the new lifetime clean: no pending
+     RX bytes (a half-received attack payload would replay into the
+     fresh image), no untaken TX, no inherited watchdog/interrupt
+     tallies. *)
+  let insns =
+    Isa.[
+      Ldi (16, 1); Out (Device.Io.wdt_feed, 16);
+      In (24, Device.Io.udr); Out (Device.Io.udr, 24);
+      Break;
+    ]
+  in
+  let cpu = load insns in
+  Cpu.uart_send cpu "attack-payload";
+  run_all cpu;
+  Alcotest.(check bool) "rx pending before reflash" true (Cpu.uart_rx_pending cpu > 0);
+  Alcotest.(check bool) "feeds counted" true (Cpu.watchdog_feeds cpu > 0);
+  (* Reflash (same image, fresh lifetime) while bytes are still queued. *)
+  Cpu.load_program cpu (String.concat "" (List.map Opcode.encode_bytes insns));
+  Alcotest.(check int) "rx drained" 0 (Cpu.uart_rx_pending cpu);
+  Alcotest.(check string) "tx cleared" "" (Cpu.uart_take_tx cpu);
+  Alcotest.(check int) "feeds zeroed" 0 (Cpu.watchdog_feeds cpu);
+  Alcotest.(check int) "interrupts zeroed" 0 (Cpu.interrupts_taken cpu);
+  (* The fresh lifetime reads zeroes from the UART, not old bytes. *)
+  run_all cpu;
+  Alcotest.(check string) "fresh lifetime echoes silence" "\x00" (Cpu.uart_take_tx cpu)
+
 let test_reset_preserves_memory () =
   let cpu = load Isa.[ Ldi (16, 7); Sts (0x600, 16); Break ] in
   run_all cpu;
@@ -247,6 +303,7 @@ let () =
           Alcotest.test_case "icall" `Quick test_rcall_icall;
           Alcotest.test_case "branches" `Quick test_branches;
           Alcotest.test_case "cpse skips 2-word" `Quick test_cpse_skips_two_word;
+          Alcotest.test_case "skip cycle costs" `Quick test_skip_cycle_costs;
         ] );
       ( "memory",
         [
@@ -262,5 +319,6 @@ let () =
           Alcotest.test_case "watchdog feed" `Quick test_watchdog_feed;
           Alcotest.test_case "cycle accounting" `Quick test_cycle_counts;
           Alcotest.test_case "reset semantics" `Quick test_reset_preserves_memory;
+          Alcotest.test_case "reflash clears peripherals" `Quick test_reflash_clears_peripherals;
         ] );
     ]

@@ -1,0 +1,136 @@
+(* Predecode-cache equivalence: dispatching from the cache must be
+   architecturally invisible on the real firmware images — identical
+   registers, SREG, SP, PC, cycle count, and halt reason to decoding
+   every instruction from flash — and the cache must never survive a
+   reflash (the per-lifetime re-randomization path). *)
+
+module Cpu = Mavr_avr.Cpu
+module Memory = Mavr_avr.Memory
+module Opcode = Mavr_avr.Opcode
+module Isa = Mavr_avr.Isa
+module Device = Mavr_avr.Device
+module Image = Mavr_obj.Image
+module F = Mavr_firmware
+
+let arch_state cpu =
+  ( Cpu.pc cpu,
+    Cpu.sp cpu,
+    Cpu.sreg cpu,
+    Cpu.cycles cpu,
+    Cpu.instructions_retired cpu,
+    Cpu.halted cpu,
+    List.init 32 (Cpu.reg cpu) )
+
+let boot_pair (image : Image.t) =
+  let mk cache =
+    let cpu = Cpu.create () in
+    Cpu.set_decode_cache cpu cache;
+    Cpu.load_program cpu image.Image.code;
+    cpu
+  in
+  (mk true, mk false)
+
+let check_same name cached raw =
+  Alcotest.(check bool) (name ^ ": architectural state identical") true
+    (arch_state cached = arch_state raw)
+
+let test_firmware_profiles_identical () =
+  (* Run each toolchain variant of the tiny profile for a full firmware
+     slice (boot, MAVLink traffic, telemetry), comparing end states. *)
+  List.iter
+    (fun (name, build) ->
+      let b : F.Build.t = build () in
+      let cached, raw = boot_pair b.F.Build.image in
+      let frame =
+        Mavr_mavlink.Frame.encode
+          { Mavr_mavlink.Frame.seq = 1; sysid = 255; compid = 0; msgid = 76; payload = "go" }
+      in
+      Cpu.uart_send cached frame;
+      Cpu.uart_send raw frame;
+      ignore (Cpu.run_until_halt cached ~max_cycles:400_000);
+      ignore (Cpu.run_until_halt raw ~max_cycles:400_000);
+      check_same name cached raw;
+      Alcotest.(check string) (name ^ ": identical telemetry")
+        (Cpu.uart_take_tx raw) (Cpu.uart_take_tx cached))
+    [
+      ("mavr", Helpers.build_mavr);
+      ("stock", Helpers.build_stock);
+      ("patched", Helpers.build_patched);
+    ]
+
+let test_identical_across_reflash_lifetimes () =
+  (* Drive both CPUs through randomized reflash lifetimes: every
+     generation is a different image at the same flash epoch cadence the
+     MAVR master produces, so any stale decode served after a reflash
+     diverges the pair. *)
+  let b = Helpers.build_mavr () in
+  let cached, raw = boot_pair b.F.Build.image in
+  for generation = 1 to 4 do
+    let r = Mavr_core.Randomize.randomize ~seed:(generation * 31) b.F.Build.image in
+    Cpu.load_program cached r.Image.code;
+    Cpu.load_program raw r.Image.code;
+    ignore (Cpu.run_until_halt cached ~max_cycles:150_000);
+    ignore (Cpu.run_until_halt raw ~max_cycles:150_000);
+    check_same (Printf.sprintf "generation %d" generation) cached raw
+  done
+
+let test_cache_invalidated_on_load_program () =
+  (* Same CPU, two programs: after a reflash the cached CPU must execute
+     the new code, not stale decodes of the old. *)
+  let prog insns = String.concat "" (List.map Opcode.encode_bytes insns) in
+  let cpu = Cpu.create () in
+  Cpu.set_decode_cache cpu true;
+  Cpu.load_program cpu (prog Isa.[ Ldi (16, 0x11); Break ]);
+  ignore (Cpu.run cpu ~max_cycles:100);
+  Alcotest.(check int) "first program ran" 0x11 (Cpu.reg cpu 16);
+  Cpu.load_program cpu (prog Isa.[ Ldi (16, 0x22); Break ]);
+  ignore (Cpu.run cpu ~max_cycles:100);
+  Alcotest.(check int) "reflash executes new code" 0x22 (Cpu.reg cpu 16)
+
+let test_cache_invalidated_on_flash_page_write () =
+  (* A bootloader-style page write must also bump the flash epoch and
+     drop cached decodes. *)
+  let prog insns = String.concat "" (List.map Opcode.encode_bytes insns) in
+  let cpu = Cpu.create () in
+  Cpu.set_decode_cache cpu true;
+  let page = (Cpu.device cpu).Device.flash_page_bytes in
+  let pad code = code ^ String.make (page - String.length code) '\xff' in
+  Cpu.load_program cpu (pad (prog Isa.[ Ldi (16, 0x11); Break ]));
+  ignore (Cpu.run cpu ~max_cycles:100);
+  Alcotest.(check int) "first program ran" 0x11 (Cpu.reg cpu 16);
+  Memory.flash_write_page (Cpu.mem cpu) ~page_addr:0
+    (pad (prog Isa.[ Ldi (16, 0x33); Break ]));
+  Cpu.reset cpu;
+  ignore (Cpu.run cpu ~max_cycles:100);
+  Alcotest.(check int) "page write executes new code" 0x33 (Cpu.reg cpu 16)
+
+let test_disabled_cache_still_correct () =
+  (* The escape hatch: with the cache off the CPU must behave
+     identically (it is the reference the differential checks lean on). *)
+  let cpu = Cpu.create () in
+  Cpu.set_decode_cache cpu false;
+  Alcotest.(check bool) "reports disabled" false (Cpu.decode_cache_enabled cpu);
+  Cpu.load_program cpu
+    (String.concat "" (List.map Opcode.encode_bytes Isa.[ Ldi (20, 0x5A); Break ]));
+  ignore (Cpu.run cpu ~max_cycles:100);
+  Alcotest.(check int) "runs uncached" 0x5A (Cpu.reg cpu 20)
+
+let () =
+  Alcotest.run "decode-cache"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "firmware profiles identical" `Quick
+            test_firmware_profiles_identical;
+          Alcotest.test_case "identical across reflash lifetimes" `Quick
+            test_identical_across_reflash_lifetimes;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "load_program invalidates" `Quick
+            test_cache_invalidated_on_load_program;
+          Alcotest.test_case "flash page write invalidates" `Quick
+            test_cache_invalidated_on_flash_page_write;
+          Alcotest.test_case "cache can be disabled" `Quick test_disabled_cache_still_correct;
+        ] );
+    ]

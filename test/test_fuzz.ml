@@ -75,6 +75,46 @@ let prop_parser_never_raises =
       ignore (Parser.feed p junk);
       true)
 
+let prop_decode_cache_differential =
+  (* The predecode cache must be architecturally invisible: random code
+     (dense AVR encodings make random words mostly-valid instructions,
+     with illegal/wild halts mixed in) is stepped in lockstep through a
+     cached and an uncached CPU, diffing the full architectural state
+     after every instruction.  Each round reflashes both CPUs with fresh
+     random code mid-run, so a stale cache surviving the flash epoch
+     bump would be caught as a state divergence. *)
+  QCheck.Test.make ~name:"decode cache differential vs raw decode" ~count:40
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let cached = Cpu.create () in
+      Cpu.set_decode_cache cached true;
+      let raw = Cpu.create () in
+      Cpu.set_decode_cache raw false;
+      let state cpu =
+        ( Cpu.pc cpu, Cpu.sp cpu, Cpu.sreg cpu, Cpu.cycles cpu,
+          Cpu.instructions_retired cpu, Cpu.halted cpu,
+          List.init 32 (Cpu.reg cpu) )
+      in
+      let ok = ref true in
+      for _round = 1 to 3 do
+        let code = String.init 512 (fun _ -> Char.chr (Rng.int rng 256)) in
+        Cpu.load_program cached code;
+        Cpu.load_program raw code;
+        (try
+           for _ = 1 to 200 do
+             Cpu.step cached;
+             Cpu.step raw;
+             if state cached <> state raw then begin
+               ok := false;
+               raise Exit
+             end;
+             if Cpu.halted cached <> None then raise Exit
+           done
+         with Exit -> ())
+      done;
+      !ok && state cached = state raw)
+
 let test_zero_length_param_set_harmless () =
   let b = Helpers.build_mavr () in
   let cpu = Helpers.boot b.image in
@@ -129,4 +169,5 @@ let () =
           Helpers.qtest prop_parser_chunking_invariant;
           Helpers.qtest prop_parser_never_raises;
         ] );
+      ("decode-cache", [ Helpers.qtest prop_decode_cache_differential ]);
     ]

@@ -82,6 +82,81 @@ let test_parser_crc_error_recovery () =
   Alcotest.(check int) "good frame after bad" 1 (List.length frames);
   Alcotest.(check int) "crc error counted" 1 (Parser.stats p).crc_errors
 
+let test_parser_bulk_totals () =
+  (* 1000 back-to-back frames with interleaved garbage and corrupted
+     CRCs: the stats must account for every byte exactly once.  Frames
+     are built so no wire byte after the leading magic equals 0xFE —
+     otherwise the resync after a corrupted frame would lock onto a
+     payload byte and the expected totals become layout-dependent. *)
+  let magic_free s =
+    let clean = ref true in
+    String.iteri (fun i c -> if i > 0 && Char.code c = Frame.magic then clean := false) s;
+    !clean
+  in
+  let mk_wire k =
+    let rec pick c =
+      let f =
+        (* seq stays below 0xFE: a 0xFE sequence byte would be a magic
+           in the header that no payload choice can remove. *)
+        { Frame.seq = k mod 200; sysid = 1; compid = 1; msgid = 30;
+          payload = String.make 8 (Char.chr c) }
+      in
+      let w = Frame.encode f in
+      if magic_free w then w else pick (c + 1)
+    in
+    pick (Char.code 'A')
+  in
+  let corrupt w =
+    (* Flip the CRC low byte, avoiding an accidental 0xFE. *)
+    let b = Bytes.of_string w in
+    let i = Bytes.length b - 2 in
+    let flip x = Char.chr (Char.code (Bytes.get b i) lxor x) in
+    Bytes.set b i (if flip 0x5A = '\xFE' then flip 0x3C else flip 0x5A);
+    Bytes.to_string b
+  in
+  let garbage = "GARBAGE" in
+  let total = 1000 in
+  let buf = Buffer.create 20_000 in
+  let expect_ok = ref 0 and expect_crc = ref 0 and expect_drop = ref 0 in
+  for k = 1 to total do
+    let w = mk_wire k in
+    if k mod 10 = 0 then begin
+      (* The parser drops the bad frame's magic on the CRC error, then
+         resyncs over the rest: the whole frame ends up dropped. *)
+      Buffer.add_string buf (corrupt w);
+      incr expect_crc;
+      expect_drop := !expect_drop + String.length w
+    end
+    else begin
+      Buffer.add_string buf w;
+      incr expect_ok
+    end;
+    if k mod 7 = 0 then begin
+      Buffer.add_string buf garbage;
+      expect_drop := !expect_drop + String.length garbage
+    end
+  done;
+  let stream = Buffer.contents buf in
+  (* Feed in prime-sized chunks so frames split across feeds and the
+     carry-over buffering path is exercised throughout. *)
+  let p = Parser.create () in
+  let frames = ref [] in
+  let pos = ref 0 in
+  while !pos < String.length stream do
+    let n = min 997 (String.length stream - !pos) in
+    frames := !frames @ Parser.feed p (String.sub stream !pos n);
+    pos := !pos + n
+  done;
+  let st = Parser.stats p in
+  Alcotest.(check int) "frames parsed" !expect_ok (List.length !frames);
+  Alcotest.(check int) "frames_ok" !expect_ok st.Parser.frames_ok;
+  Alcotest.(check int) "crc_errors" !expect_crc st.Parser.crc_errors;
+  Alcotest.(check int) "bytes_dropped" !expect_drop st.Parser.bytes_dropped;
+  (* Byte accounting: parsed + dropped + still-buffered = fed. *)
+  let parsed_bytes = List.fold_left (fun a f -> a + Frame.wire_length f) 0 !frames in
+  Alcotest.(check int) "every byte accounted once" (String.length stream)
+    (parsed_bytes + st.Parser.bytes_dropped + Parser.pending p)
+
 let test_messages_catalog () =
   List.iter
     (fun (d : Messages.def) ->
@@ -241,6 +316,7 @@ let () =
           Alcotest.test_case "byte-wise reassembly" `Quick test_parser_reassembles_chunks;
           Alcotest.test_case "resync after garbage" `Quick test_parser_resync_after_garbage;
           Alcotest.test_case "crc error recovery" `Quick test_parser_crc_error_recovery;
+          Alcotest.test_case "bulk totals" `Quick test_parser_bulk_totals;
         ] );
       ( "messages",
         [
