@@ -1,0 +1,51 @@
+(* Bench smoke checker, wired into `dune runtest`: the --quick --json
+   document must parse with the in-tree codec and carry every headline
+   key downstream tooling reads (BENCH_PR<n>.json consumers, EXPERIMENTS
+   bookkeeping).  Exits nonzero on any miss. *)
+
+module Json = Mavr_telemetry.Json
+
+let required =
+  [
+    [ "schema" ];
+    [ "quick" ];
+    [ "table1"; "avg_functions" ];
+    [ "table2"; "avg_startup_ms" ];
+    [ "effectiveness"; "seeds" ];
+    [ "effectiveness"; "succeeded" ];
+    [ "decode_cache"; "cached_insn_per_s" ];
+    [ "decode_cache"; "speedup" ];
+    [ "decode_cache"; "arch_state_identical" ];
+    [ "telemetry_overhead"; "disabled_insn_per_s" ];
+    [ "telemetry_overhead"; "enabled_insn_per_s" ];
+    [ "telemetry_overhead"; "enabled_overhead_pct" ];
+  ]
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: check.exe BENCH.json";
+    exit 2
+  end;
+  let path = Sys.argv.(1) in
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.of_string s with
+  | Error e ->
+      Printf.eprintf "bench smoke: %s does not parse: %s\n" path e;
+      exit 1
+  | Ok doc ->
+      let missing = List.filter (fun p -> Json.path p doc = None) required in
+      List.iter
+        (fun p -> Printf.eprintf "bench smoke: missing key %s\n" (String.concat "." p))
+        missing;
+      if missing <> [] then exit 1;
+      (match Option.bind (Json.path [ "schema" ] doc) Json.to_str with
+      | Some "mavr-bench" -> ()
+      | Some other ->
+          Printf.eprintf "bench smoke: unexpected schema %S\n" other;
+          exit 1
+      | None ->
+          prerr_endline "bench smoke: schema is not a string";
+          exit 1);
+      Printf.printf "bench smoke: %s OK (%d keys present)\n" path (List.length required)

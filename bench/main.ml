@@ -2,8 +2,12 @@
    paper's evaluation (§VII, plus the analytical artifacts of §V-D and
    §VIII-B), then runs Bechamel micro-benchmarks of this implementation.
 
-     dune exec bench/main.exe
-*)
+     dune exec bench/main.exe -- [--quick] [--json PATH]
+
+   --quick shrinks the emulator cycle budgets and skips the Bechamel
+   micro-benchmarks (the CI smoke configuration); --json additionally
+   writes the headline numbers as a machine-readable JSON document
+   (committed as BENCH_PR<n>.json for cross-PR comparison). *)
 
 module Cpu = Mavr_avr.Cpu
 module Io = Mavr_avr.Device.Io
@@ -15,6 +19,16 @@ module Randomize = Mavr_core.Randomize
 module Serial = Mavr_core.Serial
 module Security = Mavr_core.Security
 module Nat = Mavr_bignum.Nat
+
+module J = Mavr_telemetry.Json
+
+let quick = ref false
+let json_out : string option ref = ref None
+
+(* Headline numbers accumulated by the sections below and emitted as the
+   machine-readable result document when --json is given. *)
+let results : (string * J.t) list ref = ref []
+let put key v = results := (key, v) :: !results
 
 let section title =
   Printf.printf "\n==================================================================\n";
@@ -76,7 +90,8 @@ let table1 () =
   in
   let sorted = List.sort compare counts in
   let avg = float_of_int (List.fold_left ( + ) 0 counts) /. 3.0 in
-  Printf.printf "  average %.2f (paper 915.67), median %d (paper 917)\n" avg (List.nth sorted 1)
+  Printf.printf "  average %.2f (paper 915.67), median %d (paper 917)\n" avg (List.nth sorted 1);
+  put "table1" (J.Obj [ ("avg_functions", J.Float avg); ("median_functions", J.Int (List.nth sorted 1)) ])
 
 let table3 () =
   section "Table III — CHANGE IN CODE SIZE (stock vs MAVR toolchain)";
@@ -113,6 +128,10 @@ let table2 () =
   Printf.printf "  average %.0f ms (paper 18609), throughput %.2f B/ms (paper: 11)\n"
     (List.fold_left ( +. ) 0.0 mss /. 3.0)
     (Serial.bytes_per_ms Serial.prototype);
+  put "table2"
+    (J.Obj
+       [ ("avg_startup_ms", J.Float (List.fold_left ( +. ) 0.0 mss /. 3.0));
+         ("throughput_bytes_per_ms", J.Float (Serial.bytes_per_ms Serial.prototype)) ]);
   Printf.printf "  production estimate (mega-baud link, flash-write-bound): %.1f s for 256 KB (paper: ~4 s)\n"
     (Serial.programming_ms Serial.production (256 * 1024) /. 1000.0);
   (* §VI-B3: the randomizer streams function-by-function; its working set
@@ -221,7 +240,7 @@ let effectiveness () =
   (match outcome b.image with
   | `Success -> print_endline "  unprotected binary: attack SUCCEEDS (stealthy takeover)"
   | _ -> print_endline "  unprotected binary: unexpected failure!");
-  let seeds = 40 in
+  let seeds = if !quick then 8 else 40 in
   let succ = ref 0 and crash = ref 0 and silent = ref 0 in
   for seed = 1 to seeds do
     match outcome (Randomize.randomize ~seed b.image) with
@@ -231,6 +250,10 @@ let effectiveness () =
   done;
   Printf.printf "  randomized binaries (%d seeds): %d succeeded, %d crashed (detected+reflashed), %d failed silently\n"
     seeds !succ !crash !silent;
+  put "effectiveness"
+    (J.Obj
+       [ ("seeds", J.Int seeds); ("succeeded", J.Int !succ); ("crashed", J.Int !crash);
+         ("silent", J.Int !silent) ]);
   Printf.printf "  (paper: none of the attacks succeeded; the board executed garbage and was reflashed)\n";
   (* Recovery: a wrong guess with the master watching. *)
   let m = Mavr_core.Master.create () in
@@ -353,7 +376,7 @@ let decode_cache_bench () =
      paper's recovery loop), so measure across lifetimes: reset on halt
      and keep retiring instructions until the cycle budget is spent.
      Reset does not touch flash, so the cached path keeps its decodes. *)
-  let budget = 20_000_000 in
+  let budget = if !quick then 2_000_000 else 20_000_000 in
   let measure cpu run_slice =
     let spent = ref 0 in
     let retired = ref 0 in
@@ -398,8 +421,69 @@ let decode_cache_bench () =
     ( Cpu.pc cpu, Cpu.sp cpu, Cpu.sreg cpu, Cpu.cycles cpu, Cpu.instructions_retired cpu,
       Cpu.halted cpu, List.init 32 (Cpu.reg cpu) )
   in
-  Printf.printf "  cached/uncached architectural state identical: %b\n"
-    (arch true = arch false)
+  let identical = arch true = arch false in
+  Printf.printf "  cached/uncached architectural state identical: %b\n" identical;
+  put "decode_cache"
+    (J.Obj
+       [ ("legacy_insn_per_s", J.Float legacy);
+         ("batched_uncached_insn_per_s", J.Float uncached);
+         ("cached_insn_per_s", J.Float cached);
+         ("speedup", J.Float (cached /. legacy));
+         ("arch_state_identical", J.Bool identical) ])
+
+(* ---------------------------------------------------------------- *)
+(* The PR-2 overhead contract: with no probes attached the CPU hot path
+   pays a single flag test per instruction (disabled throughput must stay
+   within 3% of the PR-1 cached figure); the full probe bundle moves all
+   its cost onto the enabled path, and this section measures the price. *)
+
+let telemetry_overhead_bench () =
+  section "Telemetry overhead — CPU probes disabled vs enabled (cached batched run)";
+  let _, _, arduplane = List.hd (Lazy.force builds) in
+  let image = arduplane.F.Build.image in
+  let budget = if !quick then 2_000_000 else 20_000_000 in
+  let measure ~instrument =
+    let cpu = Cpu.create () in
+    Cpu.set_decode_cache cpu true;
+    Cpu.load_program cpu image.Image.code;
+    let probes =
+      if instrument then
+        Some (Mavr_avr.Probes.attach ~registry:(Mavr_telemetry.Metrics.create ()) cpu)
+      else None
+    in
+    ignore (Cpu.run_until_halt cpu ~max_cycles:200_000);
+    if Cpu.halted cpu <> None then Cpu.reset cpu;
+    let spent = ref 0 and retired = ref 0 in
+    let t0 = Sys.time () in
+    while !spent < budget do
+      let c0 = Cpu.cycles cpu and r0 = Cpu.instructions_retired cpu in
+      ignore (Cpu.run_until_halt cpu ~max_cycles:(budget - !spent));
+      spent := !spent + max 1 (Cpu.cycles cpu - c0);
+      retired := !retired + (Cpu.instructions_retired cpu - r0);
+      if Cpu.halted cpu <> None then Cpu.reset cpu
+    done;
+    let dt = Sys.time () -. t0 in
+    let rate = float_of_int !retired /. (if dt > 0.0 then dt else epsilon_float) in
+    (rate, probes)
+  in
+  let disabled, _ = measure ~instrument:false in
+  let enabled, probes = measure ~instrument:true in
+  let overhead_pct = 100.0 *. (disabled -. enabled) /. disabled in
+  Printf.printf "  probes disabled (tap flag only)  : %12.0f insn/s\n" disabled;
+  Printf.printf "  probes enabled (full bundle)     : %12.0f insn/s\n" enabled;
+  Printf.printf "  enabled-path overhead            : %12.1f %%\n" overhead_pct;
+  (match probes with
+  | Some p ->
+      let reg = Mavr_avr.Probes.registry p in
+      let metrics = Mavr_telemetry.Metrics.snapshot reg in
+      Printf.printf "  (bundle live: %d metrics registered, %d faults recorded)\n"
+        (List.length metrics) (Mavr_avr.Probes.faults_seen p)
+  | None -> ());
+  put "telemetry_overhead"
+    (J.Obj
+       [ ("disabled_insn_per_s", J.Float disabled);
+         ("enabled_insn_per_s", J.Float enabled);
+         ("enabled_overhead_pct", J.Float overhead_pct) ])
 
 (* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks of this implementation.                 *)
@@ -459,7 +543,24 @@ let microbenchmarks () =
   in
   List.iter benchmark tests
 
+let write_json path =
+  let doc =
+    J.Obj
+      ([ ("schema", J.String "mavr-bench"); ("pr", J.Int 2); ("quick", J.Bool !quick) ]
+      @ List.rev !results)
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string ~indent:2 doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nJSON results written to %s\n" path
+
 let () =
+  Arg.parse
+    [ ("--quick", Arg.Set quick, " reduced cycle budgets, no micro-benchmarks (CI smoke)");
+      ("--json", Arg.String (fun p -> json_out := Some p), "PATH write machine-readable results") ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "main.exe [--quick] [--json PATH]";
   print_endline "MAVR reproduction — evaluation harness";
   fig1_memory_map ();
   fig2_mavlink ();
@@ -474,5 +575,7 @@ let () =
   runtime_defense_ablation ();
   randomizability ();
   decode_cache_bench ();
-  microbenchmarks ();
+  telemetry_overhead_bench ();
+  if not !quick then microbenchmarks ();
+  (match !json_out with Some path -> write_json path | None -> ());
   print_endline "\nDone.  See EXPERIMENTS.md for the paper-vs-measured discussion."

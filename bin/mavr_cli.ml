@@ -6,8 +6,12 @@
      randomize  randomize a preprocessed HEX (what the master does at boot)
      attack     run the stealthy attack demo against a profile
      fly        closed-loop defended/undefended flight
+     stats      instrumented flight: telemetry registry summary (or --json)
+     flight-record  induce a fault and print the flight-recorder dump
      tables     print the paper-table reproductions (also in bench/main.exe)
-*)
+
+   Exit codes: 0 success, 1 operation failed (gadgets absent, randomization
+   had no effect, output not writable, no fault captured), 2 usage error. *)
 
 open Cmdliner
 module Image = Mavr_obj.Image
@@ -45,14 +49,18 @@ let cmd_build =
   let run profile toolchain out =
     let b = build_firmware profile toolchain in
     Format.printf "%a@." Image.pp_summary b.image;
-    (match out with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Mavr_obj.Symtab.to_hex b.image);
-        close_out oc;
-        Format.printf "preprocessed HEX written to %s@." path
-    | None -> ());
-    0
+    match out with
+    | Some path -> (
+        try
+          let oc = open_out path in
+          output_string oc (Mavr_obj.Symtab.to_hex b.image);
+          close_out oc;
+          Format.printf "preprocessed HEX written to %s@." path;
+          0
+        with Sys_error msg ->
+          Format.eprintf "error: cannot write %s: %s@." path msg;
+          1)
+    | None -> 0
   in
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
@@ -71,15 +79,20 @@ let cmd_gadgets =
     List.iter
       (fun (k, n) -> Format.printf "  %-10s %d@." (Mavr_core.Gadget.kind_name k) n)
       (Mavr_core.Gadget.count_by_kind gadgets);
-    (match Mavr_core.Gadget.locate_paper_gadgets b.image with
-    | Some g ->
-        Format.printf "paper gadgets: stk_move@@0x%x write_mem@@0x%x@." g.stk_move g.write_mem
-    | None -> print_endline "paper gadgets: not found");
+    let found =
+      match Mavr_core.Gadget.locate_paper_gadgets b.image with
+      | Some g ->
+          Format.printf "paper gadgets: stk_move@@0x%x write_mem@@0x%x@." g.stk_move g.write_mem;
+          true
+      | None ->
+          print_endline "paper gadgets: not found";
+          false
+    in
     if verbose then
       List.iteri
         (fun i g -> if i < 20 then Format.printf "%a@." Mavr_core.Gadget.pp g)
         gadgets;
-    0
+    if found then 0 else 1
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"List the first 20 gadgets.") in
   Cmd.v (Cmd.info "gadgets" ~doc:"Scan a firmware for ROP gadgets")
@@ -93,13 +106,16 @@ let cmd_randomize =
     let dt = Sys.time () -. t0 in
     Format.printf "randomized %s with seed %d in %.1f ms (host)@." profile.F.Profile.name seed
       (1000. *. dt);
-    Format.printf "functions moved: %d/%d@."
-      (Mavr_core.Randomize.layout_distance b.image r)
-      (Image.function_count b.image);
+    let moved = Mavr_core.Randomize.layout_distance b.image r in
+    Format.printf "functions moved: %d/%d@." moved (Image.function_count b.image);
     Format.printf "modeled on-board startup overhead: %.0f ms (prototype), %.0f ms (production)@."
       (Mavr_core.Serial.programming_ms Mavr_core.Serial.prototype (Image.size r))
       (Mavr_core.Serial.programming_ms Mavr_core.Serial.production (Image.size r));
-    0
+    if moved = 0 then begin
+      Format.eprintf "error: randomization left the layout unchanged@.";
+      1
+    end
+    else 0
   in
   Cmd.v (Cmd.info "randomize" ~doc:"Randomize a firmware (master-processor boot step)")
     Term.(const run $ profile_arg $ seed_arg)
@@ -152,6 +168,83 @@ let cmd_fly =
   let ms = Arg.(value & opt int 3000 & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds.") in
   Cmd.v (Cmd.info "fly" ~doc:"Closed-loop flight simulation")
     Term.(const run $ profile_arg $ defended $ ms)
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of the human summary.")
+
+(* Shared rig for the telemetry subcommands: an instrumented closed-loop
+   scenario, optionally with attacker traffic on the uplink after a
+   warm-up third of the flight. *)
+let instrumented_flight profile ~defended ~ms ~uplink_after_warmup =
+  let b = build_firmware profile F.Profile.mavr in
+  let defense =
+    if defended then
+      Mavr_sim.Scenario.Mavr
+        { Mavr_core.Master.default_config with watchdog_window_cycles = 20_000 }
+    else Mavr_sim.Scenario.No_defense
+  in
+  let s = Mavr_sim.Scenario.create ~image:b.image defense in
+  let registry = Mavr_telemetry.Metrics.create () in
+  let probes = Mavr_sim.Scenario.attach_telemetry s ~registry in
+  let warmup = max 1 (ms / 3) in
+  Mavr_sim.Scenario.run s ~ms:(float_of_int warmup);
+  (match uplink_after_warmup b with [] -> () | frames -> Mavr_sim.Scenario.inject s frames);
+  Mavr_sim.Scenario.run s ~ms:(float_of_int (max 1 (ms - warmup)));
+  (s, registry, probes)
+
+let cmd_stats =
+  let run profile defended ms attack json =
+    let uplink b =
+      if not attack then []
+      else
+        let ti = Mavr_core.Rop.analyze b in
+        let obs = Mavr_core.Rop.observe ti in
+        Mavr_core.Rop.v2_stealthy ti obs
+          ~writes:
+            [ Mavr_core.Rop.write_u16 obs ~addr:F.Layout.gyro_cfg ~value:0x4141 ~neighbour:0 ]
+    in
+    let _s, registry, _probes =
+      instrumented_flight profile ~defended ~ms ~uplink_after_warmup:uplink
+    in
+    if json then
+      print_endline (Mavr_telemetry.Json.to_string ~indent:2 (Mavr_telemetry.Metrics.to_json registry))
+    else Format.printf "%a@." Mavr_telemetry.Metrics.pp_summary registry;
+    0
+  in
+  let defended = Arg.(value & flag & info [ "d"; "defended" ] ~doc:"Enable the MAVR master.") in
+  let ms = Arg.(value & opt int 2000 & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds.") in
+  let attack =
+    Arg.(value & flag & info [ "attack" ] ~doc:"Inject the stealthy V2 attack after warm-up.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Instrumented flight: print the telemetry registry")
+    Term.(const run $ profile_arg $ defended $ ms $ attack $ json_flag)
+
+let cmd_flight_record =
+  let run profile defended ms json =
+    let uplink b = Mavr_core.Rop.crash_probe (Mavr_core.Rop.analyze b) in
+    let _s, _registry, probes =
+      instrumented_flight profile ~defended ~ms ~uplink_after_warmup:uplink
+    in
+    match Mavr_avr.Probes.last_fault_dump probes with
+    | Some dump ->
+        if json then
+          print_endline
+            (Mavr_telemetry.Json.to_string ~indent:2 (Mavr_avr.Probes.dump_to_json probes))
+        else print_string dump;
+        0
+    | None ->
+        Format.eprintf "error: no fault captured (the crash probe did not trip the CPU)@.";
+        1
+  in
+  let defended =
+    Arg.(value & flag & info [ "d"; "defended" ] ~doc:"Enable the MAVR master (recover after the fault).")
+  in
+  let ms = Arg.(value & opt int 1500 & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds.") in
+  Cmd.v
+    (Cmd.info "flight-record"
+       ~doc:"Fire a crash probe at the firmware and print the flight-recorder fault dump")
+    Term.(const run $ profile_arg $ defended $ ms $ json_flag)
 
 let cmd_disasm =
   let run profile toolchain symbol count =
@@ -247,4 +340,8 @@ let cmd_tables =
 let () =
   let doc = "MAVR: code-reuse stealthy attacks and mitigation on UAVs (ICDCS 2015 reproduction)" in
   let info = Cmd.info "mavr" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ cmd_build; cmd_gadgets; cmd_randomize; cmd_attack; cmd_fly; cmd_disasm; cmd_lifetime; cmd_entropy; cmd_tables ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ cmd_build; cmd_gadgets; cmd_randomize; cmd_attack; cmd_fly; cmd_stats;
+            cmd_flight_record; cmd_disasm; cmd_lifetime; cmd_entropy; cmd_tables ]))

@@ -56,6 +56,15 @@ type t = {
   (* Scratch for the cycle cost of the instruction being executed; a
      field rather than a [ref] so [exec_one] does not allocate. *)
   mutable cyc : int;
+  (* Telemetry taps.  The instruction tap is the only one on the hot
+     path, so it is guarded by a plain bool ([tap_on]) with a no-op
+     closure behind it: when tracing is off the per-instruction cost is
+     one load + one predictable branch, nothing else.  The interrupt and
+     halt taps sit on cold paths and stay options. *)
+  mutable tap_on : bool;
+  mutable tap_insn : int -> Isa.t -> unit; (* word PC of the insn, decoded insn *)
+  mutable tap_irq : (int -> unit) option; (* dispatch latency in cycles *)
+  mutable tap_halt : (halt -> unit) option;
 }
 
 let create ?(device = Device.atmega2560) () =
@@ -84,6 +93,10 @@ let create ?(device = Device.atmega2560) () =
     sreg_v = 0;
     sp_v = 0;
     cyc = 0;
+    tap_on = false;
+    tap_insn = (fun _ _ -> ());
+    tap_irq = None;
+    tap_halt = None;
   }
 
 let mem t = t.mem
@@ -104,7 +117,31 @@ let set_pc t v = t.pc <- v
 let cycles t = t.cycles
 let instructions_retired t = t.retired
 let halted t = t.halt
-let force_halt t h = t.halt <- Some h
+
+(* Single halt funnel: every path that stops the CPU goes through here so
+   the halt tap (the flight-recorder dump trigger) fires exactly once per
+   fault, whichever execution entry point was driving. *)
+let set_halt t h =
+  t.halt <- Some h;
+  match t.tap_halt with None -> () | Some f -> f h
+
+let force_halt t h = set_halt t h
+
+(* ---- Telemetry taps ------------------------------------------------- *)
+
+let no_insn_tap _ _ = ()
+
+let set_insn_tap t = function
+  | None ->
+      t.tap_on <- false;
+      t.tap_insn <- no_insn_tap
+  | Some f ->
+      t.tap_insn <- f;
+      t.tap_on <- true
+
+let insn_tap_active t = t.tap_on
+let set_irq_tap t f = t.tap_irq <- f
+let set_halt_tap t f = t.tap_halt <- f
 
 let reset t =
   (match t.shadow with Some _ -> t.shadow <- Some [] | None -> ());
@@ -289,7 +326,7 @@ let shadow_ret t got =
       t.shadow <- Some rest;
       t.cycles <- t.cycles + t.shadow_overhead;
       if expected <> got then
-        t.halt <- Some (Rop_detected { expected = expected * 2; got = got * 2 })
+        set_halt t (Rop_detected { expected = expected * 2; got = got * 2 })
 
 (* Flag helpers. *)
 let flag_bit = 1
@@ -392,6 +429,10 @@ let branch t cond k =
 (* Take the pending timer-compare interrupt, mirroring AVR hardware:
    finish the current instruction, push the PC, clear SREG.I, vector. *)
 let take_timer_interrupt t =
+  (* Dispatch latency: cycles between the scheduled compare match and the
+     vector actually being taken (the interrupt-latency telemetry).  The
+     caller guarantees [cycles >= timer_next_fire]. *)
+  let latency = t.cycles - t.timer_next_fire in
   push_pc t t.pc;
   shadow_call t t.pc;
   set_flag t Flag.i false;
@@ -399,7 +440,8 @@ let take_timer_interrupt t =
   let period = (Memory.data_get t.mem (io_addr t Device.Io.ocr) + 1) * 64 in
   t.timer_next_fire <- t.cycles + period;
   t.interrupts_taken <- t.interrupts_taken + 1;
-  t.cycles <- t.cycles + 5
+  t.cycles <- t.cycles + 5;
+  match t.tap_irq with None -> () | Some f -> f latency
 
 (* Execute exactly one instruction (or take a pending interrupt).
    Precondition: not halted — the halt check lives in the callers so the
@@ -409,7 +451,7 @@ let take_timer_interrupt t =
    case) the memory-mapped I flag is never touched on the hot path. *)
 let exec_one t =
   if t.cycles >= t.timer_next_fire && get_flag t Flag.i then take_timer_interrupt t
-  else if t.pc < 0 || t.pc * 2 >= t.program_bytes then t.halt <- Some (Wild_pc (t.pc * 2))
+  else if t.pc < 0 || t.pc * 2 >= t.program_bytes then set_halt t (Wild_pc (t.pc * 2))
   else begin
         let pc0 = t.pc in
         (* Inline fetch, split so the cache-hit path allocates nothing
@@ -436,12 +478,13 @@ let exec_one t =
             insn
           end
         in
+        if t.tap_on then t.tap_insn pc0 insn;
         t.retired <- t.retired + 1;
         t.cyc <- 1;
         (match insn with
         | Nop -> ()
         | Data w ->
-            t.halt <- Some (Illegal_instruction { byte_addr = pc0 * 2; word = w });
+            set_halt t (Illegal_instruction { byte_addr = pc0 * 2; word = w });
             t.pc <- pc0
         | Movw (d, r) ->
             set_reg t d (reg t r);
@@ -693,8 +736,8 @@ let exec_one t =
         | Bset b -> set_flag t b true
         | Bclr b -> set_flag t b false
         | Wdr -> ()
-        | Sleep -> t.halt <- Some Sleep_mode
-        | Break -> t.halt <- Some Break_hit);
+        | Sleep -> set_halt t Sleep_mode
+        | Break -> set_halt t Break_hit);
         t.cycles <- t.cycles + t.cyc
       end
 

@@ -63,8 +63,38 @@ val cycles : t -> int
 val instructions_retired : t -> int
 val halted : t -> halt option
 
-(** Force a halt state (used by fault-injection tests). *)
+(** Force a halt state (used by fault-injection tests).  Fires the halt
+    tap like any organic fault. *)
 val force_halt : t -> halt -> unit
+
+(** {2 Telemetry taps}
+
+    Low-level instrumentation hooks the telemetry layer
+    ({!Mavr_avr.Probes}, {!Mavr_avr.Trace}) builds on.  They fire from
+    inside [exec_one], so they compose with the batched {!run} loops and
+    the predecode cache — unlike the retired step-only tracing sidecar.
+    With no tap installed the hot path pays a single flag test per
+    instruction; the interrupt and halt taps are entirely off the
+    per-instruction path. *)
+
+(** [set_insn_tap t (Some f)] — [f pc insn] fires before each instruction
+    executes, with [pc] the instruction's {e word} address and [insn] its
+    decode (from the predecode cache when enabled).  SP, SREG and the
+    cycle counter still hold their pre-execution values when [f] runs.
+    [None] uninstalls. *)
+val set_insn_tap : t -> (int -> Isa.t -> unit) option -> unit
+
+val insn_tap_active : t -> bool
+
+(** [set_irq_tap t (Some f)] — [f latency] fires when an interrupt is
+    taken, with [latency] the cycles between the scheduled compare match
+    and the vector dispatch. *)
+val set_irq_tap : t -> (int -> unit) option -> unit
+
+(** [set_halt_tap t (Some f)] — [f halt] fires exactly once per fault,
+    whichever execution path raised it (including {!force_halt}).  This
+    is the flight-recorder dump trigger. *)
+val set_halt_tap : t -> (halt -> unit) option -> unit
 
 (** {2 Execution} *)
 

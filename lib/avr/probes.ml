@@ -1,0 +1,166 @@
+module Metrics = Mavr_telemetry.Metrics
+module Recorder = Mavr_telemetry.Recorder
+
+(* ---- instruction classification ------------------------------------- *)
+
+(* Coarse mix classes: a bounded set of counters rather than one per
+   mnemonic, which is what the overhead accounting needs (how much of the
+   stream is ALU vs memory vs control) without 70 registry entries. *)
+let class_names =
+  [| "alu"; "transfer"; "load"; "store"; "io"; "branch"; "call"; "ret"; "jump"; "skip";
+     "system"; "illegal" |]
+
+let n_classes = Array.length class_names
+
+let class_of (i : Isa.t) =
+  match i with
+  | Isa.Add _ | Isa.Adc _ | Isa.Sub _ | Isa.Sbc _ | Isa.And _ | Isa.Or _ | Isa.Eor _
+  | Isa.Cp _ | Isa.Cpc _ | Isa.Mul _ | Isa.Subi _ | Isa.Sbci _ | Isa.Andi _ | Isa.Ori _
+  | Isa.Cpi _ | Isa.Com _ | Isa.Neg _ | Isa.Inc _ | Isa.Dec _ | Isa.Lsr _ | Isa.Ror _
+  | Isa.Asr _ | Isa.Swap _ | Isa.Adiw _ | Isa.Sbiw _ ->
+      0 (* alu *)
+  | Isa.Movw _ | Isa.Ldi _ | Isa.Mov _ | Isa.Bld _ | Isa.Bst _ | Isa.Bset _ | Isa.Bclr _ ->
+      1 (* transfer *)
+  | Isa.Lds _ | Isa.Ldd _ | Isa.Ld _ | Isa.Pop _ | Isa.Lpm0 | Isa.Lpm _ | Isa.Elpm0
+  | Isa.Elpm _ ->
+      2 (* load *)
+  | Isa.Sts _ | Isa.Std _ | Isa.St _ | Isa.Push _ -> 3 (* store *)
+  | Isa.In _ | Isa.Out _ | Isa.Sbi _ | Isa.Cbi _ -> 4 (* io *)
+  | Isa.Brbs _ | Isa.Brbc _ -> 5 (* branch *)
+  | Isa.Call _ | Isa.Rcall _ | Isa.Icall -> 6 (* call *)
+  | Isa.Ret | Isa.Reti -> 7 (* ret *)
+  | Isa.Jmp _ | Isa.Rjmp _ | Isa.Ijmp -> 8 (* jump *)
+  | Isa.Cpse _ | Isa.Sbic _ | Isa.Sbis _ | Isa.Sbrc _ | Isa.Sbrs _ -> 9 (* skip *)
+  | Isa.Nop | Isa.Wdr | Isa.Sleep | Isa.Break -> 10 (* system *)
+  | Isa.Data _ -> 11 (* illegal *)
+
+(* Static mnemonic heads for flight-recorder events: no allocation on the
+   enabled path (Isa.to_string would build operand strings per event). *)
+let mnemonic (i : Isa.t) =
+  match i with
+  | Isa.Nop -> "nop" | Isa.Movw _ -> "movw" | Isa.Ldi _ -> "ldi" | Isa.Mov _ -> "mov"
+  | Isa.Add _ -> "add" | Isa.Adc _ -> "adc" | Isa.Sub _ -> "sub" | Isa.Sbc _ -> "sbc"
+  | Isa.And _ -> "and" | Isa.Or _ -> "or" | Isa.Eor _ -> "eor" | Isa.Cp _ -> "cp"
+  | Isa.Cpc _ -> "cpc" | Isa.Cpse _ -> "cpse" | Isa.Mul _ -> "mul" | Isa.Subi _ -> "subi"
+  | Isa.Sbci _ -> "sbci" | Isa.Andi _ -> "andi" | Isa.Ori _ -> "ori" | Isa.Cpi _ -> "cpi"
+  | Isa.Com _ -> "com" | Isa.Neg _ -> "neg" | Isa.Inc _ -> "inc" | Isa.Dec _ -> "dec"
+  | Isa.Lsr _ -> "lsr" | Isa.Ror _ -> "ror" | Isa.Asr _ -> "asr" | Isa.Swap _ -> "swap"
+  | Isa.Push _ -> "push" | Isa.Pop _ -> "pop" | Isa.Ret -> "ret" | Isa.Reti -> "reti"
+  | Isa.Icall -> "icall" | Isa.Ijmp -> "ijmp" | Isa.Call _ -> "call" | Isa.Jmp _ -> "jmp"
+  | Isa.Rcall _ -> "rcall" | Isa.Rjmp _ -> "rjmp" | Isa.Brbs _ -> "brbs"
+  | Isa.Brbc _ -> "brbc" | Isa.In _ -> "in" | Isa.Out _ -> "out" | Isa.Lds _ -> "lds"
+  | Isa.Sts _ -> "sts" | Isa.Ldd _ -> "ldd" | Isa.Std _ -> "std" | Isa.Ld _ -> "ld"
+  | Isa.St _ -> "st" | Isa.Adiw _ -> "adiw" | Isa.Sbiw _ -> "sbiw" | Isa.Lpm0 -> "lpm"
+  | Isa.Lpm _ -> "lpm" | Isa.Sbi _ -> "sbi" | Isa.Cbi _ -> "cbi" | Isa.Sbic _ -> "sbic"
+  | Isa.Sbis _ -> "sbis" | Isa.Bld _ -> "bld" | Isa.Bst _ -> "bst" | Isa.Sbrc _ -> "sbrc"
+  | Isa.Sbrs _ -> "sbrs" | Isa.Elpm0 -> "elpm" | Isa.Elpm _ -> "elpm" | Isa.Bset _ -> "bset"
+  | Isa.Bclr _ -> "bclr" | Isa.Wdr -> "wdr" | Isa.Sleep -> "sleep" | Isa.Break -> "break"
+  | Isa.Data _ -> "(data)"
+
+let halt_key = function
+  | Cpu.Illegal_instruction _ -> "illegal"
+  | Cpu.Wild_pc _ -> "wild_pc"
+  | Cpu.Break_hit -> "break"
+  | Cpu.Sleep_mode -> "sleep"
+  | Cpu.Rop_detected _ -> "rop_detected"
+
+let halt_keys = [ "illegal"; "wild_pc"; "break"; "sleep"; "rop_detected" ]
+
+(* ---- the probe bundle ----------------------------------------------- *)
+
+type t = {
+  cpu : Cpu.t;
+  registry : Metrics.registry;
+  recorder : Recorder.t;
+  mutable min_sp : int;
+  mutable last_dump : string option;
+  mutable faults : int;
+}
+
+let registry t = t.registry
+let recorder t = t.recorder
+let flight_record t = Recorder.events t.recorder
+let last_fault_dump t = t.last_dump
+let faults_seen t = t.faults
+let min_sp t = if t.min_sp = max_int then None else Some t.min_sp
+
+let render_dump p h =
+  let cpu = p.cpu in
+  Format.asprintf "flight recorder — CPU halted: %a@.  PC=0x%05x SP=0x%04x cycles=%d retired=%d@.%a"
+    Cpu.pp_halt h (Cpu.pc_byte_addr cpu) (Cpu.sp cpu) (Cpu.cycles cpu)
+    (Cpu.instructions_retired cpu) Recorder.pp_dump p.recorder
+
+let attach ?(prefix = "avr") ?(recorder_capacity = 64) ~registry cpu =
+  let name s = prefix ^ "." ^ s in
+  let p =
+    {
+      cpu;
+      registry;
+      recorder = Recorder.create ~capacity:recorder_capacity;
+      min_sp = max_int;
+      last_dump = None;
+      faults = 0;
+    }
+  in
+  let insn_total = Metrics.counter registry (name "insn.total") in
+  let classes =
+    Array.map (fun c -> Metrics.counter registry (name ("insn." ^ c))) class_names
+  in
+  let irq_count = Metrics.counter registry (name "irq.taken") in
+  let irq_latency = Metrics.histogram registry (name "irq.latency_cycles") in
+  let halt_counters =
+    List.map (fun k -> (k, Metrics.counter registry (name ("halt." ^ k)))) halt_keys
+  in
+  Metrics.sampled registry (name "cycles") (fun () -> Cpu.cycles cpu);
+  Metrics.sampled registry (name "insn.retired") (fun () -> Cpu.instructions_retired cpu);
+  Metrics.sampled registry (name "stack.min_sp") (fun () ->
+      if p.min_sp = max_int then 0 else p.min_sp);
+  Metrics.sampled registry (name "stack.high_water_bytes") (fun () ->
+      if p.min_sp = max_int then 0 else Device.data_end (Cpu.device cpu) - 1 - p.min_sp);
+  Cpu.set_insn_tap cpu
+    (Some
+       (fun pc insn ->
+         Metrics.incr insn_total;
+         Metrics.incr classes.(class_of insn);
+         let sp = Cpu.sp cpu in
+         if sp < p.min_sp then p.min_sp <- sp;
+         Recorder.record p.recorder ~cycle:(Cpu.cycles cpu) ~value:(pc * 2) (mnemonic insn)));
+  Cpu.set_irq_tap cpu
+    (Some
+       (fun latency ->
+         Metrics.incr irq_count;
+         Metrics.observe irq_latency latency;
+         Recorder.record p.recorder ~cycle:(Cpu.cycles cpu) ~value:latency "irq.timer"));
+  Cpu.set_halt_tap cpu
+    (Some
+       (fun h ->
+         p.faults <- p.faults + 1;
+         (match List.assoc_opt (halt_key h) halt_counters with
+         | Some c -> Metrics.incr c
+         | None -> ());
+         Recorder.record p.recorder ~cycle:(Cpu.cycles cpu) ~value:(Cpu.pc_byte_addr cpu)
+           ("halt." ^ halt_key h);
+         (* The automatic dump: capture the window at the instant of
+            death, before any recovery path reflashes and keeps going. *)
+         p.last_dump <- Some (render_dump p h)));
+  p
+
+let detach t =
+  Cpu.set_insn_tap t.cpu None;
+  Cpu.set_irq_tap t.cpu None;
+  Cpu.set_halt_tap t.cpu None
+
+let dump_to_json t =
+  let module J = Mavr_telemetry.Json in
+  J.Obj
+    [
+      ("faults", J.Int t.faults);
+      ( "halt",
+        match Cpu.halted t.cpu with
+        | None -> J.Null
+        | Some h -> J.String (Format.asprintf "%a" Cpu.pp_halt h) );
+      ("pc", J.Int (Cpu.pc_byte_addr t.cpu));
+      ("sp", J.Int (Cpu.sp t.cpu));
+      ("cycles", J.Int (Cpu.cycles t.cpu));
+      ("flight_record", Recorder.to_json t.recorder);
+    ]

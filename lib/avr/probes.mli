@@ -1,0 +1,70 @@
+(** Standard CPU telemetry bundle.
+
+    Installs the full instrumentation set on a {!Cpu.t} via the tap
+    hooks, so it composes with the batched run loops and the predecode
+    cache:
+
+    - instruction-mix counters ([<prefix>.insn.total], [.insn.alu],
+      [.insn.call], ... — see {!class_names});
+    - interrupt count and dispatch-latency histogram ([.irq.taken],
+      [.irq.latency_cycles]);
+    - stack high-water mark ([.stack.min_sp], [.stack.high_water_bytes]);
+    - halt-reason counters ([.halt.wild_pc], [.halt.illegal], ...);
+    - sampled [.cycles] / [.insn.retired] gauges;
+    - a cycle-stamped {e flight recorder}: a bounded ring of the last N
+      executed instructions (plus interrupt and halt events), dumped
+      automatically the instant the CPU halts or faults — the
+      post-mortem artifact for a failed ROP probe (§V-D).
+
+    The overhead contract: with no probes attached the CPU hot path pays
+    one flag test per instruction; attaching moves all cost onto the
+    enabled path (measured in [bench/main.exe] and EXPERIMENTS.md). *)
+
+type t
+
+(** Coarse instruction-mix classes, in counter-index order. *)
+val class_names : string array
+
+val n_classes : int
+
+(** [class_of insn] is the index into {!class_names}. *)
+val class_of : Isa.t -> int
+
+(** Static mnemonic head (no operands, no allocation). *)
+val mnemonic : Isa.t -> string
+
+(** Registry key fragment for a halt reason (["wild_pc"], ...). *)
+val halt_key : Cpu.halt -> string
+
+(** [attach ?prefix ?recorder_capacity ~registry cpu] registers the
+    metric set under [<prefix>.] (default ["avr"]) and installs the
+    taps.  [recorder_capacity] bounds the flight-recorder ring (default
+    64 events).  Replaces any taps already installed on [cpu]. *)
+val attach : ?prefix:string -> ?recorder_capacity:int -> registry:Mavr_telemetry.Metrics.registry -> Cpu.t -> t
+
+(** Uninstalls all three taps.  Registry entries remain (frozen at their
+    last values; sampled gauges keep reading the CPU). *)
+val detach : t -> unit
+
+val registry : t -> Mavr_telemetry.Metrics.registry
+val recorder : t -> Mavr_telemetry.Recorder.t
+
+(** The retained flight-recorder window, oldest first. *)
+val flight_record : t -> Mavr_telemetry.Recorder.event list
+
+(** The dump captured at the most recent halt/fault: halt reason, CPU
+    state, and the last N cycle-stamped events.  [None] until the first
+    fault. *)
+val last_fault_dump : t -> string option
+
+(** Halts observed since attach (recoveries may reset the CPU and keep
+    running; the count survives). *)
+val faults_seen : t -> int
+
+(** Lowest stack pointer observed (deepest stack), [None] before any
+    instruction ran. *)
+val min_sp : t -> int option
+
+(** Machine-readable fault dump: halt reason, CPU state and the flight
+    record as JSON. *)
+val dump_to_json : t -> Mavr_telemetry.Json.t

@@ -30,20 +30,28 @@ type recorder = { limit : int; q : event Queue.t }
 
 let recorder ~limit = { limit; q = Queue.create () }
 
+(* The recorder rides the CPU's instruction tap: the tap fires before
+   each instruction executes (SP/cycles still pre-execution), with the
+   decode coming straight from the predecode cache.  Tracing therefore
+   composes with the batched [Cpu.run] loops — the former implementation
+   decoded a second time from flash and forced single-step drivers. *)
+let attach r cpu =
+  Cpu.set_insn_tap cpu
+    (Some
+       (fun pc insn ->
+         Queue.push
+           { byte_addr = pc * 2; insn; sp_before = Cpu.sp cpu; cycle = Cpu.cycles cpu }
+           r.q;
+         while Queue.length r.q > r.limit do
+           ignore (Queue.pop r.q)
+         done))
+
+let detach cpu = Cpu.set_insn_tap cpu None
+
 let step_traced r cpu =
-  (match Cpu.halted cpu with
-  | Some _ -> ()
-  | None ->
-      let byte_addr = Cpu.pc_byte_addr cpu in
-      let mem = Cpu.mem cpu in
-      let w1 = Memory.flash_word mem (Cpu.pc cpu) in
-      let w2 = Memory.flash_word mem (Cpu.pc cpu + 1) in
-      let insn, _ = Decode.decode w1 w2 in
-      Queue.push { byte_addr; insn; sp_before = Cpu.sp cpu; cycle = Cpu.cycles cpu } r.q;
-      while Queue.length r.q > r.limit do
-        ignore (Queue.pop r.q)
-      done);
-  Cpu.step cpu
+  attach r cpu;
+  Cpu.step cpu;
+  detach cpu
 
 let events r = List.of_seq (Queue.to_seq r.q)
 

@@ -27,7 +27,20 @@ type recorder
 (** [recorder ~limit] keeps the most recent [limit] events. *)
 val recorder : limit:int -> recorder
 
-(** [step_traced rec cpu] records the next instruction, then executes it. *)
+(** [attach rec cpu] installs the recorder on the CPU's instruction tap:
+    every instruction executed by {e any} entry point — [Cpu.step] or the
+    batched [Cpu.run] family — is recorded, with the decode taken from
+    the predecode cache.  Replaces any previously installed instruction
+    tap. *)
+val attach : recorder -> Cpu.t -> unit
+
+(** [detach cpu] uninstalls the instruction tap. *)
+val detach : Cpu.t -> unit
+
+(** [step_traced rec cpu] records and executes one instruction —
+    equivalent to [attach]/[Cpu.step]/[detach].  Kept for callers that
+    interleave tracing with other work; batch users should [attach] once
+    and use [Cpu.run]. *)
 val step_traced : recorder -> Cpu.t -> unit
 
 (** Events oldest-first. *)

@@ -62,3 +62,15 @@ let feed t bytes =
 let stats t = { frames_ok = t.frames_ok; crc_errors = t.crc_errors; bytes_dropped = t.bytes_dropped }
 
 let pending t = Buffer.length t.buf
+
+(* Pull-style export: the registry reads the counters at snapshot time,
+   so the byte loop above is untouched — the link-quality numbers the
+   ground station's anomaly detector keys on become observable without
+   any per-byte instrumentation cost. *)
+let attach_metrics ?(prefix = "mavlink") t registry =
+  let module M = Mavr_telemetry.Metrics in
+  let name s = prefix ^ "." ^ s in
+  M.sampled registry (name "frames_ok") (fun () -> t.frames_ok);
+  M.sampled registry (name "crc_errors") (fun () -> t.crc_errors);
+  M.sampled registry (name "bytes_dropped") (fun () -> t.bytes_dropped);
+  M.sampled registry (name "bytes_pending") (fun () -> Buffer.length t.buf)

@@ -23,3 +23,9 @@ val stats : t -> stats
 
 (** Bytes currently buffered waiting for a complete frame. *)
 val pending : t -> int
+
+(** [attach_metrics ?prefix t registry] exports the link-quality counters
+    ([<prefix>.frames_ok], [.crc_errors], [.bytes_dropped],
+    [.bytes_pending]; default prefix ["mavlink"]) as sampled gauges —
+    read at snapshot time, zero cost on the parse path. *)
+val attach_metrics : ?prefix:string -> t -> Mavr_telemetry.Metrics.registry -> unit

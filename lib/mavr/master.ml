@@ -38,6 +38,18 @@ let pp_event fmt = function
   | Reflashed { generation; overhead_ms } ->
       Format.fprintf fmt "re-randomized: generation %d (%.0f ms)" generation overhead_ms
 
+(* Telemetry bindings: histograms for the Table II phase decomposition
+   (microsecond samples per flash session) plus the shared flight
+   recorder for span events.  Optional — a master without telemetry
+   attached pays nothing. *)
+type telemetry = {
+  recorder : Mavr_telemetry.Recorder.t;
+  phase_patch : Mavr_telemetry.Metrics.histogram;
+  phase_serial : Mavr_telemetry.Metrics.histogram;
+  phase_pages : Mavr_telemetry.Metrics.histogram;
+  phase_total : Mavr_telemetry.Metrics.histogram;
+}
+
 type t = {
   config : config;
   ext_flash : Flash.t;
@@ -50,6 +62,7 @@ type t = {
   mutable attacks : int;
   mutable pages_programmed : int;
   mutable peak_ws : int;
+  mutable tel : telemetry option;
 }
 
 let create ?(config = default_config) () =
@@ -65,7 +78,26 @@ let create ?(config = default_config) () =
     attacks = 0;
     pages_programmed = 0;
     peak_ws = 0;
+    tel = None;
   }
+
+let attach_telemetry ?(prefix = "master") t ~registry ~recorder =
+  let module M = Mavr_telemetry.Metrics in
+  let name s = prefix ^ "." ^ s in
+  M.sampled registry (name "boots") (fun () -> t.boots);
+  M.sampled registry (name "reflashes") (fun () -> t.reflashes);
+  M.sampled registry (name "attacks_detected") (fun () -> t.attacks);
+  M.sampled registry (name "pages_programmed") (fun () -> t.pages_programmed);
+  M.sampled registry (name "peak_working_set") (fun () -> t.peak_ws);
+  t.tel <-
+    Some
+      {
+        recorder;
+        phase_patch = M.histogram registry (name "flash.patch_us");
+        phase_serial = M.histogram registry (name "flash.serial_us");
+        phase_pages = M.histogram registry (name "flash.page_write_us");
+        phase_total = M.histogram registry (name "flash.total_us");
+      }
 
 let provision t image = Flash.program t.ext_flash (Symtab.to_hex image)
 
@@ -90,11 +122,37 @@ let randomize_streaming t stored =
   image
 
 (* Program the application processor: stream the (randomized) binary
-   through the bootloader and restart it. *)
+   through the bootloader and restart it.  With telemetry attached, the
+   session is decomposed into the Table II phases — patch compute, serial
+   transfer, page writes — as spans on the flight recorder (stamped with
+   the application clock at the moment the session starts; reflashing
+   resets that clock) and microsecond histograms in the registry. *)
 let program_app t ~app image =
+  let bytes = Image.size image in
+  (match t.tel with
+  | None -> ()
+  | Some tel ->
+      let module R = Mavr_telemetry.Recorder in
+      let module M = Mavr_telemetry.Metrics in
+      let us f = int_of_float (1000.0 *. f) in
+      let link = t.config.link in
+      let patch = us (Serial.patch_ms link bytes) in
+      let serial = us (Serial.transfer_ms link bytes) in
+      let pages = us (Serial.flash_ms link bytes) in
+      let total = us (Serial.programming_ms link bytes) in
+      let cycle = Cpu.cycles app in
+      R.span_begin tel.recorder ~cycle ~value:bytes "master.flash_session";
+      R.record tel.recorder ~cycle ~value:patch "master.phase.patch";
+      R.record tel.recorder ~cycle ~value:serial "master.phase.serial";
+      R.record tel.recorder ~cycle ~value:pages "master.phase.page_writes";
+      R.span_end tel.recorder ~cycle ~value:total "master.flash_session";
+      M.observe tel.phase_patch patch;
+      M.observe tel.phase_serial serial;
+      M.observe tel.phase_pages pages;
+      M.observe tel.phase_total total);
   Cpu.load_program app image.Image.code;
   t.reflashes <- t.reflashes + 1;
-  t.last_overhead_ms <- startup_overhead_ms t (Image.size image);
+  t.last_overhead_ms <- startup_overhead_ms t bytes;
   t.current <- Some image
 
 let boot t ~app =
@@ -130,6 +188,11 @@ let peak_working_set t = t.peak_ws
 let rerandomize_after_attack t ~app ~reason =
   Log.warn (fun m -> m "failed attack detected (%s); re-randomizing" reason);
   t.attacks <- t.attacks + 1;
+  (match t.tel with
+  | None -> ()
+  | Some tel ->
+      Mavr_telemetry.Recorder.record tel.recorder ~cycle:(Cpu.cycles app)
+        ~value:(Cpu.pc_byte_addr app) "master.attack_detected");
   t.events <- Attack_detected { at_cycles = Cpu.cycles app; reason } :: t.events;
   let stored = read_stored_image t in
   let image = randomize_streaming t stored in

@@ -82,3 +82,19 @@ val supervise : t -> app:Mavr_avr.Cpu.t -> cycles:int -> int
 (** [startup_overhead_ms t image_bytes] — the Table II quantity for this
     master's link. *)
 val startup_overhead_ms : t -> int -> float
+
+(** [attach_telemetry ?prefix t ~registry ~recorder] exports the master's
+    counters as sampled gauges ([<prefix>.boots], [.reflashes],
+    [.attacks_detected], [.pages_programmed], [.peak_working_set];
+    default prefix ["master"]) and instruments every flash session with
+    the Table II phase decomposition: spans on [recorder]
+    ([master.flash_session] begin/end framing [master.phase.patch] /
+    [.serial] / [.page_writes] point events, values in modeled µs) and
+    microsecond histograms ([<prefix>.flash.patch_us], [.serial_us],
+    [.page_write_us], [.total_us]). *)
+val attach_telemetry :
+  ?prefix:string ->
+  t ->
+  registry:Mavr_telemetry.Metrics.registry ->
+  recorder:Mavr_telemetry.Recorder.t ->
+  unit

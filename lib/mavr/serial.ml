@@ -19,8 +19,8 @@ let flash_ms t bytes =
   let pages = (bytes + t.page_bytes - 1) / t.page_bytes in
   float_of_int pages *. t.page_write_ms
 
+let patch_ms t bytes = float_of_int bytes /. 1024.0 *. t.patch_overhead_ms_per_kb
+
 (* The bootloader writes page k while page k+1 streams in, so the phases
    pipeline: total ≈ max of the two, plus master-side patch compute. *)
-let programming_ms t bytes =
-  (float_of_int bytes /. 1024.0 *. t.patch_overhead_ms_per_kb)
-  +. Float.max (transfer_ms t bytes) (flash_ms t bytes)
+let programming_ms t bytes = patch_ms t bytes +. Float.max (transfer_ms t bytes) (flash_ms t bytes)

@@ -29,6 +29,9 @@ val transfer_ms : t -> int -> float
 (** [flash_ms t bytes] — page-programming time. *)
 val flash_ms : t -> int -> float
 
+(** [patch_ms t bytes] — master-side randomization compute time. *)
+val patch_ms : t -> int -> float
+
 (** [programming_ms t bytes] — total startup overhead for reprogramming a
     [bytes]-byte application: randomization compute plus the larger of
     the (pipelined) transfer and flash-write phases. *)

@@ -8,6 +8,12 @@ type alarm =
   | Link_corruption of { crc_errors : int; bytes_dropped : int }
   | Unexpected_reboot of { seq_jump : int }
 
+let alarm_key = function
+  | Heartbeat_lost _ -> "heartbeat_lost"
+  | Telemetry_silence _ -> "telemetry_silence"
+  | Link_corruption _ -> "link_corruption"
+  | Unexpected_reboot _ -> "unexpected_reboot"
+
 let pp_alarm fmt = function
   | Heartbeat_lost { silent_ms } -> Format.fprintf fmt "heartbeat lost (%.0f ms silent)" silent_ms
   | Telemetry_silence { silent_ms } -> Format.fprintf fmt "telemetry silence (%.0f ms)" silent_ms
@@ -117,6 +123,14 @@ let check t ~now_ms =
 
 let alarms t = List.rev t.alarms
 let attack_suspected t = t.alarms <> []
+
+let attach_metrics ?(prefix = "gcs") t registry =
+  let module M = Mavr_telemetry.Metrics in
+  let name s = prefix ^ "." ^ s in
+  M.sampled registry (name "frames") (fun () -> t.frames);
+  M.sampled registry (name "heartbeats") (fun () -> t.heartbeats);
+  M.sampled registry (name "alarms") (fun () -> List.length t.alarms);
+  Parser.attach_metrics ~prefix:(name "link") t.parser registry
 let last_gyro_raw t = t.last_gyro
 let last_accel_raw t = t.last_accel
 let frames_received t = t.frames

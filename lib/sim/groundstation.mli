@@ -17,6 +17,11 @@ type alarm =
 
 val pp_alarm : Format.formatter -> alarm -> unit
 
+(** Stable short key for an alarm kind (["heartbeat_lost"],
+    ["telemetry_silence"], ["link_corruption"], ["unexpected_reboot"]) —
+    used for telemetry event names and counters. *)
+val alarm_key : alarm -> string
+
 type t
 
 (** [create ?heartbeat_timeout_ms ?telemetry_timeout_ms ()] *)
@@ -40,3 +45,10 @@ val last_accel_raw : t -> int option
 
 val frames_received : t -> int
 val heartbeats_received : t -> int
+
+(** [attach_metrics ?prefix t registry] exports the ground station's
+    counters as sampled gauges ([<prefix>.frames], [.heartbeats],
+    [.alarms]; default prefix ["gcs"]) and forwards the private downlink
+    parser's statistics under [<prefix>.link] (frames_ok, crc_errors,
+    bytes_dropped, bytes_pending). *)
+val attach_metrics : ?prefix:string -> t -> Mavr_telemetry.Metrics.registry -> unit

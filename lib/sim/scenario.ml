@@ -1,9 +1,20 @@
 module Cpu = Mavr_avr.Cpu
 module Io = Mavr_avr.Device.Io
+module Probes = Mavr_avr.Probes
 module Image = Mavr_obj.Image
 module Master = Mavr_core.Master
 
 type defense = No_defense | Mavr of Master.config
+
+(* Optional telemetry wiring: the application CPU's probe bundle owns the
+   flight-recorder ring, and scenario milestones (uplink deliveries, GCS
+   alarms) plus the master's flash-session spans share it so one dump
+   tells the whole story in cycle order. *)
+type tel = {
+  probes : Probes.t;
+  recorder : Mavr_telemetry.Recorder.t;
+  ticks : Mavr_telemetry.Metrics.counter;
+}
 
 type t = {
   app : Cpu.t;
@@ -14,6 +25,7 @@ type t = {
   mutable dyn : Dynamics.state;
   mutable now_ms : float;
   mutable uplink : string list;
+  mutable tel : tel option;
 }
 
 let create ?(cycles_per_ms = 2000) ~image defense =
@@ -38,7 +50,22 @@ let create ?(cycles_per_ms = 2000) ~image defense =
     dyn = Dynamics.initial;
     now_ms = 0.0;
     uplink = [];
+    tel = None;
   }
+
+let attach_telemetry ?(recorder_capacity = 256) t ~registry =
+  let module M = Mavr_telemetry.Metrics in
+  let probes = Probes.attach ~prefix:"app" ~recorder_capacity ~registry t.app in
+  let recorder = Probes.recorder probes in
+  M.sampled registry "sim.now_ms" (fun () -> int_of_float t.now_ms);
+  Groundstation.attach_metrics t.gcs registry;
+  (match t.master with
+  | Some m -> Master.attach_telemetry m ~registry ~recorder
+  | None -> ());
+  t.tel <- Some { probes; recorder; ticks = M.counter registry "sim.ticks" };
+  probes
+
+let probes t = match t.tel with Some tel -> Some tel.probes | None -> None
 
 let app t = t.app
 let gcs t = t.gcs
@@ -47,20 +74,33 @@ let sensors t = t.sensors
 let now_ms t = t.now_ms
 let dynamics t = t.dyn
 
+let record_event t name ~value =
+  match t.tel with
+  | None -> ()
+  | Some tel ->
+      Mavr_telemetry.Recorder.record tel.recorder ~cycle:(Cpu.cycles t.app) ~value name
+
 let tick t =
   (* 1 ms of simulated time. *)
+  (match t.tel with Some tel -> Mavr_telemetry.Metrics.incr tel.ticks | None -> ());
   t.dyn <- Dynamics.step t.dyn ~dt:0.001;
   Sensors.write_to_cpu (Sensors.sample t.sensors t.dyn) t.app;
   (match t.uplink with
   | [] -> ()
   | frame :: rest ->
+      record_event t "sim.uplink_delivered" ~value:(String.length frame);
       Cpu.uart_send t.app frame;
       t.uplink <- rest);
   ignore (Cpu.run_until_halt t.app ~max_cycles:t.cycles_per_ms);
   (match t.master with Some m -> ignore (Master.check_and_recover m ~app:t.app) | None -> ());
   t.now_ms <- t.now_ms +. 1.0;
   Groundstation.feed t.gcs ~now_ms:t.now_ms (Cpu.uart_take_tx t.app);
-  ignore (Groundstation.check t.gcs ~now_ms:t.now_ms)
+  let fresh = Groundstation.check t.gcs ~now_ms:t.now_ms in
+  List.iter
+    (fun a ->
+      record_event t ("gcs.alarm." ^ Groundstation.alarm_key a)
+        ~value:(int_of_float t.now_ms))
+    fresh
 
 let run t ~ms =
   let n = int_of_float (Float.ceil ms) in
@@ -68,7 +108,9 @@ let run t ~ms =
     tick t
   done
 
-let inject t frames = t.uplink <- t.uplink @ frames
+let inject t frames =
+  record_event t "sim.inject" ~value:(List.length frames);
+  t.uplink <- t.uplink @ frames
 
 type report = {
   duration_ms : float;

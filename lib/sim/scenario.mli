@@ -39,6 +39,24 @@ val run : t -> ms:float -> unit
     the start of the next tick). *)
 val inject : t -> string list -> unit
 
+(** [attach_telemetry ?recorder_capacity t ~registry] instruments the
+    whole rig: attaches the standard CPU probe bundle (prefix ["app"]) to
+    the application processor, exports ground-station and master counters
+    as sampled gauges, counts ticks ([sim.ticks]) and samples the clock
+    ([sim.now_ms]), and records scenario milestones — uplink deliveries
+    ([sim.inject] / [sim.uplink_delivered]) and fresh GCS alarms
+    ([gcs.alarm.<kind>], value = ms timestamp) — on the probe bundle's
+    flight-recorder ring, which the master's flash-session spans share.
+    Returns the probe bundle (its [flight_record] is the unified ring). *)
+val attach_telemetry :
+  ?recorder_capacity:int ->
+  t ->
+  registry:Mavr_telemetry.Metrics.registry ->
+  Mavr_avr.Probes.t
+
+(** The probe bundle installed by [attach_telemetry], if any. *)
+val probes : t -> Mavr_avr.Probes.t option
+
 (** Summary counters for reports. *)
 type report = {
   duration_ms : float;

@@ -1,0 +1,38 @@
+(** Minimal JSON codec.
+
+    The telemetry layer's machine-readable exports (registry snapshots,
+    flight-recorder dumps, bench results) must be consumable by scripts
+    without any external JSON dependency — the toolchain ships neither
+    [yojson] nor [ezjsonm].  This is a small, total codec: every value the
+    printer emits is parsed back structurally equal by {!of_string} (the
+    round-trip property the test suite enforces). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string ?indent v] renders [v]; [indent = 0] (default) is compact
+    single-line output (JSONL-safe), a positive indent pretty-prints.
+    Non-finite floats render as [null]. *)
+val to_string : ?indent:int -> t -> string
+
+(** [of_string s] parses a single JSON document (no trailing garbage). *)
+val of_string : string -> (t, string) result
+
+(** [member k v] is field [k] of object [v]. *)
+val member : string -> t -> t option
+
+(** [path ks v] walks nested objects. *)
+val path : string list -> t -> t option
+
+val to_int : t -> int option
+
+(** [to_float] accepts both [Int] and [Float]. *)
+val to_float : t -> float option
+
+val to_str : t -> string option

@@ -1,0 +1,204 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : int }
+
+type histogram = {
+  mutable n : int;
+  mutable sum : int;
+  mutable hmin : int;
+  mutable hmax : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Sampled of (unit -> int)
+
+type registry = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+  | Sampled _ -> "sampled"
+
+(* Registration is idempotent per (name, kind): asking for an existing
+   metric returns the same cell, so independent subsystems can share a
+   name without double-counting; re-registering under a different kind is
+   a programming error and refuses loudly. *)
+let register t name make match_existing =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> (
+      match match_existing m with
+      | Some x -> x
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Telemetry.Metrics: %S already registered as a %s" name (kind_name m)))
+  | None ->
+      let x, m = make () in
+      Hashtbl.add t.tbl name m;
+      x
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = { c = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = { g = 0 } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram t name =
+  register t name
+    (fun () ->
+      let h = { n = 0; sum = 0; hmin = max_int; hmax = min_int } in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+let sampled t name f =
+  register t name
+    (fun () -> ((), Sampled f))
+    (function Sampled _ -> Some () | _ -> None)
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let value c = c.c
+let set g v = g.g <- v
+let gauge_value g = g.g
+let set_max g v = if v > g.g then g.g <- v
+let set_min g v = if v < g.g then g.g <- v
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum + v;
+  if v < h.hmin then h.hmin <- v;
+  if v > h.hmax then h.hmax <- v
+
+(* ---- snapshots ------------------------------------------------------ *)
+
+type histogram_stats = { count : int; sum : int; min : int; max : int; mean : float }
+
+type value_snapshot =
+  | Counter_value of int
+  | Gauge_value of int
+  | Histogram_value of histogram_stats
+
+let histogram_stats h =
+  {
+    count = h.n;
+    sum = h.sum;
+    min = (if h.n = 0 then 0 else h.hmin);
+    max = (if h.n = 0 then 0 else h.hmax);
+    mean = (if h.n = 0 then 0.0 else float_of_int h.sum /. float_of_int h.n);
+  }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | Counter c -> Counter_value c.c
+        | Gauge g -> Gauge_value g.g
+        | Sampled f -> Gauge_value (f ())
+        | Histogram h -> Histogram_value (histogram_stats h)
+      in
+      (name, v) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c <- 0
+      | Gauge g -> g.g <- 0
+      | Histogram h ->
+          h.n <- 0;
+          h.sum <- 0;
+          h.hmin <- max_int;
+          h.hmax <- min_int
+      | Sampled _ -> () (* reflects live state elsewhere; nothing to reset *))
+    t.tbl
+
+(* ---- export --------------------------------------------------------- *)
+
+let value_to_json = function
+  | Counter_value v -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int v) ]
+  | Gauge_value v -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Int v) ]
+  | Histogram_value s ->
+      Json.Obj
+        [
+          ("type", Json.String "histogram");
+          ("count", Json.Int s.count);
+          ("sum", Json.Int s.sum);
+          ("min", Json.Int s.min);
+          ("max", Json.Int s.max);
+          ("mean", Json.Float s.mean);
+        ]
+
+let to_json t = Json.Obj (List.map (fun (name, v) -> (name, value_to_json v)) (snapshot t))
+
+let to_jsonl t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (name, v) ->
+      let fields =
+        match value_to_json v with Json.Obj kvs -> kvs | _ -> assert false
+      in
+      Buffer.add_string b (Json.to_string (Json.Obj (("name", Json.String name) :: fields)));
+      Buffer.add_char b '\n')
+    (snapshot t);
+  Buffer.contents b
+
+let value_of_json j =
+  let ( let* ) = Option.bind in
+  let* ty = Option.bind (Json.member "type" j) Json.to_str in
+  match ty with
+  | "counter" ->
+      let* v = Option.bind (Json.member "value" j) Json.to_int in
+      Some (Counter_value v)
+  | "gauge" ->
+      let* v = Option.bind (Json.member "value" j) Json.to_int in
+      Some (Gauge_value v)
+  | "histogram" ->
+      let* count = Option.bind (Json.member "count" j) Json.to_int in
+      let* sum = Option.bind (Json.member "sum" j) Json.to_int in
+      let* min = Option.bind (Json.member "min" j) Json.to_int in
+      let* max = Option.bind (Json.member "max" j) Json.to_int in
+      let* mean = Option.bind (Json.member "mean" j) Json.to_float in
+      Some (Histogram_value { count; sum; min; max; mean })
+  | _ -> None
+
+let of_jsonl s =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "") in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match Json.of_string line with
+        | Error e -> Error e
+        | Ok j -> (
+            match (Option.bind (Json.member "name" j) Json.to_str, value_of_json j) with
+            | Some name, Some v -> go ((name, v) :: acc) rest
+            | _ -> Error (Printf.sprintf "malformed metric line %S" line)))
+  in
+  go [] lines
+
+let pp_value fmt = function
+  | Counter_value v -> Format.fprintf fmt "%d" v
+  | Gauge_value v -> Format.fprintf fmt "%d" v
+  | Histogram_value s ->
+      Format.fprintf fmt "n=%d sum=%d min=%d max=%d mean=%.1f" s.count s.sum s.min s.max s.mean
+
+let pp_summary fmt t =
+  let entries = snapshot t in
+  let width = List.fold_left (fun w (name, _) -> max w (String.length name)) 0 entries in
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "  %-*s  %a@." width name pp_value v)
+    entries

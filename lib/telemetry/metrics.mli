@@ -1,0 +1,83 @@
+(** Named metrics registry: counters, gauges, histograms.
+
+    The observability substrate for the whole stack — CPU instruction
+    mix, MAVLink link quality, master flash-session timing, ground
+    station alarms all land here under dotted names
+    ([avr.insn.call], [mavlink.crc_errors], ...).
+
+    Two kinds of cells exist: {e owned} metrics ({!counter}, {!gauge},
+    {!histogram}) that instrumented code pushes into, and {e sampled}
+    gauges ({!sampled}) that pull a live value from their owner at
+    snapshot time — the latter cost the instrumented hot path nothing,
+    which is how the MAVLink parser's existing counters are exported
+    without touching its byte loop.
+
+    Registration is idempotent per (name, kind): re-registering a name
+    returns the same cell; re-registering under a different kind raises
+    [Invalid_argument]. *)
+
+type registry
+
+val create : unit -> registry
+
+(** {2 Owned metrics} *)
+
+type counter
+
+val counter : registry -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+type gauge
+
+val gauge : registry -> string -> gauge
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** [set_max g v] ([set_min]) ratchets the gauge upward (downward). *)
+val set_max : gauge -> int -> unit
+
+val set_min : gauge -> int -> unit
+
+type histogram
+
+val histogram : registry -> string -> histogram
+
+(** [observe h v] records one sample. *)
+val observe : histogram -> int -> unit
+
+(** {2 Sampled gauges} *)
+
+(** [sampled t name f] registers a pull-style gauge: [f ()] is read at
+    snapshot time.  Snapshots report it as a gauge; {!reset} leaves it
+    alone (it reflects state owned elsewhere). *)
+val sampled : registry -> string -> (unit -> int) -> unit
+
+(** {2 Snapshot and export} *)
+
+type histogram_stats = { count : int; sum : int; min : int; max : int; mean : float }
+
+type value_snapshot =
+  | Counter_value of int
+  | Gauge_value of int
+  | Histogram_value of histogram_stats
+
+(** [snapshot t] is every metric's current value, sorted by name. *)
+val snapshot : registry -> (string * value_snapshot) list
+
+(** [reset t] zeroes owned metrics (sampled gauges are untouched). *)
+val reset : registry -> unit
+
+val to_json : registry -> Json.t
+
+(** One compact JSON object per line ([{"name":...,"type":...,...}]). *)
+val to_jsonl : registry -> string
+
+(** Parses {!to_jsonl} output back; the round-trip equals {!snapshot}. *)
+val of_jsonl : string -> ((string * value_snapshot) list, string) result
+
+val pp_value : Format.formatter -> value_snapshot -> unit
+
+(** Human-readable aligned table of the snapshot. *)
+val pp_summary : Format.formatter -> registry -> unit

@@ -1,0 +1,76 @@
+type kind = Point | Span_begin | Span_end
+
+type event = { cycle : int; kind : kind; name : string; value : int }
+
+(* Fixed-capacity ring: [buf.(head)] is the slot the next event lands in,
+   so once full the writer overwrites the oldest entry in O(1) — the
+   flight recorder must cost the same whether it has run for a thousand
+   cycles or a billion. *)
+type t = {
+  buf : event array;
+  mutable head : int;
+  mutable len : int;
+  mutable total : int;
+}
+
+let nil_event = { cycle = 0; kind = Point; name = ""; value = 0 }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Telemetry.Recorder.create: capacity must be positive";
+  { buf = Array.make capacity nil_event; head = 0; len = 0; total = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.len
+let total_recorded t = t.total
+
+let record t ~cycle ?(kind = Point) ?(value = 0) name =
+  let cap = Array.length t.buf in
+  t.buf.(t.head) <- { cycle; kind; name; value };
+  t.head <- (t.head + 1) mod cap;
+  if t.len < cap then t.len <- t.len + 1;
+  t.total <- t.total + 1
+
+let span_begin t ~cycle ?(value = 0) name = record t ~cycle ~kind:Span_begin ~value name
+let span_end t ~cycle ?(value = 0) name = record t ~cycle ~kind:Span_end ~value name
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.total <- 0
+
+let events t =
+  let cap = Array.length t.buf in
+  let start = (t.head - t.len + cap) mod cap in
+  List.init t.len (fun i -> t.buf.((start + i) mod cap))
+
+let kind_name = function Point -> "point" | Span_begin -> "begin" | Span_end -> "end"
+
+let pp_event fmt e =
+  match e.kind with
+  | Point -> Format.fprintf fmt "[%10d] %-24s 0x%x" e.cycle e.name e.value
+  | Span_begin -> Format.fprintf fmt "[%10d] >> %-21s %d" e.cycle e.name e.value
+  | Span_end -> Format.fprintf fmt "[%10d] << %-21s %d" e.cycle e.name e.value
+
+let pp_dump fmt t =
+  let dropped = t.total - t.len in
+  if dropped > 0 then
+    Format.fprintf fmt "  (%d earlier events overwritten; ring capacity %d)@." dropped
+      (capacity t);
+  List.iter (fun e -> Format.fprintf fmt "  %a@." pp_event e) (events t)
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("cycle", Json.Int e.cycle);
+      ("kind", Json.String (kind_name e.kind));
+      ("name", Json.String e.name);
+      ("value", Json.Int e.value);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("capacity", Json.Int (capacity t));
+      ("total_recorded", Json.Int t.total);
+      ("events", Json.List (List.map event_to_json (events t)));
+    ]

@@ -1,0 +1,48 @@
+(** Cycle-stamped flight recorder.
+
+    A bounded ring buffer of probe events — the "black box" that answers
+    "why did this run die".  Producers record points (one-shot events)
+    and spans (begin/end pairs, e.g. the master's flash-session phases);
+    once the ring is full each new event overwrites the oldest in O(1).
+    On a CPU halt or fault the retained window — the last N events before
+    death — is the dump (see {!Mavr_avr.Probes}). *)
+
+type kind = Point | Span_begin | Span_end
+
+type event = {
+  cycle : int;  (** emulated-CPU cycle stamp (or modeled-time stamp) *)
+  kind : kind;
+  name : string;
+  value : int;  (** event-specific payload, e.g. a byte address or µs *)
+}
+
+type t
+
+(** [create ~capacity] — ring retaining the most recent [capacity]
+    events.  Raises [Invalid_argument] on a non-positive capacity. *)
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+(** Events currently retained (≤ capacity). *)
+val length : t -> int
+
+(** Events ever recorded, including overwritten ones. *)
+val total_recorded : t -> int
+
+val record : t -> cycle:int -> ?kind:kind -> ?value:int -> string -> unit
+val span_begin : t -> cycle:int -> ?value:int -> string -> unit
+val span_end : t -> cycle:int -> ?value:int -> string -> unit
+val clear : t -> unit
+
+(** Retained events, oldest first. *)
+val events : t -> event list
+
+val pp_event : Format.formatter -> event -> unit
+
+(** Full dump: a header noting overwritten events, then one line per
+    retained event. *)
+val pp_dump : Format.formatter -> t -> unit
+
+val event_to_json : event -> Json.t
+val to_json : t -> Json.t

@@ -91,6 +91,67 @@ let test_gcs_telemetry_silence_alarm () =
   ignore (Gcs.check g ~now_ms:1000.0);
   Alcotest.(check int) "latched" 1 (List.length (Gcs.alarms g))
 
+let imu_frame seq =
+  Frame.encode
+    { Frame.seq; sysid = 1; compid = 1; msgid = 27;
+      payload = Mavr_mavlink.Messages.Raw_imu.encode
+          { time_usec = 1; xacc = 0; yacc = 0; zacc = 0; xgyro = 0; ygyro = 0;
+            zgyro = 0; xmag = 0; ymag = 0; zmag = 0 } }
+
+let test_gcs_silence_exact_timeout_edge () =
+  (* The contract is strictly-greater-than: silence of exactly the
+     timeout is still on time; one millisecond past it alarms. *)
+  let g = Gcs.create ~telemetry_timeout_ms:500.0 () in
+  Gcs.feed g ~now_ms:0.0 (hb_frame 0);
+  Alcotest.(check int) "at the edge: no alarm" 0
+    (List.length (Gcs.check g ~now_ms:500.0));
+  Alcotest.(check (list string)) "past the edge: one alarm" [ "telemetry_silence" ]
+    (List.map Gcs.alarm_key (Gcs.check g ~now_ms:501.0))
+
+let test_gcs_heartbeat_exact_timeout_edge () =
+  let g = Gcs.create ~heartbeat_timeout_ms:1000.0 ~telemetry_timeout_ms:10_000.0 () in
+  Gcs.feed g ~now_ms:0.0 (hb_frame 0);
+  (* Non-heartbeat traffic keeps the telemetry stream alive, isolating
+     the heartbeat clock. *)
+  Gcs.feed g ~now_ms:900.0 (imu_frame 1);
+  Alcotest.(check int) "at the edge: no alarm" 0 (List.length (Gcs.check g ~now_ms:1000.0));
+  Gcs.feed g ~now_ms:1001.0 (imu_frame 2);
+  Alcotest.(check (list string)) "past the edge: heartbeat lost" [ "heartbeat_lost" ]
+    (List.map Gcs.alarm_key (Gcs.check g ~now_ms:1001.0))
+
+let test_gcs_duplicate_alarm_suppression () =
+  (* One alarm per episode: repeated checks inside the same silence must
+     not stack alarms, and a recovered-then-silent-again stream starts a
+     new episode. *)
+  let g = Gcs.create ~heartbeat_timeout_ms:1000.0 ~telemetry_timeout_ms:10_000.0 () in
+  Gcs.feed g ~now_ms:0.0 (hb_frame 0);
+  let seq = ref 0 in
+  let imu_at t =
+    incr seq;
+    Gcs.feed g ~now_ms:t (imu_frame (!seq land 0xFF))
+  in
+  (* Heartbeats go silent; IMU traffic continues. *)
+  let alarms = ref 0 in
+  for t = 1 to 30 do
+    let now = float_of_int (t * 100) in
+    imu_at now;
+    alarms := !alarms + List.length (Gcs.check g ~now_ms:now)
+  done;
+  Alcotest.(check int) "episode raises exactly one alarm" 1 !alarms;
+  (* Heartbeat resumes (continuing the sequence, so no reboot alarm):
+     the latch re-arms... *)
+  incr seq;
+  Gcs.feed g ~now_ms:3050.0 (hb_frame (!seq land 0xFF));
+  Alcotest.(check int) "recovered: no alarm" 0 (List.length (Gcs.check g ~now_ms:3100.0));
+  (* ...and a second silence episode raises exactly one more. *)
+  for t = 32 to 60 do
+    let now = float_of_int (t * 100) in
+    imu_at now;
+    alarms := !alarms + List.length (Gcs.check g ~now_ms:now)
+  done;
+  Alcotest.(check int) "second episode, second alarm" 2 !alarms;
+  Alcotest.(check int) "retained history matches" 2 (List.length (Gcs.alarms g))
+
 let test_gcs_corruption_alarm () =
   let g = Gcs.create () in
   Gcs.feed g ~now_ms:0.0 (hb_frame 0);
@@ -190,6 +251,46 @@ let test_mavr_recovers_in_flight () =
   Alcotest.(check bool) "app recovered" true (not r.app_halted);
   Alcotest.(check bool) "reflashed at least twice (boot + recovery)" true (r.reflashes >= 2)
 
+let test_scenario_telemetry () =
+  (* The full instrumented rig: a defended flight hit by a crash probe
+     must leave the story in the registry (app fault counters, master
+     detections, GCS counters) and on the shared flight-recorder ring
+     (the master's flash-session span and the attack-detected event). *)
+  let _b, ti, _obs = Helpers.attack_target () in
+  let config = { Mavr_core.Master.default_config with watchdog_window_cycles = 20_000 } in
+  let s = Sc.create ~image:(image ()) (Sc.Mavr config) in
+  let registry = Mavr_telemetry.Metrics.create () in
+  let probes = Sc.attach_telemetry s ~registry in
+  Sc.run s ~ms:400.0;
+  Sc.inject s (Rop.crash_probe ti);
+  Sc.run s ~ms:3000.0;
+  let snap = Mavr_telemetry.Metrics.snapshot registry in
+  let get name =
+    match List.assoc_opt name snap with
+    | Some (Mavr_telemetry.Metrics.Counter_value n)
+    | Some (Mavr_telemetry.Metrics.Gauge_value n) ->
+        n
+    | _ -> Alcotest.failf "metric %s missing" name
+  in
+  Alcotest.(check int) "ticks counted" 3400 (get "sim.ticks");
+  Alcotest.(check bool) "instructions counted" true (get "app.insn.total" > 0);
+  Alcotest.(check bool) "fault recorded" true (get "app.halt.wild_pc" >= 1);
+  Alcotest.(check bool) "master saw the attack" true (get "master.attacks_detected" >= 1);
+  Alcotest.(check bool) "gcs frames exported" true (get "gcs.frames" > 0);
+  Alcotest.(check bool) "probes retained" true
+    (match Sc.probes s with Some p -> p == probes | None -> false);
+  Alcotest.(check int) "faults seen by bundle" (get "app.halt.wild_pc")
+    (Mavr_avr.Probes.faults_seen probes);
+  (* The dump was captured the instant the probe faulted, even though the
+     master then recovered the CPU and execution continued. *)
+  Alcotest.(check bool) "fault dump captured" true (Mavr_avr.Probes.last_fault_dump probes <> None);
+  (* The recovery flash session landed in the Table II phase histograms
+     (the boot flash predates attach and is rightly absent). *)
+  match List.assoc_opt "master.flash.total_us" snap with
+  | Some (Mavr_telemetry.Metrics.Histogram_value h) ->
+      Alcotest.(check bool) "recovery session timed" true (h.Mavr_telemetry.Metrics.count >= 1)
+  | _ -> Alcotest.fail "master flash histogram missing"
+
 let test_mavr_prevents_takeover () =
   let b, ti, obs = Helpers.attack_target () in
   ignore b;
@@ -224,6 +325,9 @@ let () =
         [
           Alcotest.test_case "clean stream" `Quick test_gcs_clean_stream_no_alarms;
           Alcotest.test_case "silence alarm" `Quick test_gcs_telemetry_silence_alarm;
+          Alcotest.test_case "silence exact edge" `Quick test_gcs_silence_exact_timeout_edge;
+          Alcotest.test_case "heartbeat exact edge" `Quick test_gcs_heartbeat_exact_timeout_edge;
+          Alcotest.test_case "duplicate suppression" `Quick test_gcs_duplicate_alarm_suppression;
           Alcotest.test_case "corruption alarm" `Quick test_gcs_corruption_alarm;
           Alcotest.test_case "reboot detection" `Quick test_gcs_reboot_detection;
           Alcotest.test_case "gyro tracking" `Quick test_gcs_tracks_gyro;
@@ -236,5 +340,6 @@ let () =
           Alcotest.test_case "V1 attack visible" `Slow test_v1_attack_visible_to_gcs;
           Alcotest.test_case "MAVR recovers in flight" `Slow test_mavr_recovers_in_flight;
           Alcotest.test_case "MAVR prevents takeover" `Slow test_mavr_prevents_takeover;
+          Alcotest.test_case "scenario telemetry" `Slow test_scenario_telemetry;
         ] );
     ]
