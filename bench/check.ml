@@ -19,6 +19,11 @@ let required =
     [ "telemetry_overhead"; "disabled_insn_per_s" ];
     [ "telemetry_overhead"; "enabled_insn_per_s" ];
     [ "telemetry_overhead"; "enabled_overhead_pct" ];
+    [ "static_analysis"; "arduplane"; "coverage_pct" ];
+    [ "static_analysis"; "arduplane"; "lint_findings" ];
+    [ "static_analysis"; "arduplane"; "lint_findings_randomized" ];
+    [ "static_analysis"; "census_base_gadgets" ];
+    [ "static_analysis"; "census_feasible_layouts" ];
   ]
 
 let () =

@@ -8,10 +8,13 @@
      fly        closed-loop defended/undefended flight
      stats      instrumented flight: telemetry registry summary (or --json)
      flight-record  induce a fault and print the flight-recorder dump
+     analyze    static analysis: CFG recovery + gadget-survival census
+     lint       check firmware structural invariants (exit 1 on findings)
      tables     print the paper-table reproductions (also in bench/main.exe)
 
    Exit codes: 0 success, 1 operation failed (gadgets absent, randomization
-   had no effect, output not writable, no fault captured), 2 usage error. *)
+   had no effect, output not writable, no fault captured, lint findings),
+   2 usage error. *)
 
 open Cmdliner
 module Image = Mavr_obj.Image
@@ -322,6 +325,90 @@ let cmd_entropy =
   Cmd.v (Cmd.info "entropy" ~doc:"Layout entropy and brute-force effort (paper §V-D, §VIII-B)")
     Term.(const run $ n $ pad)
 
+let cmd_analyze =
+  let run profile toolchain layouts json =
+    let b = build_firmware profile toolchain in
+    let img = b.F.Build.image in
+    let cfg = Mavr_analysis.Cfg.recover img in
+    let stats = Mavr_analysis.Cfg.stats cfg in
+    let gadgets = Mavr_core.Gadget.scan img in
+    let census = Mavr_analysis.Survival.census ~layouts img in
+    if json then
+      print_endline
+        (Mavr_telemetry.Json.to_string ~indent:2
+           (Mavr_telemetry.Json.Obj
+              [
+                ("profile", Mavr_telemetry.Json.String profile.F.Profile.name);
+                ("cfg", Mavr_analysis.Cfg.stats_to_json stats);
+                ( "gadgets",
+                  Mavr_telemetry.Json.Obj
+                    (( "total",
+                       Mavr_telemetry.Json.Int (List.length gadgets) )
+                    :: List.map
+                         (fun (k, n) ->
+                           (Mavr_core.Gadget.kind_name k, Mavr_telemetry.Json.Int n))
+                         (Mavr_core.Gadget.count_by_kind gadgets)) );
+                ("census", Mavr_analysis.Survival.to_json census);
+              ]))
+    else begin
+      Format.printf "%s (%d B image)@." profile.F.Profile.name (Image.size img);
+      Format.printf "  %a@." Mavr_analysis.Cfg.pp_stats stats;
+      Format.printf "  gadgets: %d total (%s)@." (List.length gadgets)
+        (String.concat ", "
+           (List.map
+              (fun (k, n) -> Printf.sprintf "%s %d" (Mavr_core.Gadget.kind_name k) n)
+              (Mavr_core.Gadget.count_by_kind gadgets)));
+      Format.printf "  %a@." Mavr_analysis.Survival.pp census
+    end;
+    0
+  in
+  let layouts =
+    Arg.(value & opt int 10 & info [ "layouts" ] ~docv:"K"
+           ~doc:"Randomized layouts to measure in the survival census.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static analysis: CFG recovery, gadget census, survival under randomization")
+    Term.(const run $ profile_arg $ toolchain_arg $ layouts $ json_flag)
+
+let cmd_lint =
+  let run profile toolchain rseed json =
+    let b = build_firmware profile toolchain in
+    let img = b.F.Build.image in
+    let built = Mavr_analysis.Lint.run img in
+    let randomized =
+      Option.map (fun seed -> Mavr_analysis.Lint.run (Mavr_core.Randomize.randomize ~seed img)) rseed
+    in
+    if json then
+      print_endline
+        (Mavr_telemetry.Json.to_string ~indent:2
+           (Mavr_telemetry.Json.Obj
+              ([
+                 ("profile", Mavr_telemetry.Json.String profile.F.Profile.name);
+                 ("findings", Mavr_analysis.Lint.to_json built);
+               ]
+              @
+              match randomized with
+              | Some fs -> [ ("randomized_findings", Mavr_analysis.Lint.to_json fs) ]
+              | None -> [])))
+    else begin
+      let report label findings =
+        Format.printf "%s %s: %d finding(s)@." profile.F.Profile.name label (List.length findings);
+        List.iter (fun f -> Format.printf "%a@." Mavr_analysis.Lint.pp_finding f) findings
+      in
+      report "built image" built;
+      Option.iter (report "randomized image") randomized
+    end;
+    if built = [] && (match randomized with None | Some [] -> true | Some _ -> false) then 0 else 1
+  in
+  let rseed =
+    Arg.(value & opt (some int) None & info [ "randomized-seed" ] ~docv:"SEED"
+           ~doc:"Also lint the image randomized with $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"Check firmware structural invariants (exit 1 on any finding)")
+    Term.(const run $ profile_arg $ toolchain_arg $ rseed $ json_flag)
+
 let cmd_tables =
   let run () =
     print_endline "Run `dune exec bench/main.exe` for the full table reproductions.";
@@ -339,9 +426,29 @@ let cmd_tables =
 
 let () =
   let doc = "MAVR: code-reuse stealthy attacks and mitigation on UAVs (ICDCS 2015 reproduction)" in
-  let info = Cmd.info "mavr" ~version:"1.0.0" ~doc in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success.";
+      Cmd.Exit.info 1
+        ~doc:
+          "on operation failure: gadgets absent, randomization had no effect, output not \
+           writable, no fault captured, or lint findings.";
+      Cmd.Exit.info 2 ~doc:"on usage error: unknown subcommand, bad option, or bad argument.";
+    ]
+  in
+  let info = Cmd.info "mavr" ~version:"1.0.0" ~doc ~exits in
+  let cmd =
+    Cmd.group info
+      [ cmd_build; cmd_gadgets; cmd_randomize; cmd_attack; cmd_fly; cmd_stats;
+        cmd_flight_record; cmd_disasm; cmd_lifetime; cmd_entropy; cmd_analyze; cmd_lint;
+        cmd_tables ]
+  in
+  (* Map every cmdliner-level error (unknown subcommand, bad flag, missing
+     argument) to the documented usage-error code 2; uncaught exceptions
+     are operation failures. *)
   exit
-    (Cmd.eval'
-       (Cmd.group info
-          [ cmd_build; cmd_gadgets; cmd_randomize; cmd_attack; cmd_fly; cmd_stats;
-            cmd_flight_record; cmd_disasm; cmd_lifetime; cmd_entropy; cmd_tables ]))
+    (match Cmd.eval_value cmd with
+    | Ok (`Ok code) -> code
+    | Ok (`Help | `Version) -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 1)

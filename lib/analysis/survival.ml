@@ -1,0 +1,95 @@
+module Isa = Mavr_avr.Isa
+module Decode = Mavr_avr.Decode
+module Image = Mavr_obj.Image
+module Gadget = Mavr_core.Gadget
+module Randomize = Mavr_core.Randomize
+module Json = Mavr_telemetry.Json
+
+(* Decode the forward chain starting at [addr] until a [ret] (inclusive)
+   or until [cap] instructions.  This is exactly what the CPU executes
+   when a return lands at [addr], so equality of chains is equality of
+   attacker-visible behavior. *)
+let chain_at ?(cap = 24) (img : Image.t) addr =
+  let len = String.length img.code in
+  let rec go addr n acc =
+    if n >= cap || addr < 0 || addr + 2 > len then List.rev acc
+    else
+      let insn, size = Decode.decode_bytes img.code addr in
+      if insn = Isa.Ret then List.rev (insn :: acc)
+      else go (addr + size) (n + 1) (insn :: acc)
+  in
+  go addr 0 []
+
+let gadget_survives ~candidate (g : Gadget.t) =
+  chain_at ~cap:(List.length g.insns) candidate g.byte_addr = g.insns
+
+let payload_feasible ~reference ~(gadgets : Gadget.paper_gadgets) candidate =
+  let check name addr =
+    if chain_at reference addr = chain_at candidate addr then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s gadget at 0x%x no longer decodes to the harvested sequence" name addr)
+  in
+  let ( let* ) = Result.bind in
+  let* () = check "stk_move" gadgets.stk_move in
+  let* () = check "write_mem" gadgets.write_mem in
+  check "write_mem_pops" gadgets.write_mem_pops
+
+type t = {
+  layouts : int;
+  base_gadgets : int;
+  survivors_per_layout : int array;
+  mean_survival_rate : float;
+  max_survival_rate : float;
+  feasible_layouts : int;
+}
+
+let census ?max_len ~layouts image =
+  let base = Gadget.scan ?max_len image in
+  let base_n = List.length base in
+  let paper = Gadget.locate_paper_gadgets image in
+  let survivors = Array.make layouts 0 in
+  let feasible = ref 0 in
+  for i = 0 to layouts - 1 do
+    let candidate = Randomize.randomize ~seed:(i + 1) image in
+    survivors.(i) <-
+      List.fold_left (fun n g -> if gadget_survives ~candidate g then n + 1 else n) 0 base;
+    match paper with
+    | Some gadgets when Result.is_ok (payload_feasible ~reference:image ~gadgets candidate) ->
+        incr feasible
+    | _ -> ()
+  done;
+  let rate s = if base_n = 0 then 0.0 else float_of_int s /. float_of_int base_n in
+  let mean =
+    if layouts = 0 then 0.0
+    else Array.fold_left (fun acc s -> acc +. rate s) 0.0 survivors /. float_of_int layouts
+  in
+  let max_rate = Array.fold_left (fun acc s -> Float.max acc (rate s)) 0.0 survivors in
+  {
+    layouts;
+    base_gadgets = base_n;
+    survivors_per_layout = survivors;
+    mean_survival_rate = mean;
+    max_survival_rate = max_rate;
+    feasible_layouts = !feasible;
+  }
+
+let to_json t =
+  Json.Obj
+    [
+      ("layouts", Json.Int t.layouts);
+      ("base_gadgets", Json.Int t.base_gadgets);
+      ( "survivors_per_layout",
+        Json.List (Array.to_list (Array.map (fun s -> Json.Int s) t.survivors_per_layout)) );
+      ("mean_survival_rate", Json.Float t.mean_survival_rate);
+      ("max_survival_rate", Json.Float t.max_survival_rate);
+      ("feasible_layouts", Json.Int t.feasible_layouts);
+    ]
+
+let pp fmt t =
+  Format.fprintf fmt
+    "census: %d base gadgets, %d layouts, mean survival %.2f%% (max %.2f%%), payload feasible in %d/%d layouts"
+    t.base_gadgets t.layouts
+    (100.0 *. t.mean_survival_rate)
+    (100.0 *. t.max_survival_rate)
+    t.feasible_layouts t.layouts

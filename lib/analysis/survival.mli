@@ -1,0 +1,49 @@
+(** Gadget-survival census and static payload feasibility (§VII).
+
+    The paper's mitigation argument is statistical: after software
+    diversification, the gadget {e addresses} an attacker harvested from
+    the unprotected image no longer decode to the same instruction
+    sequences, so a prebuilt ROP payload fails.  This module measures
+    that claim without executing anything:
+
+    - {!gadget_survives}: does a single harvested gadget still decode to
+      the same sequence at the same address in a candidate layout?
+    - {!census}: across [layouts] randomized layouts, what fraction of
+      the base image's gadgets survive, and in how many layouts does the
+      full §IV payload stay feasible?
+    - {!payload_feasible}: the static analogue of running the attack in
+      the emulator — all three paper-gadget addresses must decode to the
+      reference sequences. *)
+
+(** [gadget_survives ~candidate g] — the decode chain at [g.byte_addr]
+    in [candidate] still matches [g.insns] exactly. *)
+val gadget_survives : candidate:Mavr_obj.Image.t -> Mavr_core.Gadget.t -> bool
+
+(** [payload_feasible ~reference ~gadgets candidate] — static verdict on
+    whether a §IV payload built against [reference] (with the harvested
+    [gadgets] addresses) would still find its gadgets in [candidate].
+    [Error] names the first gadget whose decode diverges. *)
+val payload_feasible :
+  reference:Mavr_obj.Image.t ->
+  gadgets:Mavr_core.Gadget.paper_gadgets ->
+  Mavr_obj.Image.t ->
+  (unit, string) result
+
+type t = {
+  layouts : int;  (** number of randomized layouts measured *)
+  base_gadgets : int;  (** gadget count on the base image *)
+  survivors_per_layout : int array;  (** per-layout surviving-gadget count *)
+  mean_survival_rate : float;  (** mean survivors / base_gadgets, in [0,1] *)
+  max_survival_rate : float;
+  feasible_layouts : int;  (** layouts where {!payload_feasible} holds *)
+}
+
+(** [census ?max_len ~layouts image] randomizes [image] with seeds
+    [1..layouts] and measures which of the base image's gadgets survive
+    at their harvested addresses in each layout.  [feasible_layouts]
+    counts layouts where the full paper payload remains feasible (0 when
+    the base image has no locatable paper gadgets). *)
+val census : ?max_len:int -> layouts:int -> Mavr_obj.Image.t -> t
+
+val to_json : t -> Mavr_telemetry.Json.t
+val pp : Format.formatter -> t -> unit

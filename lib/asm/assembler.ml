@@ -114,7 +114,7 @@ let lookup tbl name = match Hashtbl.find_opt tbl name with
 (* Relaxation: shrink long call/jmp whose target fits the ±2048-word reach
    of rcall/rjmp.  Shrinking only moves code closer together, so iterating
    to a fixed point terminates. *)
-let relax_pass program slots =
+let relax_pass program slots ~text_first =
   let changed = ref true in
   let rounds = ref 0 in
   while !changed && !rounds < 64 do
@@ -125,7 +125,10 @@ let relax_pass program slots =
     Array.iteri
       (fun i s ->
         match s.it with
-        | (Call_sym name | Jmp_sym name) when not s.short ->
+        (* The vector region is exempt: interrupt hardware indexes the
+           table in fixed 4-byte slots, so its jumps must never shrink
+           (real Binutils likewise keeps .vectors out of relaxation). *)
+        | (Call_sym name | Jmp_sym name) when (not s.short) && i >= text_first ->
             let target = lookup tbl name in
             let next = addrs.(i) + 2 (* size if short *) in
             let off = (target - next) / 2 in
@@ -197,8 +200,10 @@ let emit program slots addrs tbl =
       | Ldi_sym (r, part, name) -> encode_at i (Isa.Ldi (r, apply_part part (lookup tbl name)))
       | Word_sym name ->
           let v = lookup tbl name / 2 in
+          if v > 0xFFFF then
+            error "Word_sym %S: word address 0x%x exceeds a 16-bit pointer slot" name v;
           funptrs := addrs.(i) :: !funptrs;
-          add_words [ v land 0xFFFF ]
+          add_words [ v ]
       | Raw_words ws -> add_words (List.map (fun w -> w land 0xFFFF) ws)
       | Raw_bytes b -> Buffer.add_string buf b)
     slots;
@@ -206,7 +211,7 @@ let emit program slots addrs tbl =
 
 let assemble ~relax program =
   let slots, spans, text_first, text_last, data_first = flatten program in
-  if relax then relax_pass program slots;
+  if relax then relax_pass program slots ~text_first;
   (* Final layout with sizes fixed. *)
   let addrs = compute_addrs slots in
   let tbl0 = build_labels program slots addrs in

@@ -9,6 +9,10 @@ let sweep ?(pos = 0) ?len code =
          { byte_addr; insn; size_bytes = size } :: acc)
        [])
 
+let decode_words ?(pos = 0) ?len code =
+  let len = match len with Some l -> l | None -> String.length code - pos in
+  Array.init (len / 2) (fun i -> Decode.decode_bytes code (pos + (2 * i)))
+
 let pp_line fmt { byte_addr; insn; _ } = Format.fprintf fmt "%6x:\t%a" byte_addr Isa.pp insn
 
 let listing ?pos ?len code =

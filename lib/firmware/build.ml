@@ -44,10 +44,25 @@ let assemble ~pad (profile : Profile.t) (toolchain : Profile.toolchain) =
       List.init Layout.vtable_entries (fun j ->
           Codegen.name (j * filler_count / Layout.vtable_entries))
   in
+  (* Indirect calls go through [icall], which only sees the 16-bit Z
+     register — functions above the 128 KB line are unreachable from a
+     stored pointer, and randomization can move any function there.  Do
+     what avr-gcc does on >128 KB parts: route every vtable entry through
+     a [jmp] trampoline in the low fixed region, whose word address
+     always fits 16 bits and whose absolute target the randomizer's
+     patcher rewrites in place. *)
+  let tramp_name j = Printf.sprintf "__vt_tramp_%d" j in
+  let trampolines =
+    [ Asm.Label "__trampolines" ]
+    @ List.concat
+        (List.mapi
+           (fun j target -> [ Asm.Label (tramp_name j); Asm.Jmp_sym target ])
+           vtable_targets)
+  in
   let vectors =
-    Runtime.vectors ()
+    Runtime.vectors () @ trampolines
     @ [ Asm.Label "__data_init" ]
-    @ List.map (fun target -> Asm.Word_sym target) vtable_targets
+    @ List.mapi (fun j _ -> Asm.Word_sym (tramp_name j)) vtable_targets
     @ [ Asm.Label "__data_init_end"; Asm.Label "crc_extra_tbl"; Asm.Raw_bytes crc_extra_table ]
   in
   let funcs = Runtime.functions ~toolchain ~roots () @ fillers in

@@ -45,34 +45,35 @@ let scan ?(max_len = 8) img =
   let gadgets = ref [] in
   List.iter
     (fun (start, stop) ->
-      let lines =
-        Mavr_avr.Decode.fold_program img.Image.code ~pos:start ~len:(stop - start)
-          (fun acc addr insn -> (addr, insn) :: acc)
-          []
+      (* Decode at every word offset, the way the CPU's predecode cache
+         covers every word address: a ret can be entered not only from
+         linear-sweep boundaries but from the middle of any two-word
+         instruction, and each such entry is a distinct gadget. *)
+      let words = Mavr_avr.Disasm.decode_words ~pos:start ~len:(stop - start) img.Image.code in
+      let n = Array.length words in
+      (* The forward decode chain from a given entry is deterministic, so
+         enumerating entries (rather than per-ret suffixes) dedupes
+         overlapping suffixes by construction: each entry address yields at
+         most one gadget. *)
+      let rec chain i count acc =
+        if i >= n then None
+        else
+          let insn, size = words.(i) in
+          if start + (2 * i) + size > stop then None
+          else if insn = Isa.Ret then Some (List.rev (insn :: acc))
+          else if count + 1 >= max_len || breaks_flow insn then None
+          else chain (i + (size / 2)) (count + 1) (insn :: acc)
       in
-      let arr = Array.of_list (List.rev lines) in
-      Array.iteri
-        (fun ret_idx (_, insn) ->
-          if insn = Isa.Ret then
-            (* Every straight-line suffix ending at this ret. *)
-            let rec walk j =
-              if j >= 0 && ret_idx - j < max_len then begin
-                let addr_j, insn_j = arr.(j) in
-                if j < ret_idx && breaks_flow insn_j then ()
-                else begin
-                  let insns = Array.to_list (Array.sub arr j (ret_idx - j + 1)) in
-                  let insns = List.map snd insns in
-                  let body = List.filteri (fun k _ -> k < List.length insns - 1) insns in
-                  if List.exists Isa.is_useful_for_gadget body then
-                    gadgets := { byte_addr = addr_j; insns; kind = classify body } :: !gadgets;
-                  walk (j - 1)
-                end
-              end
-            in
-            walk (ret_idx - 1))
-        arr)
-    (exec_regions img);
-  List.rev !gadgets
+      for i = n - 1 downto 0 do
+        match chain i 0 [] with
+        | Some (_ :: _ :: _ as insns) ->
+            let body = List.filteri (fun k _ -> k < List.length insns - 1) insns in
+            if List.exists Isa.is_useful_for_gadget body then
+              gadgets := { byte_addr = start + (2 * i); insns; kind = classify body } :: !gadgets
+        | Some _ | None -> ()
+      done)
+    (List.rev (exec_regions img));
+  !gadgets
 
 let count_by_kind gadgets =
   List.fold_left

@@ -29,7 +29,14 @@ type t = {
 val kind_name : kind -> string
 
 (** [scan ?max_len image] finds all gadgets in the executable regions of
-    [image] ([max_len] defaults to 8 instructions, counting [ret]). *)
+    [image] ([max_len] defaults to 8 instructions, counting [ret]).
+
+    Entries are enumerated at {e every} word offset — including addresses
+    inside two-word instructions of the linear sweep ("mid-instruction"
+    entries), which the hardware happily executes when a [ret] lands
+    there.  The forward decode chain from an entry is deterministic, so
+    each entry address yields at most one gadget and overlapping suffixes
+    of the same [ret] are not double-counted. *)
 val scan : ?max_len:int -> Mavr_obj.Image.t -> t list
 
 (** [count_by_kind gadgets] is an association list kind → count. *)

@@ -86,8 +86,11 @@ let apply (img : Image.t) (shuffle : Shuffle.t) =
       if in_text img target then begin
         let target' = remap img shuffle target in
         let w' = target' / 2 in
+        if w' > 0xFFFF then
+          unpatchable "function pointer at 0x%x remaps to 0x%x, beyond icall's 16-bit reach" loc
+            target';
         Bytes.set out loc (Char.chr (w' land 0xFF));
-        Bytes.set out (loc + 1) (Char.chr ((w' lsr 8) land 0xFF))
+        Bytes.set out (loc + 1) (Char.chr (w' lsr 8))
       end)
     img.funptr_locs;
   let symbols =

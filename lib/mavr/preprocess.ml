@@ -5,6 +5,20 @@ let scan_function_pointers (img : Image.t) =
   List.iter
     (fun (s : Image.symbol) -> Hashtbl.replace starts (s.addr / 2) ())
     img.symbols;
+  (* A pointer may also route through a low-region trampoline (the
+     >128 KB avr-gcc idiom): a fixed [jmp] whose target is a function
+     start. *)
+  let is_trampoline w =
+    let addr = 2 * w in
+    (* Trampolines live between the vector table and the data region;
+       vector slots also decode to [jmp function], so exclude them. *)
+    addr >= Mavr_avr.Device.Vector.count * 4
+    && addr + 4 <= img.exec_low_end
+    &&
+    match Mavr_avr.Decode.decode_bytes img.code addr with
+    | Mavr_avr.Isa.Jmp a, _ -> Hashtbl.mem starts a
+    | _ -> false
+  in
   let hits = ref [] in
   (* The data region between the vector code and the text section: where
      the vtable initializer (and other rodata) lives. *)
@@ -12,7 +26,7 @@ let scan_function_pointers (img : Image.t) =
   let pos = ref lo in
   while !pos + 1 < hi do
     let w = Char.code img.code.[!pos] lor (Char.code img.code.[!pos + 1] lsl 8) in
-    if Hashtbl.mem starts w then hits := !pos :: !hits;
+    if Hashtbl.mem starts w || is_trampoline w then hits := !pos :: !hits;
     pos := !pos + 2
   done;
   List.rev !hits

@@ -73,6 +73,19 @@ let function_containing t addr =
 
 let code_of t sym = String.sub t.code sym.addr sym.size
 
+let function_starts t = Array.of_list (List.map (fun s -> s.addr) t.symbols)
+
+let is_function_start t addr =
+  (* Binary search over the ascending symbol list. *)
+  let arr = Array.of_list t.symbols in
+  let lo = ref 0 and hi = ref (Array.length arr - 1) and found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let a = arr.(mid).addr in
+    if a = addr then found := true else if a < addr then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
 let fingerprint t =
   let h = ref 0x4bf29ce484222325 in
   String.iter

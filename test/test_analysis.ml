@@ -1,0 +1,217 @@
+(* The static analyzer: CFG recovery, image lint, gadget survival, and
+   the static payload-feasibility verdict cross-validated against the
+   emulator's ground truth. *)
+
+module Cpu = Mavr_avr.Cpu
+module Isa = Mavr_avr.Isa
+module Opcode = Mavr_avr.Opcode
+module Image = Mavr_obj.Image
+module Gadget = Mavr_core.Gadget
+module Rop = Mavr_core.Rop
+module Randomize = Mavr_core.Randomize
+module Layout = Mavr_firmware.Layout
+module Cfg = Mavr_analysis.Cfg
+module Lint = Mavr_analysis.Lint
+module Survival = Mavr_analysis.Survival
+
+let mavr_image () = (Helpers.build_mavr ()).image
+let stock_image () = (Helpers.build_stock ()).image
+
+(* Replace bytes of an image's code in place (byte surgery for planted
+   lint bugs). *)
+let poke (img : Image.t) pos s =
+  let b = Bytes.of_string img.code in
+  Bytes.blit_string s 0 b pos (String.length s);
+  { img with code = Bytes.to_string b }
+
+(* ---- CFG recovery ---- *)
+
+let test_cfg_full_coverage () =
+  let cfg = Cfg.recover (mavr_image ()) in
+  let s = Cfg.stats cfg in
+  Alcotest.(check bool) "descent reaches everything the generator emits" true
+    (s.coverage_pct > 99.9);
+  Alcotest.(check int) "no linear-sweep fallback needed" 0 s.sweep_insns
+
+let test_cfg_symbols_reachable () =
+  let img = mavr_image () in
+  let cfg = Cfg.recover img in
+  List.iter
+    (fun (s : Image.symbol) ->
+      Alcotest.(check bool) (Printf.sprintf "%s entry reachable" s.name) true
+        (Cfg.is_reachable cfg s.addr))
+    img.symbols
+
+(* ---- lint on healthy images ---- *)
+
+let test_lint_clean_builds () =
+  Alcotest.(check int) "mavr build lint-clean" 0 (List.length (Lint.run (mavr_image ())));
+  Alcotest.(check int) "stock build lint-clean" 0 (List.length (Lint.run (stock_image ())))
+
+let test_lint_clean_randomized () =
+  let img = mavr_image () in
+  List.iter
+    (fun seed ->
+      let r = Randomize.randomize ~seed img in
+      Alcotest.(check int)
+        (Printf.sprintf "randomized (seed %d) lint-clean" seed)
+        0
+        (List.length (Lint.run r)))
+    [ 1; 17; 4242 ]
+
+(* ---- lint on planted bugs ---- *)
+
+let has_kind kind findings = List.exists (fun (f : Lint.finding) -> f.kind = kind) findings
+
+let test_lint_catches_bad_vector () =
+  let img = mavr_image () in
+  (* Redirect vector 4 one word past a real function entry. *)
+  let fn = List.nth img.symbols (List.length img.symbols / 2) in
+  let slot = Mavr_avr.Device.Vector.byte_addr 4 in
+  let bad = poke img slot (Opcode.encode_bytes (Isa.Jmp ((fn.addr + 2) / 2))) in
+  Alcotest.(check bool) "vector_target_not_function reported" true
+    (has_kind Lint.Vector_target_not_function (Lint.run bad))
+
+let test_lint_catches_stray_sp_write () =
+  let img = mavr_image () in
+  (* Plant an [out SPL] at the top of a filler function — a stack pivot
+     with none of the whitelisted idioms around it. *)
+  let fn =
+    List.find (fun (s : Image.symbol) -> String.length s.name >= 3 && String.sub s.name 0 3 = "fn_")
+      img.symbols
+  in
+  let bad = poke img fn.addr (Opcode.encode_bytes (Isa.Out (Mavr_avr.Device.Io.spl, 24))) in
+  Alcotest.(check bool) "stray_sp_write reported" true
+    (has_kind Lint.Stray_sp_write (Lint.run bad))
+
+let test_lint_catches_wild_funptr () =
+  let img = mavr_image () in
+  match img.funptr_locs with
+  | [] -> Alcotest.fail "image has no recorded function pointers"
+  | loc :: _ ->
+      (* Point the first vtable slot into the data region. *)
+      let w = (img.exec_low_end + 2) / 2 in
+      let bad = poke img loc (Printf.sprintf "%c%c" (Char.chr (w land 0xFF)) (Char.chr (w lsr 8))) in
+      let findings = Lint.run bad in
+      Alcotest.(check bool) "funptr finding reported" true
+        (has_kind Lint.Funptr_out_of_bounds findings || has_kind Lint.Funptr_not_function findings)
+
+(* ---- gadget scan: mid-instruction entries ---- *)
+
+let test_gadget_addresses_unique () =
+  let gs = Gadget.scan (mavr_image ()) in
+  let addrs = List.map (fun (g : Gadget.t) -> g.byte_addr) gs in
+  Alcotest.(check int) "entry addresses are unique (suffixes deduped)"
+    (List.length addrs)
+    (List.length (List.sort_uniq compare addrs))
+
+let test_gadget_mid_instruction_entries () =
+  let img = mavr_image () in
+  let boundaries = Hashtbl.create 4096 in
+  List.iter
+    (fun (s, e) ->
+      List.iter
+        (fun (l : Mavr_avr.Disasm.line) -> Hashtbl.replace boundaries l.byte_addr ())
+        (Mavr_avr.Disasm.sweep ~pos:s ~len:(e - s) img.Image.code))
+    [ (0, img.exec_low_end); (img.text_start, img.text_end) ];
+  let mid =
+    List.filter
+      (fun (g : Gadget.t) -> not (Hashtbl.mem boundaries g.byte_addr))
+      (Gadget.scan img)
+  in
+  Alcotest.(check bool) "scan finds mid-instruction gadget entries" true (List.length mid > 0)
+
+(* ---- survival census and static feasibility vs emulator ---- *)
+
+let paper_gadgets img =
+  match Gadget.locate_paper_gadgets img with
+  | Some g -> g
+  | None -> Alcotest.fail "paper gadgets absent from the unprotected image"
+
+let test_feasible_on_base () =
+  let img = mavr_image () in
+  Helpers.assert_ok (Survival.payload_feasible ~reference:img ~gadgets:(paper_gadgets img) img)
+
+let test_infeasible_on_randomized () =
+  let img = mavr_image () in
+  let gadgets = paper_gadgets img in
+  for seed = 1 to 20 do
+    match Survival.payload_feasible ~reference:img ~gadgets (Randomize.randomize ~seed img) with
+    | Ok () -> Alcotest.failf "payload statically feasible on layout seed %d" seed
+    | Error _ -> ()
+  done
+
+(* Run the stealthy V2 attack against [victim] and report whether the
+   gyro-config write landed (the emulator's ground truth). *)
+let attack_lands victim =
+  let b, ti, obs = Helpers.attack_target () in
+  ignore b;
+  let cpu = Helpers.boot victim in
+  List.iter (Cpu.uart_send cpu)
+    (Rop.v2_stealthy ti obs ~writes:[ Rop.write_u16 obs ~addr:Layout.gyro_cfg ~value:0x4141 ~neighbour:0 ]);
+  ignore (Cpu.run cpu ~max_cycles:3_000_000);
+  Cpu.data_peek cpu Layout.gyro_cfg lor (Cpu.data_peek cpu (Layout.gyro_cfg + 1) lsl 8) = 0x4141
+
+let test_static_verdict_matches_emulator () =
+  let img = mavr_image () in
+  let gadgets = paper_gadgets img in
+  (* Unprotected image: static says feasible, emulator confirms. *)
+  Alcotest.(check bool) "emulator: attack succeeds on unprotected image" true (attack_lands img);
+  Helpers.assert_ok (Survival.payload_feasible ~reference:img ~gadgets img);
+  (* Randomized layouts: static says infeasible, emulator confirms. *)
+  List.iter
+    (fun seed ->
+      let victim = Randomize.randomize ~seed img in
+      let static_feasible =
+        Result.is_ok (Survival.payload_feasible ~reference:img ~gadgets victim)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "static verdict infeasible (seed %d)" seed)
+        false static_feasible;
+      Alcotest.(check bool)
+        (Printf.sprintf "emulator agrees: attack fails (seed %d)" seed)
+        false (attack_lands victim))
+    [ 1; 2; 3 ]
+
+let test_census_sanity () =
+  let img = mavr_image () in
+  let c = Survival.census ~layouts:8 img in
+  Alcotest.(check int) "eight layouts measured" 8 (Array.length c.survivors_per_layout);
+  Alcotest.(check bool) "base image has gadgets" true (c.base_gadgets > 100);
+  Alcotest.(check int) "paper payload feasible in no layout" 0 c.feasible_layouts;
+  Alcotest.(check bool) "survival rate collapses under randomization" true
+    (c.mean_survival_rate < 0.05);
+  Alcotest.(check bool) "max >= mean" true (c.max_survival_rate >= c.mean_survival_rate)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "full coverage, no sweep fallback" `Quick test_cfg_full_coverage;
+          Alcotest.test_case "every symbol reachable" `Quick test_cfg_symbols_reachable;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "clean on fresh builds" `Quick test_lint_clean_builds;
+          Alcotest.test_case "clean on randomized layouts" `Quick test_lint_clean_randomized;
+          Alcotest.test_case "catches corrupted vector" `Quick test_lint_catches_bad_vector;
+          Alcotest.test_case "catches stray SP write" `Quick test_lint_catches_stray_sp_write;
+          Alcotest.test_case "catches wild function pointer" `Quick test_lint_catches_wild_funptr;
+        ] );
+      ( "gadgets",
+        [
+          Alcotest.test_case "entry addresses unique" `Quick test_gadget_addresses_unique;
+          Alcotest.test_case "mid-instruction entries found" `Quick
+            test_gadget_mid_instruction_entries;
+        ] );
+      ( "survival",
+        [
+          Alcotest.test_case "payload feasible on base image" `Quick test_feasible_on_base;
+          Alcotest.test_case "payload infeasible on 20 layouts" `Quick
+            test_infeasible_on_randomized;
+          Alcotest.test_case "static verdict matches emulator" `Slow
+            test_static_verdict_matches_emulator;
+          Alcotest.test_case "census sanity" `Quick test_census_sanity;
+        ] );
+    ]

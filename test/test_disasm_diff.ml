@@ -1,0 +1,62 @@
+(* Differential test: the linear-sweep disassembler must agree with the
+   raw decoder on instruction boundaries and lengths over the full .text
+   of all three paper profiles — the same agreement the CPU's predecode
+   relies on, established here over real-size images. *)
+
+module Disasm = Mavr_avr.Disasm
+module Decode = Mavr_avr.Decode
+module Image = Mavr_obj.Image
+module F = Mavr_firmware
+
+let profiles =
+  [ ("arduplane", F.Profile.arduplane);
+    ("arducopter", F.Profile.arducopter);
+    ("ardurover", F.Profile.ardurover) ]
+
+let check_region name code ~pos ~len =
+  let lines = Disasm.sweep ~pos ~len code in
+  (* Every line matches a raw decode at the same address... *)
+  let cursor = ref pos in
+  List.iter
+    (fun (l : Disasm.line) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: boundary at 0x%x" name !cursor)
+        !cursor l.byte_addr;
+      let insn, size = Decode.decode_bytes code l.byte_addr in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: same decode at 0x%x" name l.byte_addr)
+        true
+        (insn = l.insn && size = l.size_bytes);
+      cursor := !cursor + l.size_bytes)
+    lines;
+  (* ...and the sweep covers the region end to end with no gap. *)
+  Alcotest.(check int) (Printf.sprintf "%s: full coverage" name) (pos + len) !cursor
+
+let test_profile (name, profile) () =
+  let b = F.Build.build profile F.Profile.mavr in
+  let img = b.F.Build.image in
+  check_region name img.Image.code ~pos:0 ~len:img.exec_low_end;
+  check_region name img.Image.code ~pos:img.text_start
+    ~len:(img.text_end - img.text_start)
+
+let test_decode_words_agrees () =
+  (* decode_words at even offsets must equal decode_bytes there — it is
+     the static cousin of the CPU's per-word predecode. *)
+  let img = (Helpers.build_mavr ()).image in
+  let words = Disasm.decode_words img.Image.code in
+  Array.iteri
+    (fun i (insn, size) ->
+      let insn', size' = Decode.decode_bytes img.Image.code (2 * i) in
+      if insn <> insn' || size <> size' then
+        Alcotest.failf "decode_words diverges at 0x%x" (2 * i))
+    words
+
+let () =
+  Alcotest.run "disasm-diff"
+    [
+      ( "sweep-vs-decode",
+        List.map
+          (fun p -> Alcotest.test_case (fst p) `Slow (test_profile p))
+          profiles
+        @ [ Alcotest.test_case "decode_words differential" `Quick test_decode_words_agrees ] );
+    ]
