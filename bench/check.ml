@@ -16,9 +16,17 @@ let required =
     [ "decode_cache"; "cached_insn_per_s" ];
     [ "decode_cache"; "speedup" ];
     [ "decode_cache"; "arch_state_identical" ];
+    [ "decode_cache"; "wall_s" ];
+    [ "decode_cache"; "cpu_s" ];
     [ "telemetry_overhead"; "disabled_insn_per_s" ];
     [ "telemetry_overhead"; "enabled_insn_per_s" ];
     [ "telemetry_overhead"; "enabled_overhead_pct" ];
+    [ "telemetry_overhead"; "wall_s" ];
+    [ "telemetry_overhead"; "cpu_s" ];
+    [ "campaign"; "host_domains" ];
+    [ "campaign"; "census_scaling" ];
+    [ "campaign"; "grid_scaling" ];
+    [ "campaign"; "randomize_scaling" ];
     [ "static_analysis"; "arduplane"; "coverage_pct" ];
     [ "static_analysis"; "arduplane"; "lint_findings" ];
     [ "static_analysis"; "arduplane"; "lint_findings_randomized" ];
@@ -45,6 +53,31 @@ let () =
         (fun p -> Printf.eprintf "bench smoke: missing key %s\n" (String.concat "." p))
         missing;
       if missing <> [] then exit 1;
+      (* The campaign scaling rows carry the determinism contract into the
+         committed artifact: every row must time both clocks and must have
+         reproduced the jobs=1 document byte-for-byte. *)
+      let scaling_ok =
+        List.for_all
+          (fun section ->
+            match Json.path [ "campaign"; section ] doc with
+            | Some (Json.List rows) when rows <> [] ->
+                List.for_all
+                  (fun row ->
+                    List.for_all
+                      (fun k -> Json.member k row <> None)
+                      [ "jobs"; "wall_s"; "cpu_s"; "speedup"; "items_per_s" ]
+                    && Json.member "identical" row = Some (Json.Bool true)
+                    ||
+                    (Printf.eprintf
+                       "bench smoke: bad campaign.%s row: %s\n" section (Json.to_string row);
+                     false))
+                  rows
+            | _ ->
+                Printf.eprintf "bench smoke: campaign.%s is not a non-empty list\n" section;
+                false)
+          [ "census_scaling"; "grid_scaling"; "randomize_scaling" ]
+      in
+      if not scaling_ok then exit 1;
       (match Option.bind (Json.path [ "schema" ] doc) Json.to_str with
       | Some "mavr-bench" -> ()
       | Some other ->

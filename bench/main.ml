@@ -21,6 +21,7 @@ module Security = Mavr_core.Security
 module Nat = Mavr_bignum.Nat
 
 module J = Mavr_telemetry.Json
+module Clock = Mavr_campaign.Clock
 
 let quick = ref false
 let json_out : string option ref = ref None
@@ -420,19 +421,24 @@ let decode_cache_bench () =
      and keep retiring instructions until the cycle budget is spent.
      Reset does not touch flash, so the cached path keeps its decodes. *)
   let budget = if !quick then 2_000_000 else 20_000_000 in
+  (* Throughput must come from the wall clock: [Sys.time] is process CPU
+     time, which keeps (single-threaded) benchmarks honest by accident but
+     sums across domains — a parallel speedup would read as a slowdown. *)
   let measure cpu run_slice =
-    let spent = ref 0 in
-    let retired = ref 0 in
-    let t0 = Sys.time () in
-    while !spent < budget do
-      let c0 = Cpu.cycles cpu and r0 = Cpu.instructions_retired cpu in
-      run_slice cpu (budget - !spent);
-      spent := !spent + max 1 (Cpu.cycles cpu - c0);
-      retired := !retired + (Cpu.instructions_retired cpu - r0);
-      if Cpu.halted cpu <> None then Cpu.reset cpu
-    done;
-    let dt = Sys.time () -. t0 in
-    float_of_int !retired /. (if dt > 0.0 then dt else epsilon_float)
+    let retired, span =
+      Clock.time (fun () ->
+          let spent = ref 0 in
+          let retired = ref 0 in
+          while !spent < budget do
+            let c0 = Cpu.cycles cpu and r0 = Cpu.instructions_retired cpu in
+            run_slice cpu (budget - !spent);
+            spent := !spent + max 1 (Cpu.cycles cpu - c0);
+            retired := !retired + (Cpu.instructions_retired cpu - r0);
+            if Cpu.halted cpu <> None then Cpu.reset cpu
+          done;
+          !retired)
+    in
+    (Clock.rate (float_of_int retired) span, span)
   in
   let batched cpu max_cycles = ignore (Cpu.run_until_halt cpu ~max_cycles) in
   (* The pre-cache dispatch: a driver loop around [Cpu.step], decoding
@@ -445,9 +451,11 @@ let decode_cache_bench () =
       Cpu.step cpu
     done
   in
-  let legacy = measure (prep ~cache:false) per_step in
-  let uncached = measure (prep ~cache:false) batched in
-  let cached = measure (prep ~cache:true) batched in
+  let legacy, legacy_span = measure (prep ~cache:false) per_step in
+  let uncached, uncached_span = measure (prep ~cache:false) batched in
+  let cached, cached_span = measure (prep ~cache:true) batched in
+  let wall_s = legacy_span.Clock.wall_s +. uncached_span.Clock.wall_s +. cached_span.Clock.wall_s in
+  let cpu_s = legacy_span.Clock.cpu_s +. uncached_span.Clock.cpu_s +. cached_span.Clock.cpu_s in
   Printf.printf "  before: per-step loop, decode per instruction : %12.0f insn/s\n" legacy;
   Printf.printf "  batched run, decode per instruction           : %12.0f insn/s\n" uncached;
   Printf.printf "  after:  batched run + predecode cache         : %12.0f insn/s\n" cached;
@@ -472,7 +480,9 @@ let decode_cache_bench () =
          ("batched_uncached_insn_per_s", J.Float uncached);
          ("cached_insn_per_s", J.Float cached);
          ("speedup", J.Float (cached /. legacy));
-         ("arch_state_identical", J.Bool identical) ])
+         ("arch_state_identical", J.Bool identical);
+         ("wall_s", J.Float wall_s);
+         ("cpu_s", J.Float cpu_s) ])
 
 (* ---------------------------------------------------------------- *)
 (* The PR-2 overhead contract: with no probes attached the CPU hot path
@@ -496,21 +506,23 @@ let telemetry_overhead_bench () =
     in
     ignore (Cpu.run_until_halt cpu ~max_cycles:200_000);
     if Cpu.halted cpu <> None then Cpu.reset cpu;
-    let spent = ref 0 and retired = ref 0 in
-    let t0 = Sys.time () in
-    while !spent < budget do
-      let c0 = Cpu.cycles cpu and r0 = Cpu.instructions_retired cpu in
-      ignore (Cpu.run_until_halt cpu ~max_cycles:(budget - !spent));
-      spent := !spent + max 1 (Cpu.cycles cpu - c0);
-      retired := !retired + (Cpu.instructions_retired cpu - r0);
-      if Cpu.halted cpu <> None then Cpu.reset cpu
-    done;
-    let dt = Sys.time () -. t0 in
-    let rate = float_of_int !retired /. (if dt > 0.0 then dt else epsilon_float) in
-    (rate, probes)
+    (* Wall clock, not [Sys.time]: see the decode-cache section. *)
+    let retired, span =
+      Clock.time (fun () ->
+          let spent = ref 0 and retired = ref 0 in
+          while !spent < budget do
+            let c0 = Cpu.cycles cpu and r0 = Cpu.instructions_retired cpu in
+            ignore (Cpu.run_until_halt cpu ~max_cycles:(budget - !spent));
+            spent := !spent + max 1 (Cpu.cycles cpu - c0);
+            retired := !retired + (Cpu.instructions_retired cpu - r0);
+            if Cpu.halted cpu <> None then Cpu.reset cpu
+          done;
+          !retired)
+    in
+    (Clock.rate (float_of_int retired) span, span, probes)
   in
-  let disabled, _ = measure ~instrument:false in
-  let enabled, probes = measure ~instrument:true in
+  let disabled, span_off, _ = measure ~instrument:false in
+  let enabled, span_on, probes = measure ~instrument:true in
   let overhead_pct = 100.0 *. (disabled -. enabled) /. disabled in
   Printf.printf "  probes disabled (tap flag only)  : %12.0f insn/s\n" disabled;
   Printf.printf "  probes enabled (full bundle)     : %12.0f insn/s\n" enabled;
@@ -526,7 +538,87 @@ let telemetry_overhead_bench () =
     (J.Obj
        [ ("disabled_insn_per_s", J.Float disabled);
          ("enabled_insn_per_s", J.Float enabled);
-         ("enabled_overhead_pct", J.Float overhead_pct) ])
+         ("enabled_overhead_pct", J.Float overhead_pct);
+         ("wall_s", J.Float (span_off.Clock.wall_s +. span_on.Clock.wall_s));
+         ("cpu_s", J.Float (span_off.Clock.cpu_s +. span_on.Clock.cpu_s)) ])
+
+(* ---------------------------------------------------------------- *)
+(* PR-4: the campaign engine's scaling behaviour.  Every workload is
+   re-run at 1/2/4/8 domains and its canonical JSON document compared
+   byte-for-byte against the jobs=1 run — the determinism contract is
+   part of the benchmark, not just the test suite.  Speedups are wall
+   clock (the whole point of the Sys.time fix); cpu_s is reported next
+   to it so the parallel efficiency is visible too. *)
+
+let campaign_scaling () =
+  section "Campaign engine — deterministic parallel scaling (1/2/4/8 domains)";
+  let _, _, arduplane = List.hd (Lazy.force builds) in
+  let img = arduplane.F.Build.image in
+  let b = Lazy.force tiny in
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  let host = Domain.recommended_domain_count () in
+  Printf.printf "  host parallelism: Domain.recommended_domain_count = %d\n" host;
+  (* [scale name items f] runs [f ~jobs] per job count; [f] returns the
+     workload's canonical JSON string so byte-equality is checked on
+     exactly what a consumer would see. *)
+  let scale name items f =
+    let rows =
+      List.map (fun jobs -> let doc, span = Clock.time (fun () -> f ~jobs) in (jobs, doc, span))
+        jobs_list
+    in
+    let reference, base =
+      match rows with
+      | (_, doc, span) :: _ -> (doc, span.Clock.wall_s)
+      | [] -> ("", 0.0)
+    in
+    Printf.printf "  %-24s %4s %10s %10s %9s %12s %10s\n" name "jobs" "wall (s)" "cpu (s)"
+      "speedup" "items/s" "identical";
+    List.map
+      (fun (jobs, doc, (span : Clock.span)) ->
+        let identical = String.equal doc reference in
+        let speedup = if span.Clock.wall_s > 0.0 then base /. span.Clock.wall_s else 1.0 in
+        let rate = Clock.rate (float_of_int items) span in
+        Printf.printf "  %-24s %4d %10.3f %10.3f %8.2fx %12.1f %10b\n" "" jobs span.Clock.wall_s
+          span.Clock.cpu_s speedup rate identical;
+        J.Obj
+          [ ("jobs", J.Int jobs); ("wall_s", J.Float span.Clock.wall_s);
+            ("cpu_s", J.Float span.Clock.cpu_s); ("speedup", J.Float speedup);
+            ("items_per_s", J.Float rate); ("identical", J.Bool identical) ])
+      rows
+  in
+  let layouts = if !quick then 4 else 16 in
+  let census ~jobs =
+    J.to_string
+      (Mavr_analysis.Survival.to_json
+         (Mavr_analysis.Survival.census ~seed:(Mavr_analysis.Survival.Root 0) ~jobs ~layouts img))
+  in
+  let trials = if !quick then 1 else 3 in
+  let ms = if !quick then 300 else 900 in
+  let grid ~jobs =
+    J.to_string (Mavr_sim.Montecarlo.to_json (Mavr_sim.Montecarlo.run ~jobs ~ms ~seed:7 ~trials b))
+  in
+  let rand_tasks = if !quick then 4 else 16 in
+  let rand ~jobs =
+    let moved =
+      Mavr_campaign.Engine.map ~jobs ~seed:3 ~tasks:rand_tasks (fun ~index:_ ~rng ->
+          Randomize.layout_distance img
+            (Randomize.randomize ~seed:(Mavr_prng.Splitmix.next rng) img))
+    in
+    J.to_string (J.List (Array.to_list (Array.map (fun d -> J.Int d) moved)))
+  in
+  let census_rows = scale "survival census" layouts census in
+  let grid_rows = scale "Monte Carlo grid" (3 * 3 * trials) grid in
+  let rand_rows = scale "randomize throughput" rand_tasks rand in
+  put "campaign"
+    (J.Obj
+       [ ("host_domains", J.Int host);
+         ("census_layouts", J.Int layouts);
+         ("grid_trials_per_cell", J.Int trials);
+         ("grid_flight_ms", J.Int ms);
+         ("randomize_tasks", J.Int rand_tasks);
+         ("census_scaling", J.List census_rows);
+         ("grid_scaling", J.List grid_rows);
+         ("randomize_scaling", J.List rand_rows) ])
 
 (* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks of this implementation.                 *)
@@ -589,7 +681,7 @@ let microbenchmarks () =
 let write_json path =
   let doc =
     J.Obj
-      ([ ("schema", J.String "mavr-bench"); ("pr", J.Int 3); ("quick", J.Bool !quick) ]
+      ([ ("schema", J.String "mavr-bench"); ("pr", J.Int 4); ("quick", J.Bool !quick) ]
       @ List.rev !results)
   in
   let oc = open_out path in
@@ -620,6 +712,7 @@ let () =
   randomizability ();
   decode_cache_bench ();
   telemetry_overhead_bench ();
+  campaign_scaling ();
   if not !quick then microbenchmarks ();
   (match !json_out with Some path -> write_json path | None -> ());
   print_endline "\nDone.  See EXPERIMENTS.md for the paper-vs-measured discussion."

@@ -10,10 +10,12 @@
      flight-record  induce a fault and print the flight-recorder dump
      analyze    static analysis: CFG recovery + gadget-survival census
      lint       check firmware structural invariants (exit 1 on findings)
+     campaign   parallel Monte Carlo evaluation campaign (census + attack grid)
      tables     print the paper-table reproductions (also in bench/main.exe)
 
    Exit codes: 0 success, 1 operation failed (gadgets absent, randomization
-   had no effect, output not writable, no fault captured, lint findings),
+   had no effect, output not writable, no fault captured, lint findings,
+   campaign found a feasible payload or a takeover under the MAVR defense),
    2 usage error. *)
 
 open Cmdliner
@@ -104,11 +106,13 @@ let cmd_gadgets =
 let cmd_randomize =
   let run profile seed =
     let b = build_firmware profile F.Profile.mavr in
-    let t0 = Sys.time () in
-    let r = Mavr_core.Randomize.randomize ~seed b.image in
-    let dt = Sys.time () -. t0 in
-    Format.printf "randomized %s with seed %d in %.1f ms (host)@." profile.F.Profile.name seed
-      (1000. *. dt);
+    (* Latency is a wall-clock quantity; [Sys.time] (CPU time) only agreed
+       with it here by virtue of the process being single-threaded. *)
+    let r, span = Mavr_campaign.Clock.time (fun () -> Mavr_core.Randomize.randomize ~seed b.image) in
+    Format.printf "randomized %s with seed %d in %.1f ms wall, %.1f ms cpu (host)@."
+      profile.F.Profile.name seed
+      (1000. *. span.Mavr_campaign.Clock.wall_s)
+      (1000. *. span.Mavr_campaign.Clock.cpu_s);
     let moved = Mavr_core.Randomize.layout_distance b.image r in
     Format.printf "functions moved: %d/%d@." moved (Image.function_count b.image);
     Format.printf "modeled on-board startup overhead: %.0f ms (prototype), %.0f ms (production)@."
@@ -409,6 +413,93 @@ let cmd_lint =
     (Cmd.info "lint" ~doc:"Check firmware structural invariants (exit 1 on any finding)")
     Term.(const run $ profile_arg $ toolchain_arg $ rseed $ json_flag)
 
+let cmd_campaign =
+  let run profile trials ms layouts seed jobs timing json =
+    let b = build_firmware profile F.Profile.mavr in
+    let (census, grid), span =
+      Mavr_campaign.Clock.time (fun () ->
+          (* One pool serves both workloads; per-task seeds come from the
+             campaign root, so the output depends only on (--seed, --trials,
+             --layouts, --ms) — never on --jobs or scheduling. *)
+          Mavr_campaign.Pool.with_pool ?jobs (fun pool ->
+              ( Mavr_analysis.Survival.census ~seed:(Mavr_analysis.Survival.Root seed) ~pool
+                  ~layouts b.F.Build.image,
+                Mavr_sim.Montecarlo.run ~pool ~ms ~seed ~trials b )))
+    in
+    if json then
+      print_endline
+        (Mavr_telemetry.Json.to_string ~indent:2
+           (Mavr_telemetry.Json.Obj
+              ([
+                 ("profile", Mavr_telemetry.Json.String profile.F.Profile.name);
+                 ("seed", Mavr_telemetry.Json.Int seed);
+                 ("census", Mavr_analysis.Survival.to_json census);
+                 ("grid", Mavr_sim.Montecarlo.to_json grid);
+               ]
+              @
+              (* Timing (and the job count that produced it) is opt-in so the
+                 default document is byte-identical for every --jobs value. *)
+              if timing then
+                [
+                  ( "timing",
+                    Mavr_telemetry.Json.Obj
+                      (( "jobs",
+                         Mavr_telemetry.Json.Int
+                           (Option.value jobs
+                              ~default:(min Mavr_campaign.Pool.max_jobs
+                                          (max 1 (Domain.recommended_domain_count ())))) )
+                      :: Mavr_campaign.Clock.span_to_json_fields span) );
+                ]
+              else [])))
+    else begin
+      Format.printf "%s: %d-layout census + %d-trial/cell attack grid (root seed %d)@."
+        profile.F.Profile.name census.Mavr_analysis.Survival.layouts grid.Mavr_sim.Montecarlo.trials
+        seed;
+      Format.printf "  %a@." Mavr_analysis.Survival.pp census;
+      Format.printf "%a@." Mavr_sim.Montecarlo.pp grid;
+      if timing then
+        Format.printf "completed in %.2f s wall, %.2f s cpu@." span.Mavr_campaign.Clock.wall_s
+          span.Mavr_campaign.Clock.cpu_s
+    end;
+    (* The campaign doubles as a defense check: a feasible prebuilt payload
+       in any randomized layout, or any takeover under the MAVR defense,
+       is an operation failure. *)
+    if
+      census.Mavr_analysis.Survival.feasible_layouts > 0
+      || Mavr_sim.Montecarlo.takeovers grid Mavr_sim.Montecarlo.Mavr_defense > 0
+    then 1
+    else 0
+  in
+  let trials =
+    Arg.(value & opt int 5 & info [ "trials" ] ~docv:"N" ~doc:"Monte Carlo trials per grid cell.")
+  in
+  let ms =
+    Arg.(value & opt int 900 & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds per trial.")
+  in
+  let layouts =
+    Arg.(value & opt int 10 & info [ "layouts" ] ~docv:"K" ~doc:"Layouts in the survival census.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED"
+           ~doc:"Campaign root seed; every per-trial seed is split from it.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS"
+           ~doc:"Worker domains (default: the runtime's recommended count). The output is \
+                 bit-identical for any value, including 1.")
+  in
+  let timing =
+    Arg.(value & flag & info [ "timing" ]
+           ~doc:"Include wall/cpu timing (and the job count) in the report. Off by default so \
+                 the output is reproducible byte-for-byte across hosts and $(b,--jobs) values.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Deterministic parallel evaluation campaign: gadget-survival census plus the \
+             attack-by-defense Monte Carlo grid. Exits 1 if any randomized layout keeps the \
+             prebuilt payload feasible or any MAVR-defended trial is taken over.")
+    Term.(const run $ profile_arg $ trials $ ms $ layouts $ seed $ jobs $ timing $ json_flag)
+
 let cmd_tables =
   let run () =
     print_endline "Run `dune exec bench/main.exe` for the full table reproductions.";
@@ -432,7 +523,8 @@ let () =
       Cmd.Exit.info 1
         ~doc:
           "on operation failure: gadgets absent, randomization had no effect, output not \
-           writable, no fault captured, or lint findings.";
+           writable, no fault captured, lint findings, or a campaign that found a feasible \
+           payload or a takeover under the MAVR defense.";
       Cmd.Exit.info 2 ~doc:"on usage error: unknown subcommand, bad option, or bad argument.";
     ]
   in
@@ -441,7 +533,7 @@ let () =
     Cmd.group info
       [ cmd_build; cmd_gadgets; cmd_randomize; cmd_attack; cmd_fly; cmd_stats;
         cmd_flight_record; cmd_disasm; cmd_lifetime; cmd_entropy; cmd_analyze; cmd_lint;
-        cmd_tables ]
+        cmd_campaign; cmd_tables ]
   in
   (* Map every cmdliner-level error (unknown subcommand, bad flag, missing
      argument) to the documented usage-error code 2; uncaught exceptions

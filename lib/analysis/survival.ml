@@ -4,11 +4,19 @@ module Image = Mavr_obj.Image
 module Gadget = Mavr_core.Gadget
 module Randomize = Mavr_core.Randomize
 module Json = Mavr_telemetry.Json
+module Engine = Mavr_campaign.Engine
+module Pool = Mavr_campaign.Pool
 
 (* Decode the forward chain starting at [addr] until a [ret] (inclusive)
    or until [cap] instructions.  This is exactly what the CPU executes
    when a return lands at [addr], so equality of chains is equality of
-   attacker-visible behavior. *)
+   attacker-visible behavior.
+
+   Bounds: the guard admits [addr = len - 2] (the last word).  A 32-bit
+   instruction starting there is covered by [Decode.decode_bytes]'s
+   truncation contract — it decodes as [Data] with size 2, the walk
+   advances to [len] and stops — so the chain terminates at the image
+   edge without reading past it (regression-tested in test_analysis). *)
 let chain_at ?(cap = 24) (img : Image.t) addr =
   let len = String.length img.code in
   let rec go addr n acc =
@@ -35,8 +43,16 @@ let payload_feasible ~reference ~(gadgets : Gadget.paper_gadgets) candidate =
   let* () = check "write_mem" gadgets.write_mem in
   check "write_mem_pops" gadgets.write_mem_pops
 
+type seeding = Legacy | Root of int
+
+let layout_seeds ~seeding ~layouts =
+  match seeding with
+  | Legacy -> Array.init layouts (fun i -> i + 1)
+  | Root seed -> Engine.task_seeds ~seed ~tasks:layouts
+
 type t = {
   layouts : int;
+  layout_seeds : int array;
   base_gadgets : int;
   survivors_per_layout : int array;
   mean_survival_rate : float;
@@ -44,21 +60,30 @@ type t = {
   feasible_layouts : int;
 }
 
-let census ?max_len ~layouts image =
+let census ?max_len ?(seed = Root 0) ?jobs ?pool ~layouts image =
   let base = Gadget.scan ?max_len image in
   let base_n = List.length base in
   let paper = Gadget.locate_paper_gadgets image in
+  let seeds = layout_seeds ~seeding:seed ~layouts in
+  (* One task per randomized layout.  [image] and [base] are immutable
+     and shared read-only across domains; each slot of the two result
+     arrays is written by exactly one task, so the output is identical
+     for any [jobs] value. *)
   let survivors = Array.make layouts 0 in
-  let feasible = ref 0 in
-  for i = 0 to layouts - 1 do
-    let candidate = Randomize.randomize ~seed:(i + 1) image in
+  let feasible = Array.make layouts false in
+  let measure i =
+    let candidate = Randomize.randomize ~seed:seeds.(i) image in
     survivors.(i) <-
       List.fold_left (fun n g -> if gadget_survives ~candidate g then n + 1 else n) 0 base;
-    match paper with
-    | Some gadgets when Result.is_ok (payload_feasible ~reference:image ~gadgets candidate) ->
-        incr feasible
-    | _ -> ()
-  done;
+    feasible.(i) <-
+      (match paper with
+      | Some gadgets -> Result.is_ok (payload_feasible ~reference:image ~gadgets candidate)
+      | None -> false)
+  in
+  (match pool with
+  | Some p -> Pool.run p ~tasks:layouts measure
+  | None -> Pool.with_pool ?jobs (fun p -> Pool.run p ~tasks:layouts measure));
+  let feasible_n = Array.fold_left (fun n f -> if f then n + 1 else n) 0 feasible in
   let rate s = if base_n = 0 then 0.0 else float_of_int s /. float_of_int base_n in
   let mean =
     if layouts = 0 then 0.0
@@ -67,11 +92,12 @@ let census ?max_len ~layouts image =
   let max_rate = Array.fold_left (fun acc s -> Float.max acc (rate s)) 0.0 survivors in
   {
     layouts;
+    layout_seeds = seeds;
     base_gadgets = base_n;
     survivors_per_layout = survivors;
     mean_survival_rate = mean;
     max_survival_rate = max_rate;
-    feasible_layouts = !feasible;
+    feasible_layouts = feasible_n;
   }
 
 let to_json t =

@@ -15,6 +15,14 @@
       the emulator — all three paper-gadget addresses must decode to the
       reference sequences. *)
 
+(** [chain_at ?cap img addr] — the forward decode chain a return landing
+    at byte address [addr] would execute: instructions up to and
+    including the first [ret], capped at [cap] (default 24).  Total at
+    the image edge: a truncated two-word instruction decodes as [Data]
+    per [Decode.decode_bytes]'s contract, and the chain stops at the last
+    word without reading past the image. *)
+val chain_at : ?cap:int -> Mavr_obj.Image.t -> int -> Mavr_avr.Isa.t list
+
 (** [gadget_survives ~candidate g] — the decode chain at [g.byte_addr]
     in [candidate] still matches [g.insns] exactly. *)
 val gadget_survives : candidate:Mavr_obj.Image.t -> Mavr_core.Gadget.t -> bool
@@ -29,8 +37,23 @@ val payload_feasible :
   Mavr_obj.Image.t ->
   (unit, string) result
 
+(** How the census draws its per-layout randomization seeds.
+
+    [Root s] (the default, with [s = 0]) splits [layouts] independent
+    63-bit seeds off the root via {!Mavr_campaign.Engine.task_seeds}:
+    two censuses with different roots measure disjoint layout samples,
+    and none of the seeds collide with the small hand-picked seeds
+    (1, 2, 7, ...) used throughout the tests and examples.
+
+    [Legacy] reproduces the pre-campaign behaviour — layout [i] gets
+    seed [i + 1] — which silently re-ran exactly those hand-picked
+    layouts; it is kept only so the PR-3 EXPERIMENTS numbers remain
+    reproducible bit-for-bit. *)
+type seeding = Legacy | Root of int
+
 type t = {
   layouts : int;  (** number of randomized layouts measured *)
+  layout_seeds : int array;  (** the per-layout randomization seeds used *)
   base_gadgets : int;  (** gadget count on the base image *)
   survivors_per_layout : int array;  (** per-layout surviving-gadget count *)
   mean_survival_rate : float;  (** mean survivors / base_gadgets, in [0,1] *)
@@ -38,12 +61,25 @@ type t = {
   feasible_layouts : int;  (** layouts where {!payload_feasible} holds *)
 }
 
-(** [census ?max_len ~layouts image] randomizes [image] with seeds
-    [1..layouts] and measures which of the base image's gadgets survive
-    at their harvested addresses in each layout.  [feasible_layouts]
-    counts layouts where the full paper payload remains feasible (0 when
-    the base image has no locatable paper gadgets). *)
-val census : ?max_len:int -> layouts:int -> Mavr_obj.Image.t -> t
+(** [census ?max_len ?seed ?jobs ?pool ~layouts image] randomizes
+    [layouts] layouts (seeds per [?seed], default [Root 0]) and measures
+    which of the base image's gadgets survive at their harvested
+    addresses in each layout.  [feasible_layouts] counts layouts where
+    the full paper payload remains feasible (0 when the base image has no
+    locatable paper gadgets).
+
+    One campaign task per layout: pass [?pool] to reuse a running
+    {!Mavr_campaign.Pool} (its job count applies), or [?jobs] to size a
+    temporary one.  The result is bit-identical for any job count,
+    including the sequential default. *)
+val census :
+  ?max_len:int ->
+  ?seed:seeding ->
+  ?jobs:int ->
+  ?pool:Mavr_campaign.Pool.t ->
+  layouts:int ->
+  Mavr_obj.Image.t ->
+  t
 
 val to_json : t -> Mavr_telemetry.Json.t
 val pp : Format.formatter -> t -> unit

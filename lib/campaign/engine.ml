@@ -1,0 +1,28 @@
+module Splitmix = Mavr_prng.Splitmix
+
+let task_seeds ~seed ~tasks =
+  if tasks < 0 then invalid_arg "Campaign.Engine.task_seeds: negative task count";
+  let root = Splitmix.create ~seed in
+  (* One split per task, drawn sequentially in the coordinator: the
+     schedule depends only on (seed, index), never on [jobs].  Seeds are
+     spread over the 63-bit space, so independent campaigns (different
+     roots) never silently rerun each other's layouts the way the old
+     hardcoded [i + 1] seeds did. *)
+  Array.init tasks (fun _ -> Splitmix.next (Splitmix.split root))
+
+let run_tasks ?pool ?jobs ~tasks body =
+  match pool with
+  | Some p -> Pool.run p ~tasks body
+  | None -> Pool.with_pool ?jobs (fun p -> Pool.run p ~tasks body)
+
+let map ?pool ?jobs ~seed ~tasks f =
+  let seeds = task_seeds ~seed ~tasks in
+  let results = Array.make tasks None in
+  let body i =
+    results.(i) <- Some (f ~index:i ~rng:(Splitmix.create ~seed:seeds.(i)))
+  in
+  run_tasks ?pool ?jobs ~tasks body;
+  Array.map (function Some v -> v | None -> assert false) results
+
+let map_reduce ?pool ?jobs ~seed ~tasks ~map:f ~reduce init =
+  Array.fold_left reduce init (map ?pool ?jobs ~seed ~tasks f)

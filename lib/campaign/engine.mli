@@ -1,0 +1,52 @@
+(** Deterministic parallel map-reduce over seeded Monte Carlo tasks.
+
+    The paper's evaluation is Monte Carlo at heart — survival across K
+    randomized layouts (§VII-A), expected brute-force probes over layout
+    permutations (§V-D), detection rates across attack/defense grids.
+    This engine scales the trial count across OCaml 5 domains while
+    keeping every output {e bit-identical for any [jobs] value,
+    including 1}:
+
+    - per-task PRNG seeds are derived up front from a single root seed by
+      {!Mavr_prng.Splitmix} splitting ({!task_seeds}), so no task's
+      randomness depends on scheduling;
+    - results land in an index-addressed array, so no task's position
+      depends on completion order;
+    - {!map_reduce} folds that array in index order.
+
+    Tasks must not share mutable state; give each worker its own
+    {!Mavr_telemetry.Metrics} registry and combine with
+    [Metrics.merge] (commutative) at the join. *)
+
+(** [task_seeds ~seed ~tasks] — the per-task seed schedule: [tasks]
+    independent 63-bit seeds split off the root [seed].  Exposed so
+    callers that need the raw seeds (e.g. [Randomize.randomize ~seed])
+    use exactly the schedule {!map} would. *)
+val task_seeds : seed:int -> tasks:int -> int array
+
+(** [map ?pool ?jobs ~seed ~tasks f] runs [f ~index ~rng] for each index
+    in [0 .. tasks-1] and returns the results in index order.  [rng] is a
+    private generator seeded from the task's split seed.  With [?pool]
+    the caller's pool is reused (its [jobs] applies and [?jobs] is
+    ignored); otherwise a temporary pool of [jobs] domains is created.
+    @raise Pool.Task_failed when a task raises (lowest index). *)
+val map :
+  ?pool:Pool.t ->
+  ?jobs:int ->
+  seed:int ->
+  tasks:int ->
+  (index:int -> rng:Mavr_prng.Splitmix.t -> 'a) ->
+  'a array
+
+(** [map_reduce ... ~map:f ~reduce init] — {!map}, then a sequential
+    index-order fold from [init], so the reduction is deterministic even
+    for non-commutative [reduce]. *)
+val map_reduce :
+  ?pool:Pool.t ->
+  ?jobs:int ->
+  seed:int ->
+  tasks:int ->
+  map:(index:int -> rng:Mavr_prng.Splitmix.t -> 'a) ->
+  reduce:('b -> 'a -> 'b) ->
+  'b ->
+  'b

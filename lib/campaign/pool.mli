@@ -1,0 +1,42 @@
+(** Fixed-size domain pool: a parallel-for over task indices.
+
+    [jobs - 1] worker domains are spawned once at {!create} and parked on
+    a condition variable; each {!run} publishes one job (a body over
+    indices [0 .. tasks-1]) that the workers {e and the calling domain}
+    drain from a chunked atomic queue.  Scheduling is dynamic (chunks go
+    to whichever domain is free), so callers must not depend on which
+    domain runs which index — determinism comes from writing results into
+    index-addressed slots, which {!Engine.map} does.
+
+    Task exceptions are never swallowed: every scheduled task still runs,
+    then {!run} raises {!Task_failed} for the {e lowest} failing index —
+    deterministic for any [jobs], including 1. *)
+
+type t
+
+exception Task_failed of { index : int; exn : exn; backtrace : string }
+
+(** [create ?jobs ()] spawns the pool.  [jobs] defaults to
+    [Domain.recommended_domain_count ()] capped at {!max_jobs}; [jobs = 1]
+    spawns no domains and makes {!run} purely sequential.
+    @raise Invalid_argument when [jobs < 1]. *)
+val create : ?jobs:int -> unit -> t
+
+(** Upper cap applied to [jobs] (oversubscribing domains degrades an
+    OCaml 5 runtime rapidly). *)
+val max_jobs : int
+
+val jobs : t -> int
+
+(** [run t ~tasks body] executes [body i] for every [i] in
+    [0 .. tasks-1], in parallel across the pool.  Returns when all tasks
+    have completed.
+    @raise Task_failed when any task raised (lowest index reported). *)
+val run : t -> tasks:int -> (int -> unit) -> unit
+
+(** [shutdown t] joins the worker domains.  Idempotent.  The pool must
+    not be used afterwards. *)
+val shutdown : t -> unit
+
+(** [with_pool ?jobs f] — create, apply, always shutdown. *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a

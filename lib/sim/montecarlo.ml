@@ -1,0 +1,195 @@
+module Cpu = Mavr_avr.Cpu
+module Image = Mavr_obj.Image
+module F = Mavr_firmware
+module Rop = Mavr_core.Rop
+module Randomize = Mavr_core.Randomize
+module Master = Mavr_core.Master
+module Metrics = Mavr_telemetry.Metrics
+module Json = Mavr_telemetry.Json
+module Splitmix = Mavr_prng.Splitmix
+module Engine = Mavr_campaign.Engine
+
+type defense = Undefended | Software_only | Mavr_defense
+type attack = V1 | V2 | V3
+
+let defenses = [| Undefended; Software_only; Mavr_defense |]
+let attacks = [| V1; V2; V3 |]
+let defense_name = function Undefended -> "undefended" | Software_only -> "software_only" | Mavr_defense -> "mavr"
+let attack_name = function V1 -> "v1" | V2 -> "v2" | V3 -> "v3"
+
+(* The value every attack tries to plant in the gyro calibration — the
+   paper's §IV-C "continuous effect" target. *)
+let hijack_value = 0x4141
+
+type outcome = {
+  takeover : bool;
+  detected : bool;
+  halted : bool;
+  detect_ms : float option;  (** ms from injection to first detection *)
+}
+
+type cell = {
+  defense : defense;
+  attack : attack;
+  trials : int;
+  takeovers : int;
+  detections : int;
+  halts : int;
+  detect_n : int;
+  detect_ms_sum : float;
+  detect_ms_max : float;
+}
+
+type t = {
+  seed : int;
+  trials : int;
+  ms : int;
+  cells : cell array;  (** 9 cells, defense-major then attack order *)
+  metrics : Metrics.registry;  (** all per-trial worker registries, merged *)
+}
+
+(* ---- one trial ----------------------------------------------------- *)
+
+let gyro_cfg cpu =
+  Cpu.data_peek cpu F.Layout.gyro_cfg lor (Cpu.data_peek cpu (F.Layout.gyro_cfg + 1) lsl 8)
+
+let detected_now s =
+  (match Scenario.master s with Some m -> Master.attacks_detected m > 0 | None -> false)
+  || Groundstation.attack_suspected (Scenario.gcs s)
+
+let trial ~image ~frames ~defense ~ms ~rng =
+  let image, kind =
+    match defense with
+    | Undefended -> (image, Scenario.No_defense)
+    | Software_only ->
+        (* §VIII-A: diversified once at flash time, no master watching. *)
+        (Randomize.randomize ~seed:(Splitmix.next rng) image, Scenario.No_defense)
+    | Mavr_defense ->
+        ( image,
+          Scenario.Mavr
+            {
+              Master.default_config with
+              watchdog_window_cycles = 20_000;
+              seed = Splitmix.next rng;
+            } )
+  in
+  let s = Scenario.create ~image kind in
+  let registry = Metrics.create () in
+  let (_ : Mavr_avr.Probes.t) = Scenario.attach_telemetry s ~registry in
+  let warmup = max 1 (ms / 3) in
+  Scenario.run s ~ms:(float_of_int warmup);
+  Scenario.inject s frames;
+  (* Advance in small slices so the first detection gets a timestamp
+     (resolution = [step] simulated ms). *)
+  let step = 5 in
+  let detect_ms = ref None in
+  let remaining = ref (max 1 (ms - warmup)) in
+  while !remaining > 0 do
+    let slice = min step !remaining in
+    Scenario.run s ~ms:(float_of_int slice);
+    remaining := !remaining - slice;
+    if !detect_ms = None && detected_now s then
+      detect_ms := Some (Scenario.now_ms s -. float_of_int warmup)
+  done;
+  let outcome =
+    {
+      takeover = gyro_cfg (Scenario.app s) = hijack_value;
+      detected = detected_now s;
+      halted = Cpu.halted (Scenario.app s) <> None;
+      detect_ms = !detect_ms;
+    }
+  in
+  (outcome, registry)
+
+(* ---- the grid ------------------------------------------------------- *)
+
+let attack_frames ti obs =
+  let writes = [ Rop.write_u16 obs ~addr:F.Layout.gyro_cfg ~value:hijack_value ~neighbour:0 ] in
+  function
+  | V1 -> Rop.v1_basic ti obs ~writes
+  | V2 -> Rop.v2_stealthy ti obs ~writes
+  | V3 -> Rop.v3_execute ti obs ~chain_dest:F.Layout.free_region ~writes
+
+let run ?pool ?jobs ?(ms = 900) ~seed ~trials (build : F.Build.t) =
+  if trials < 0 then invalid_arg "Montecarlo.run: negative trial count";
+  let image = build.F.Build.image in
+  (* The attacker's static + dynamic analysis of the unprotected binary
+     happens once, in the coordinator; the resulting frames are immutable
+     strings shared read-only by every trial. *)
+  let ti = Rop.analyze build in
+  let obs = Rop.observe ti in
+  let frames = Array.map (attack_frames ti obs) attacks in
+  let nd = Array.length defenses and na = Array.length attacks in
+  let tasks = nd * na * trials in
+  let results =
+    Engine.map ?pool ?jobs ~seed ~tasks (fun ~index ~rng ->
+        let defense = defenses.(index / (na * trials)) in
+        let attack_i = index / trials mod na in
+        trial ~image ~frames:frames.(attack_i) ~defense ~ms ~rng)
+  in
+  let metrics = Metrics.create () in
+  Array.iter (fun (_, r) -> Metrics.merge ~into:metrics r) results;
+  let cell d a =
+    let base = ((d * na) + a) * trials in
+    let fold f init = Array.fold_left f init (Array.init trials (fun k -> fst results.(base + k))) in
+    {
+      defense = defenses.(d);
+      attack = attacks.(a);
+      trials;
+      takeovers = fold (fun n o -> if o.takeover then n + 1 else n) 0;
+      detections = fold (fun n o -> if o.detected then n + 1 else n) 0;
+      halts = fold (fun n o -> if o.halted then n + 1 else n) 0;
+      detect_n = fold (fun n o -> if o.detect_ms <> None then n + 1 else n) 0;
+      detect_ms_sum = fold (fun s o -> s +. Option.value ~default:0.0 o.detect_ms) 0.0;
+      detect_ms_max = fold (fun m o -> Float.max m (Option.value ~default:0.0 o.detect_ms)) 0.0;
+    }
+  in
+  let cells =
+    Array.init (nd * na) (fun i -> cell (i / na) (i mod na))
+  in
+  { seed; trials; ms; cells; metrics }
+
+let takeovers t defense =
+  Array.fold_left (fun n c -> if c.defense = defense then n + c.takeovers else n) 0 t.cells
+
+let detections t defense =
+  Array.fold_left (fun n c -> if c.defense = defense then n + c.detections else n) 0 t.cells
+
+let mean_detect_ms c = if c.detect_n = 0 then 0.0 else c.detect_ms_sum /. float_of_int c.detect_n
+
+let cell_to_json c =
+  Json.Obj
+    [
+      ("defense", Json.String (defense_name c.defense));
+      ("attack", Json.String (attack_name c.attack));
+      ("trials", Json.Int c.trials);
+      ("takeovers", Json.Int c.takeovers);
+      ("detections", Json.Int c.detections);
+      ("halts", Json.Int c.halts);
+      ("detect_n", Json.Int c.detect_n);
+      ("detect_ms_mean", Json.Float (mean_detect_ms c));
+      ("detect_ms_max", Json.Float c.detect_ms_max);
+    ]
+
+let to_json ?(with_metrics = true) t =
+  Json.Obj
+    ([
+       ("seed", Json.Int t.seed);
+       ("trials_per_cell", Json.Int t.trials);
+       ("flight_ms", Json.Int t.ms);
+       ("grid", Json.List (Array.to_list (Array.map cell_to_json t.cells)));
+     ]
+    @ if with_metrics then [ ("metrics", Metrics.to_json t.metrics) ] else [])
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>Monte Carlo campaign: %d trials/cell, %d ms flights, seed %d@,"
+    t.trials t.ms t.seed;
+  Format.fprintf fmt "  %-14s %-4s %9s %10s %6s %15s@," "defense" "atk" "takeovers"
+    "detections" "halts" "mean-detect-ms";
+  Array.iter
+    (fun c ->
+      Format.fprintf fmt "  %-14s %-4s %5d/%-3d %6d/%-3d %6d %15.1f@,"
+        (defense_name c.defense) (attack_name c.attack) c.takeovers c.trials c.detections
+        c.trials c.halts (mean_detect_ms c))
+    t.cells;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,74 @@
+(** Monte Carlo attack/defense campaign over closed-loop scenarios.
+
+    The paper's effectiveness argument (§VII-A) is a grid: each of the
+    three §IV ROP attacks, fired at each defense posture, across many
+    randomized trials.  This module runs that grid on the campaign
+    engine — one {!Scenario} flight per (defense × attack × trial) task,
+    takeover/detection/time-to-detect statistics aggregated per cell —
+    with output bit-identical for any job count.
+
+    Defense postures:
+    - [Undefended] — bare APM running the unprotected binary;
+    - [Software_only] — §VIII-A: the binary is diversified once (a
+      per-trial random layout) but no master watches;
+    - [Mavr_defense] — the full master: randomize at boot, watchdog
+      detection, re-randomize + reflash on failure.
+
+    Each trial owns a private telemetry registry; they are merged
+    ({!Mavr_telemetry.Metrics.merge}, commutative) into {!type-t}'s
+    [metrics] at the join — no locks anywhere near the emulator. *)
+
+type defense = Undefended | Software_only | Mavr_defense
+type attack = V1 | V2 | V3
+
+val defense_name : defense -> string
+val attack_name : attack -> string
+
+type cell = {
+  defense : defense;
+  attack : attack;
+  trials : int;
+  takeovers : int;  (** trials where the gyro-calibration write landed *)
+  detections : int;  (** trials where master or ground station flagged *)
+  halts : int;  (** trials where the app CPU ended halted *)
+  detect_n : int;  (** trials with a timestamped first detection *)
+  detect_ms_sum : float;
+  detect_ms_max : float;
+}
+
+type t = {
+  seed : int;
+  trials : int;
+  ms : int;  (** simulated flight length per trial *)
+  cells : cell array;  (** 9 cells, defense-major, fixed order *)
+  metrics : Mavr_telemetry.Metrics.registry;
+      (** every trial's registry, merged *)
+}
+
+(** [run ?pool ?jobs ?ms ~seed ~trials build] — the full grid,
+    [3 x 3 x trials] scenario flights of [ms] simulated milliseconds
+    each (default 900; the attack is injected after a [ms/3] warm-up).
+    The attacker's analysis of the unprotected [build] runs once; trial
+    randomness (layout seeds, master seeds) is split per task from
+    [seed]. *)
+val run :
+  ?pool:Mavr_campaign.Pool.t ->
+  ?jobs:int ->
+  ?ms:int ->
+  seed:int ->
+  trials:int ->
+  Mavr_firmware.Build.t ->
+  t
+
+(** Grid marginals: totals across one defense's row of cells. *)
+val takeovers : t -> defense -> int
+
+val detections : t -> defense -> int
+
+val mean_detect_ms : cell -> float
+
+(** Deterministic JSON (cells in fixed order, metrics sorted by name).
+    [with_metrics:false] drops the merged registry. *)
+val to_json : ?with_metrics:bool -> t -> Mavr_telemetry.Json.t
+
+val pp : Format.formatter -> t -> unit

@@ -127,6 +127,44 @@ let reset t =
       | Sampled _ -> () (* reflects live state elsewhere; nothing to reset *))
     t.tbl
 
+(* ---- merge ---------------------------------------------------------- *)
+
+(* Combine per-worker registries at a campaign join.  Each operation is a
+   commutative monoid (sum / max / pointwise histogram union), so the
+   merged registry is independent of join order — the determinism
+   argument for parallel campaigns.  A [Sampled] source is materialized
+   once, at merge time, into a plain gauge: the sampler closure belongs
+   to the worker's rig, which is quiescent by the time its registry is
+   merged, and the destination must own its value outright. *)
+let merge ~into src =
+  Hashtbl.iter
+    (fun name m ->
+      let m = match m with Sampled f -> Gauge { g = f () } | m -> m in
+      match (Hashtbl.find_opt into.tbl name, m) with
+      | None, Counter c -> Hashtbl.add into.tbl name (Counter { c = c.c })
+      | None, Gauge g -> Hashtbl.add into.tbl name (Gauge { g = g.g })
+      | None, Histogram h ->
+          Hashtbl.add into.tbl name (Histogram { n = h.n; sum = h.sum; hmin = h.hmin; hmax = h.hmax })
+      | Some (Counter d), Counter c -> d.c <- d.c + c.c
+      | Some (Gauge d), Gauge g -> if g.g > d.g then d.g <- g.g
+      | Some (Histogram d), Histogram h ->
+          d.n <- d.n + h.n;
+          d.sum <- d.sum + h.sum;
+          if h.hmin < d.hmin then d.hmin <- h.hmin;
+          if h.hmax > d.hmax then d.hmax <- h.hmax
+      | Some (Sampled _), _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Telemetry.Metrics.merge: %S is a sampled gauge in the destination (pull gauges \
+                cannot absorb merged values)"
+               name)
+      | Some existing, incoming ->
+          invalid_arg
+            (Printf.sprintf "Telemetry.Metrics.merge: %S is a %s here but a %s in the source"
+               name (kind_name existing) (kind_name incoming))
+      | _, Sampled _ -> assert false)
+    src.tbl
+
 (* ---- export --------------------------------------------------------- *)
 
 let value_to_json = function

@@ -69,6 +69,28 @@ val snapshot : registry -> (string * value_snapshot) list
 (** [reset t] zeroes owned metrics (sampled gauges are untouched). *)
 val reset : registry -> unit
 
+(** [merge ~into src] folds every metric of [src] into [into] — the join
+    step of a parallel campaign, where each worker owned a private
+    registry.  Semantics, chosen so merging is commutative and
+    associative (join order never matters):
+
+    - counters {e add};
+    - gauges combine by {e max} (every gauge in this stack is a
+      watermark; a metric needing a different fold should be a
+      histogram);
+    - histograms combine pointwise (count/sum add, min/max widen);
+    - a {e sampled} gauge in [src] is read once, at merge time, and lands
+      in [into] as a plain (max-combined) gauge — its sampler belongs to
+      the worker's finished rig, so the value is final and [into] must
+      own it outright.
+
+    Names absent from [into] are registered as fresh owned cells (never
+    aliased with [src]'s).
+    @raise Invalid_argument on a kind mismatch, or when [into] holds a
+    sampled gauge under a merged name (a pull gauge cannot absorb a
+    value). *)
+val merge : into:registry -> registry -> unit
+
 val to_json : registry -> Json.t
 
 (** One compact JSON object per line ([{"name":...,"type":...,...}]). *)
