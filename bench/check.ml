@@ -32,6 +32,12 @@ let required =
     [ "static_analysis"; "arduplane"; "lint_findings_randomized" ];
     [ "static_analysis"; "census_base_gadgets" ];
     [ "static_analysis"; "census_feasible_layouts" ];
+    [ "fault_robustness"; "profile" ];
+    [ "fault_robustness"; "levels" ];
+    [ "fault_robustness"; "mavr_takeovers" ];
+    [ "fault_robustness"; "identical_j1_j2" ];
+    [ "fault_robustness"; "wall_s" ];
+    [ "fault_robustness"; "cpu_s" ];
   ]
 
 let () =
@@ -78,6 +84,41 @@ let () =
           [ "census_scaling"; "grid_scaling"; "randomize_scaling" ]
       in
       if not scaling_ok then exit 1;
+      (* The fault sweep's own contract: the faulted campaign document is
+         jobs-invariant, MAVR concedes nothing at any intensity, and every
+         level row carries its detection/false-alarm numbers. *)
+      let fault_ok =
+        Json.path [ "fault_robustness"; "identical_j1_j2" ] doc = Some (Json.Bool true)
+        || (prerr_endline "bench smoke: fault_robustness not jobs-invariant"; false)
+      in
+      let fault_ok =
+        fault_ok
+        && (Json.path [ "fault_robustness"; "mavr_takeovers" ] doc = Some (Json.Int 0)
+           || (prerr_endline "bench smoke: fault_robustness reports MAVR takeovers"; false))
+      in
+      let fault_ok =
+        fault_ok
+        &&
+        match Json.path [ "fault_robustness"; "levels" ] doc with
+        | Some (Json.List rows) when rows <> [] ->
+            List.for_all
+              (fun row ->
+                List.for_all
+                  (fun k -> Json.member k row <> None)
+                  [
+                    "level"; "mavr_takeovers"; "mavr_detections"; "mavr_false_alarm_rate";
+                    "undefended_false_alarm_rate";
+                  ]
+                ||
+                (Printf.eprintf "bench smoke: bad fault_robustness level row: %s\n"
+                   (Json.to_string row);
+                 false))
+              rows
+        | _ ->
+            prerr_endline "bench smoke: fault_robustness.levels is not a non-empty list";
+            false
+      in
+      if not fault_ok then exit 1;
       (match Option.bind (Json.path [ "schema" ] doc) Json.to_str with
       | Some "mavr-bench" -> ()
       | Some other ->

@@ -620,6 +620,64 @@ let campaign_scaling () =
          ("grid_scaling", J.List grid_rows);
          ("randomize_scaling", J.List rand_rows) ])
 
+(* The robustness sweep: the full attack grid plus attack-free control
+   flights at every fault intensity of the stress profile — channel
+   noise, SEUs, reflash-stream corruption.  The headline claims carried
+   into the committed artifact: the faulted campaign document is
+   jobs-invariant, and MAVR concedes zero takeovers at every level. *)
+let fault_robustness () =
+  section "Fault robustness — detection & false alarms across fault intensities";
+  let module MC = Mavr_sim.Montecarlo in
+  let b = Lazy.force tiny in
+  let trials = if !quick then 1 else 3 in
+  let ms = if !quick then 300 else 600 in
+  let profile = Mavr_fault.Profile.stress in
+  let run ~jobs = MC.run ~jobs ~ms ~faults:profile ~seed:21 ~trials b in
+  let g1, span = Clock.time (fun () -> run ~jobs:1) in
+  let g2 = run ~jobs:2 in
+  let identical = String.equal (J.to_string (MC.to_json g1)) (J.to_string (MC.to_json g2)) in
+  let mavr_takeovers = MC.takeovers g1 MC.Mavr_defense in
+  Printf.printf "  profile %s: %d trials/cell, %d ms flights (%.2f s wall)\n" profile.Mavr_fault.Profile.name
+    trials ms span.Clock.wall_s;
+  Printf.printf "  jobs-invariant with faults: %b; MAVR takeovers across all levels: %d\n"
+    identical mavr_takeovers;
+  Printf.printf "  %-10s %10s %11s %18s %18s\n" "level" "takeovers" "detections" "mavr-false-alarms"
+    "undef-false-alarms";
+  let level_rows =
+    Array.to_list
+      (Array.map
+         (fun (lr : MC.level_result) ->
+           let far d =
+             let c =
+               Array.to_list lr.MC.controls
+               |> List.find (fun (c : MC.control) -> c.MC.posture = d)
+             in
+             MC.false_alarm_rate c
+           in
+           let mavr_far = far MC.Mavr_defense and undef_far = far MC.Undefended in
+           let tk = MC.level_takeovers lr MC.Mavr_defense in
+           let det = MC.level_detections lr MC.Mavr_defense in
+           Printf.printf "  %-10s %10d %11d %18.2f %18.2f\n" lr.MC.level.Mavr_fault.Profile.name
+             tk det mavr_far undef_far;
+           J.Obj
+             [ ("level", J.String lr.MC.level.Mavr_fault.Profile.name);
+               ("mavr_takeovers", J.Int tk);
+               ("mavr_detections", J.Int det);
+               ("mavr_false_alarm_rate", J.Float mavr_far);
+               ("undefended_false_alarm_rate", J.Float undef_far) ])
+         g1.MC.levels)
+  in
+  put "fault_robustness"
+    (J.Obj
+       [ ("profile", J.String profile.Mavr_fault.Profile.name);
+         ("trials_per_cell", J.Int trials);
+         ("flight_ms", J.Int ms);
+         ("wall_s", J.Float span.Clock.wall_s);
+         ("cpu_s", J.Float span.Clock.cpu_s);
+         ("identical_j1_j2", J.Bool identical);
+         ("mavr_takeovers", J.Int mavr_takeovers);
+         ("levels", J.List level_rows) ])
+
 (* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks of this implementation.                 *)
 
@@ -681,7 +739,7 @@ let microbenchmarks () =
 let write_json path =
   let doc =
     J.Obj
-      ([ ("schema", J.String "mavr-bench"); ("pr", J.Int 4); ("quick", J.Bool !quick) ]
+      ([ ("schema", J.String "mavr-bench"); ("pr", J.Int 5); ("quick", J.Bool !quick) ]
       @ List.rev !results)
   in
   let oc = open_out path in
@@ -713,6 +771,7 @@ let () =
   decode_cache_bench ();
   telemetry_overhead_bench ();
   campaign_scaling ();
+  fault_robustness ();
   if not !quick then microbenchmarks ();
   (match !json_out with Some path -> write_json path | None -> ());
   print_endline "\nDone.  See EXPERIMENTS.md for the paper-vs-measured discussion."

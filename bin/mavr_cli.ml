@@ -413,18 +413,23 @@ let cmd_lint =
     (Cmd.info "lint" ~doc:"Check firmware structural invariants (exit 1 on any finding)")
     Term.(const run $ profile_arg $ toolchain_arg $ rseed $ json_flag)
 
+let faults_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Mavr_fault.Profile.of_string s) in
+  let print fmt (p : Mavr_fault.Profile.t) = Format.pp_print_string fmt p.Mavr_fault.Profile.name in
+  Arg.conv (parse, print)
+
 let cmd_campaign =
-  let run profile trials ms layouts seed jobs timing json =
+  let run profile trials ms layouts seed jobs faults timing json =
     let b = build_firmware profile F.Profile.mavr in
     let (census, grid), span =
       Mavr_campaign.Clock.time (fun () ->
           (* One pool serves both workloads; per-task seeds come from the
              campaign root, so the output depends only on (--seed, --trials,
-             --layouts, --ms) — never on --jobs or scheduling. *)
+             --layouts, --ms, --faults) — never on --jobs or scheduling. *)
           Mavr_campaign.Pool.with_pool ?jobs (fun pool ->
               ( Mavr_analysis.Survival.census ~seed:(Mavr_analysis.Survival.Root seed) ~pool
                   ~layouts b.F.Build.image,
-                Mavr_sim.Montecarlo.run ~pool ~ms ~seed ~trials b )))
+                Mavr_sim.Montecarlo.run ~pool ~ms ~faults ~seed ~trials b )))
     in
     if json then
       print_endline
@@ -488,6 +493,16 @@ let cmd_campaign =
            ~doc:"Worker domains (default: the runtime's recommended count). The output is \
                  bit-identical for any value, including 1.")
   in
+  let faults =
+    Arg.(value & opt faults_conv Mavr_fault.Profile.none
+         & info [ "faults" ] ~docv:"PROFILE"
+             ~doc:
+               (Printf.sprintf
+                  "Fault-injection profile (%s): the grid plus attack-free control flights run \
+                   once per intensity level, reporting detection and false-alarm rates per \
+                   level."
+                  (String.concat ", " Mavr_fault.Profile.names)))
+  in
   let timing =
     Arg.(value & flag & info [ "timing" ]
            ~doc:"Include wall/cpu timing (and the job count) in the report. Off by default so \
@@ -496,9 +511,10 @@ let cmd_campaign =
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Deterministic parallel evaluation campaign: gadget-survival census plus the \
-             attack-by-defense Monte Carlo grid. Exits 1 if any randomized layout keeps the \
-             prebuilt payload feasible or any MAVR-defended trial is taken over.")
-    Term.(const run $ profile_arg $ trials $ ms $ layouts $ seed $ jobs $ timing $ json_flag)
+             attack-by-defense Monte Carlo grid, optionally swept across fault-injection \
+             intensities. Exits 1 if any randomized layout keeps the prebuilt payload feasible \
+             or any MAVR-defended trial is taken over (at any fault level).")
+    Term.(const run $ profile_arg $ trials $ ms $ layouts $ seed $ jobs $ faults $ timing $ json_flag)
 
 let cmd_tables =
   let run () =

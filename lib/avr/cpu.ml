@@ -823,6 +823,7 @@ let io_poke t a v =
   else if a = Device.Io.sph then t.sp_v <- (v land 0xFF) lsl 8 lor (t.sp_v land 0xFF)
   else Memory.data_set t.mem (io_addr t a) v
 
+let program_size t = t.program_bytes
 let eeprom_peek t a = Memory.eeprom_get t.mem a
 let eeprom_poke t a v = Memory.eeprom_set t.mem a v
 

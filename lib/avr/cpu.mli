@@ -61,6 +61,11 @@ val set_reg : t -> int -> int -> unit
 val sreg : t -> int
 val cycles : t -> int
 val instructions_retired : t -> int
+
+(** Byte extent of the currently flashed image (the PC wild-jump bound);
+    fault injectors use it to aim flash upsets at live code rather than
+    erased cells. *)
+val program_size : t -> int
 val halted : t -> halt option
 
 (** Force a halt state (used by fault-injection tests).  Fires the halt

@@ -1,0 +1,179 @@
+module Splitmix = Mavr_prng.Splitmix
+module Metrics = Mavr_telemetry.Metrics
+
+type params = {
+  bit_flip_ppm : int;
+  drop_ppm : int;
+  dup_ppm : int;
+  burst_ppm : int;
+  burst_len_max : int;
+  jitter_max_ticks : int;
+}
+
+let clean =
+  {
+    bit_flip_ppm = 0;
+    drop_ppm = 0;
+    dup_ppm = 0;
+    burst_ppm = 0;
+    burst_len_max = 0;
+    jitter_max_ticks = 0;
+  }
+
+let is_clean p =
+  p.bit_flip_ppm = 0 && p.drop_ppm = 0 && p.dup_ppm = 0 && p.burst_ppm = 0
+  && p.jitter_max_ticks = 0
+
+type stats = {
+  chunks : int;
+  bytes_in : int;
+  bytes_out : int;
+  bits_flipped : int;
+  bytes_dropped : int;
+  bytes_duplicated : int;
+  bursts : int;
+  chunks_delayed : int;
+}
+
+type t = {
+  params : params;
+  rng : Splitmix.t;
+  pending : (int * string) Queue.t;  (* (due tick, corrupted chunk) *)
+  mutable last_due : int;
+  mutable chunks : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable bits_flipped : int;
+  mutable bytes_dropped : int;
+  mutable bytes_duplicated : int;
+  mutable bursts : int;
+  mutable chunks_delayed : int;
+}
+
+let create ~rng params =
+  if params.burst_ppm > 0 && params.burst_len_max <= 0 then
+    invalid_arg "Channel.create: burst_ppm > 0 needs burst_len_max > 0";
+  {
+    params;
+    rng;
+    pending = Queue.create ();
+    last_due = min_int;
+    chunks = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    bits_flipped = 0;
+    bytes_dropped = 0;
+    bytes_duplicated = 0;
+    bursts = 0;
+    chunks_delayed = 0;
+  }
+
+let params t = t.params
+
+let stats t =
+  {
+    chunks = t.chunks;
+    bytes_in = t.bytes_in;
+    bytes_out = t.bytes_out;
+    bits_flipped = t.bits_flipped;
+    bytes_dropped = t.bytes_dropped;
+    bytes_duplicated = t.bytes_duplicated;
+    bursts = t.bursts;
+    chunks_delayed = t.chunks_delayed;
+  }
+
+(* Every rate test draws iff its rate is nonzero, so the consumed random
+   stream is a pure function of (params, traffic) — the determinism the
+   campaign engine's jobs-invariance rests on. *)
+let hit rng ppm = ppm > 0 && Splitmix.int rng 1_000_000 < ppm
+
+let corrupt t bytes =
+  let len = String.length bytes in
+  if len = 0 then ""
+  else begin
+    t.chunks <- t.chunks + 1;
+    t.bytes_in <- t.bytes_in + len;
+    let p = t.params in
+    let bytes =
+      if not (hit t.rng p.burst_ppm) then Bytes.of_string bytes
+      else begin
+        t.bursts <- t.bursts + 1;
+        let b = Bytes.of_string bytes in
+        let start = Splitmix.int t.rng len in
+        let run = min (1 + Splitmix.int t.rng p.burst_len_max) (len - start) in
+        for i = start to start + run - 1 do
+          Bytes.set b i (Char.chr (Splitmix.int t.rng 256))
+        done;
+        b
+      end
+    in
+    let out = Buffer.create (len + 4) in
+    for i = 0 to len - 1 do
+      if hit t.rng p.drop_ppm then t.bytes_dropped <- t.bytes_dropped + 1
+      else begin
+        let c = Char.code (Bytes.get bytes i) in
+        let c =
+          if hit t.rng p.bit_flip_ppm then begin
+            t.bits_flipped <- t.bits_flipped + 1;
+            c lxor (1 lsl Splitmix.int t.rng 8)
+          end
+          else c
+        in
+        Buffer.add_char out (Char.chr c);
+        if hit t.rng p.dup_ppm then begin
+          t.bytes_duplicated <- t.bytes_duplicated + 1;
+          Buffer.add_char out (Char.chr c)
+        end
+      end
+    done;
+    t.bytes_out <- t.bytes_out + Buffer.length out;
+    Buffer.contents out
+  end
+
+let push t ~now bytes =
+  let c = corrupt t bytes in
+  if c <> "" then begin
+    let jitter =
+      if t.params.jitter_max_ticks <= 0 then 0
+      else Splitmix.int t.rng (t.params.jitter_max_ticks + 1)
+    in
+    if jitter > 0 then t.chunks_delayed <- t.chunks_delayed + 1;
+    (* Monotone due times: a late chunk never overtakes an earlier one,
+       so the receiver sees send order regardless of jitter draws. *)
+    let due = max (now + jitter) t.last_due in
+    t.last_due <- due;
+    Queue.add (due, c) t.pending
+  end
+
+let due t ~now =
+  if Queue.is_empty t.pending then ""
+  else begin
+    let out = Buffer.create 64 in
+    let rec drain () =
+      match Queue.peek_opt t.pending with
+      | Some (d, c) when d <= now ->
+          ignore (Queue.pop t.pending);
+          Buffer.add_string out c;
+          drain ()
+      | _ -> ()
+    in
+    drain ();
+    Buffer.contents out
+  end
+
+let transmit t ~now bytes =
+  push t ~now bytes;
+  due t ~now
+
+let in_flight t = Queue.fold (fun acc (_, c) -> acc + String.length c) 0 t.pending
+
+let attach_metrics ~prefix t registry =
+  let sc name f = Metrics.sampled_counter registry (prefix ^ "." ^ name) f in
+  sc "chunks" (fun () -> t.chunks);
+  sc "bytes_in" (fun () -> t.bytes_in);
+  sc "bytes_out" (fun () -> t.bytes_out);
+  sc "bits_flipped" (fun () -> t.bits_flipped);
+  sc "bytes_dropped" (fun () -> t.bytes_dropped);
+  sc "bytes_duplicated" (fun () -> t.bytes_duplicated);
+  sc "bursts" (fun () -> t.bursts);
+  sc "chunks_delayed" (fun () -> t.chunks_delayed)

@@ -1,0 +1,84 @@
+module Splitmix = Mavr_prng.Splitmix
+module Metrics = Mavr_telemetry.Metrics
+
+type params = { page_corrupt_ppm : int; max_retries : int }
+
+let off = { page_corrupt_ppm = 0; max_retries = 0 }
+let is_off p = p.page_corrupt_ppm = 0
+
+type stats = {
+  sessions : int;
+  pages_streamed : int;
+  pages_corrupted : int;
+  retries : int;
+  fallbacks : int;
+}
+
+type t = {
+  params : params;
+  rng : Splitmix.t;
+  mutable sessions : int;
+  mutable pages_streamed : int;
+  mutable pages_corrupted : int;
+  mutable retries : int;
+  mutable fallbacks : int;
+}
+
+let create ~rng params =
+  if params.max_retries < 0 then invalid_arg "Reflash.create: max_retries < 0";
+  {
+    params;
+    rng;
+    sessions = 0;
+    pages_streamed = 0;
+    pages_corrupted = 0;
+    retries = 0;
+    fallbacks = 0;
+  }
+
+let params t = t.params
+
+let stats t =
+  {
+    sessions = t.sessions;
+    pages_streamed = t.pages_streamed;
+    pages_corrupted = t.pages_corrupted;
+    retries = t.retries;
+    fallbacks = t.fallbacks;
+  }
+
+let hit rng ppm = ppm > 0 && Splitmix.int rng 1_000_000 < ppm
+
+let stream t ~page_bytes code =
+  if page_bytes <= 0 then invalid_arg "Reflash.stream: page_bytes <= 0";
+  t.sessions <- t.sessions + 1;
+  let len = String.length code in
+  let buf = Bytes.of_string code in
+  let corrupted = ref 0 in
+  let npages = (len + page_bytes - 1) / page_bytes in
+  for p = 0 to npages - 1 do
+    t.pages_streamed <- t.pages_streamed + 1;
+    if hit t.rng t.params.page_corrupt_ppm then begin
+      incr corrupted;
+      t.pages_corrupted <- t.pages_corrupted + 1;
+      let base = p * page_bytes in
+      let span = min page_bytes (len - base) in
+      let off = base + Splitmix.int t.rng span in
+      (* Replace, don't just flip: a wire glitch can deliver any byte,
+         including the one already there — model the replacement draw
+         faithfully rather than guaranteeing a difference. *)
+      Bytes.set buf off (Char.chr (Splitmix.int t.rng 256))
+    end
+  done;
+  (Bytes.to_string buf, !corrupted)
+
+let crc16 = Mavr_mavlink.Crc.of_string
+let record_retry t = t.retries <- t.retries + 1
+let record_fallback t = t.fallbacks <- t.fallbacks + 1
+
+let attach_metrics ~prefix t registry =
+  Metrics.sampled_counter registry (prefix ^ ".sessions") (fun () -> t.sessions);
+  Metrics.sampled_counter registry (prefix ^ ".pages_streamed") (fun () -> t.pages_streamed);
+  Metrics.sampled_counter registry (prefix ^ ".pages_corrupted") (fun () -> t.pages_corrupted);
+  Metrics.sampled_counter registry (prefix ^ ".retries") (fun () -> t.retries);
+  Metrics.sampled_counter registry (prefix ^ ".fallbacks") (fun () -> t.fallbacks)

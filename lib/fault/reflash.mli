@@ -1,0 +1,46 @@
+(** Reflash-session faults: page corruption on the master→application
+    programming stream.
+
+    MAVR reflashes the application processor on every boot and every
+    recovery (§VI-B); a corrupted page written during that window would
+    otherwise brick the vehicle until the next cycle.  This module
+    models the corruption ({!stream}) and carries the session bookkeeping
+    for the verify-and-retry recovery path in [Master.program_app]:
+    stream → CRC-16 verify against the stored image → bounded retries →
+    clean fallback re-stream. *)
+
+type params = {
+  page_corrupt_ppm : int;  (** per page: one random byte is corrupted *)
+  max_retries : int;  (** verify failures tolerated before fallback *)
+}
+
+val off : params
+val is_off : params -> bool
+
+type stats = {
+  sessions : int;  (** programming sessions streamed *)
+  pages_streamed : int;
+  pages_corrupted : int;
+  retries : int;  (** re-streams forced by a failed verify *)
+  fallbacks : int;  (** sessions that exhausted retries *)
+}
+
+type t
+
+val create : rng:Mavr_prng.Splitmix.t -> params -> t
+val params : t -> params
+val stats : t -> stats
+
+(** [stream t ~page_bytes code] models pushing [code] page-by-page over
+    the programming link: each page is corrupted with probability
+    [page_corrupt_ppm] (one random byte replaced).  Returns the bytes as
+    they would land in flash, and the number of corrupted pages. *)
+val stream : t -> page_bytes:int -> string -> string * int
+
+(** [crc16 code] — the verify checksum (CRC-16/MCRF4XX, the same
+    polynomial the MAVLink link already computes in silicon). *)
+val crc16 : string -> int
+
+val record_retry : t -> unit
+val record_fallback : t -> unit
+val attach_metrics : prefix:string -> t -> Mavr_telemetry.Metrics.registry -> unit

@@ -48,6 +48,7 @@ type telemetry = {
   phase_serial : Mavr_telemetry.Metrics.histogram;
   phase_pages : Mavr_telemetry.Metrics.histogram;
   phase_total : Mavr_telemetry.Metrics.histogram;
+  flash_retries : Mavr_telemetry.Metrics.histogram;
 }
 
 type t = {
@@ -63,6 +64,9 @@ type t = {
   mutable pages_programmed : int;
   mutable peak_ws : int;
   mutable tel : telemetry option;
+  mutable reflash_fault : Mavr_fault.Reflash.t option;
+  mutable last_retries : int;
+  mutable fallback_streams : int;
 }
 
 let create ?(config = default_config) () =
@@ -79,7 +83,12 @@ let create ?(config = default_config) () =
     pages_programmed = 0;
     peak_ws = 0;
     tel = None;
+    reflash_fault = None;
+    last_retries = 0;
+    fallback_streams = 0;
   }
+
+let set_reflash_faults t f = t.reflash_fault <- f
 
 let attach_telemetry ?(prefix = "master") t ~registry ~recorder =
   let module M = Mavr_telemetry.Metrics in
@@ -89,6 +98,7 @@ let attach_telemetry ?(prefix = "master") t ~registry ~recorder =
   M.sampled registry (name "attacks_detected") (fun () -> t.attacks);
   M.sampled registry (name "pages_programmed") (fun () -> t.pages_programmed);
   M.sampled registry (name "peak_working_set") (fun () -> t.peak_ws);
+  M.sampled_counter registry (name "flash.fallback_streams") (fun () -> t.fallback_streams);
   t.tel <-
     Some
       {
@@ -97,6 +107,7 @@ let attach_telemetry ?(prefix = "master") t ~registry ~recorder =
         phase_serial = M.histogram registry (name "flash.serial_us");
         phase_pages = M.histogram registry (name "flash.page_write_us");
         phase_total = M.histogram registry (name "flash.total_us");
+        flash_retries = M.histogram registry (name "flash.retries");
       }
 
 let provision t image = Flash.program t.ext_flash (Symtab.to_hex image)
@@ -121,6 +132,37 @@ let randomize_streaming t stored =
   t.peak_ws <- max t.peak_ws stats.Stream_patch.peak_working_set;
   image
 
+(* Stream the binary over the (possibly faulty) programming link and
+   verify the received bytes against the stored image by CRC-16.  A
+   failed verify forces a bounded number of re-streams; when those are
+   exhausted the session falls back to a page-by-page acknowledged
+   re-stream, modeled as delivering the clean bytes at the cost of one
+   more full transfer.  Returns the bytes that land in flash plus the
+   session's extra-transfer count (retries, +1 for a fallback). *)
+let stream_verified t image =
+  match t.reflash_fault with
+  | None -> (image.Image.code, 0)
+  | Some fault ->
+      let module Reflash = Mavr_fault.Reflash in
+      let page_bytes = Mavr_avr.Device.atmega2560.flash_page_bytes in
+      let code = image.Image.code in
+      let want = Reflash.crc16 code in
+      let max_retries = (Reflash.params fault).Reflash.max_retries in
+      let rec attempt n =
+        let streamed, _ = Reflash.stream fault ~page_bytes code in
+        if Reflash.crc16 streamed = want then (streamed, n)
+        else if n < max_retries then begin
+          Reflash.record_retry fault;
+          attempt (n + 1)
+        end
+        else begin
+          Reflash.record_fallback fault;
+          t.fallback_streams <- t.fallback_streams + 1;
+          (code, n + 1)
+        end
+      in
+      attempt 0
+
 (* Program the application processor: stream the (randomized) binary
    through the bootloader and restart it.  With telemetry attached, the
    session is decomposed into the Table II phases — patch compute, serial
@@ -129,6 +171,8 @@ let randomize_streaming t stored =
    resets that clock) and microsecond histograms in the registry. *)
 let program_app t ~app image =
   let bytes = Image.size image in
+  let code, extra_transfers = stream_verified t image in
+  t.last_retries <- extra_transfers;
   (match t.tel with
   | None -> ()
   | Some tel ->
@@ -136,10 +180,17 @@ let program_app t ~app image =
       let module M = Mavr_telemetry.Metrics in
       let us f = int_of_float (1000.0 *. f) in
       let link = t.config.link in
+      (* Each verify failure repeats the transfer and page-write phases
+         (the patch was computed once); the histograms and spans carry
+         the session as actually paid for. *)
+      let xfers = 1 + extra_transfers in
       let patch = us (Serial.patch_ms link bytes) in
-      let serial = us (Serial.transfer_ms link bytes) in
-      let pages = us (Serial.flash_ms link bytes) in
-      let total = us (Serial.programming_ms link bytes) in
+      let serial = xfers * us (Serial.transfer_ms link bytes) in
+      let pages = xfers * us (Serial.flash_ms link bytes) in
+      let total =
+        us (Serial.programming_ms link bytes)
+        + (extra_transfers * us (Serial.transfer_ms link bytes +. Serial.flash_ms link bytes))
+      in
       let cycle = Cpu.cycles app in
       R.span_begin tel.recorder ~cycle ~value:bytes "master.flash_session";
       R.record tel.recorder ~cycle ~value:patch "master.phase.patch";
@@ -149,10 +200,14 @@ let program_app t ~app image =
       M.observe tel.phase_patch patch;
       M.observe tel.phase_serial serial;
       M.observe tel.phase_pages pages;
-      M.observe tel.phase_total total);
-  Cpu.load_program app image.Image.code;
+      M.observe tel.phase_total total;
+      M.observe tel.flash_retries extra_transfers);
+  Cpu.load_program app code;
   t.reflashes <- t.reflashes + 1;
-  t.last_overhead_ms <- startup_overhead_ms t bytes;
+  t.last_overhead_ms <-
+    startup_overhead_ms t bytes
+    +. (float_of_int extra_transfers
+       *. (Serial.transfer_ms t.config.link bytes +. Serial.flash_ms t.config.link bytes));
   t.current <- Some image
 
 let boot t ~app =
@@ -179,6 +234,8 @@ let current_image t =
 
 let boots t = t.boots
 let reflashes t = t.reflashes
+let last_flash_retries t = t.last_retries
+let fallback_streams t = t.fallback_streams
 let last_overhead_ms t = t.last_overhead_ms
 let events t = List.rev t.events
 let attacks_detected t = t.attacks

@@ -67,6 +67,24 @@ val last_overhead_ms : t -> float
 val events : t -> event list
 val attacks_detected : t -> int
 
+(** {2 Reflash-stream faults}
+
+    With a fault model armed ({!set_reflash_faults}), every programming
+    session becomes stream → CRC-16 verify against the stored image →
+    bounded re-streams on mismatch → page-by-page acknowledged fallback
+    when the retry budget is exhausted.  The application always ends up
+    running a verified image; the faults cost transfer time, never
+    correctness. *)
+
+val set_reflash_faults : t -> Mavr_fault.Reflash.t option -> unit
+
+(** Extra transfers forced by the most recent programming session
+    (verify retries, +1 when it fell back); 0 on a clean stream. *)
+val last_flash_retries : t -> int
+
+(** Sessions that exhausted the retry budget and fell back. *)
+val fallback_streams : t -> int
+
 (** [check_and_recover t ~app] performs one watchdog evaluation: when the
     application has halted or has been silent past the configured window,
     the master re-randomizes and reprograms it.  Returns [true] when a
@@ -91,7 +109,10 @@ val startup_overhead_ms : t -> int -> float
     ([master.flash_session] begin/end framing [master.phase.patch] /
     [.serial] / [.page_writes] point events, values in modeled µs) and
     microsecond histograms ([<prefix>.flash.patch_us], [.serial_us],
-    [.page_write_us], [.total_us]). *)
+    [.page_write_us], [.total_us]).  Reflash-fault bookkeeping rides
+    along: an extra-transfers-per-session histogram
+    ([<prefix>.flash.retries]) and a fallback tally
+    ([<prefix>.flash.fallback_streams], a sampled counter). *)
 val attach_telemetry :
   ?prefix:string ->
   t ->

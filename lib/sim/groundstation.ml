@@ -91,23 +91,26 @@ let feed t ~now_ms bytes =
 let check t ~now_ms =
   let before = t.alarms in
   if t.started then begin
-    (* Edge-triggered: each silence episode raises one alarm. *)
+    (* The two timeout alarms are independent watchdogs, each
+       edge-triggered (one alarm per episode).  Evaluating them in
+       lock-step matters: heartbeats stopping while other telemetry
+       still flows is exactly the partial-failure signature a nested
+       check would miss — and a latched silence episode must not stop
+       the heartbeat clock from being re-armed when frames resume. *)
     if now_ms -. t.last_frame_ms > t.telemetry_timeout_ms then begin
       if not t.silent_latched then begin
         t.silent_latched <- true;
         raise_alarm t (Telemetry_silence { silent_ms = now_ms -. t.last_frame_ms })
       end
     end
-    else begin
-      t.silent_latched <- false;
-      if t.heartbeats > 0 && now_ms -. t.last_heartbeat_ms > t.heartbeat_timeout_ms then begin
-        if not t.hb_latched then begin
-          t.hb_latched <- true;
-          raise_alarm t (Heartbeat_lost { silent_ms = now_ms -. t.last_heartbeat_ms })
-        end
+    else t.silent_latched <- false;
+    if t.heartbeats > 0 && now_ms -. t.last_heartbeat_ms > t.heartbeat_timeout_ms then begin
+      if not t.hb_latched then begin
+        t.hb_latched <- true;
+        raise_alarm t (Heartbeat_lost { silent_ms = now_ms -. t.last_heartbeat_ms })
       end
-      else t.hb_latched <- false
-    end;
+    end
+    else t.hb_latched <- false;
     let stats = Parser.stats t.parser in
     let corruption = stats.crc_errors + stats.bytes_dropped in
     if corruption > t.reported_corruption then begin

@@ -8,6 +8,7 @@ module Metrics = Mavr_telemetry.Metrics
 module Json = Mavr_telemetry.Json
 module Splitmix = Mavr_prng.Splitmix
 module Engine = Mavr_campaign.Engine
+module Fault = Mavr_fault
 
 type defense = Undefended | Software_only | Mavr_defense
 type attack = V1 | V2 | V3
@@ -26,6 +27,8 @@ type outcome = {
   detected : bool;
   halted : bool;
   detect_ms : float option;  (** ms from injection to first detection *)
+  gcs_alarm_count : int;
+  master_detections : int;
 }
 
 type cell = {
@@ -40,11 +43,32 @@ type cell = {
   detect_ms_max : float;
 }
 
+(* Control flights: same posture, same faults, no attack.  Anything the
+   pipeline flags here is a false alarm, so these rows are the
+   denominator of the §VII-A detection claims under noise. *)
+type control = {
+  posture : defense;
+  flights : int;
+  alarmed : int;
+  alarms_total : int;
+  recoveries : int;
+  crashed : int;
+  first_alarm_n : int;
+  first_alarm_ms_sum : float;
+}
+
+type level_result = {
+  level : Fault.Profile.level;
+  cells : cell array;  (** 9 cells, defense-major then attack order *)
+  controls : control array;  (** one per defense, same order *)
+}
+
 type t = {
   seed : int;
   trials : int;
   ms : int;
-  cells : cell array;  (** 9 cells, defense-major then attack order *)
+  profile : string;  (** fault profile name *)
+  levels : level_result array;  (** one per profile level; [0] is clean *)
   metrics : Metrics.registry;  (** all per-trial worker registries, merged *)
 }
 
@@ -57,7 +81,15 @@ let detected_now s =
   (match Scenario.master s with Some m -> Master.attacks_detected m > 0 | None -> false)
   || Groundstation.attack_suspected (Scenario.gcs s)
 
-let trial ~image ~frames ~defense ~ms ~rng =
+let trial ~image ~inject ~defense ~level ~ms ~rng =
+  (* The fault seed is drawn first, unconditionally, so the remaining
+     stream (layout seed, master seed) is the same whether or not this
+     level actually arms the injector. *)
+  let fault_seed = Splitmix.next rng in
+  let faults =
+    if Fault.Profile.level_is_off level then None
+    else Some (Fault.Injector.create ~seed:fault_seed level)
+  in
   let image, kind =
     match defense with
     | Undefended -> (image, Scenario.No_defense)
@@ -73,12 +105,12 @@ let trial ~image ~frames ~defense ~ms ~rng =
               seed = Splitmix.next rng;
             } )
   in
-  let s = Scenario.create ~image kind in
+  let s = Scenario.create ?faults ~image kind in
   let registry = Metrics.create () in
   let (_ : Mavr_avr.Probes.t) = Scenario.attach_telemetry s ~registry in
   let warmup = max 1 (ms / 3) in
   Scenario.run s ~ms:(float_of_int warmup);
-  Scenario.inject s frames;
+  (match inject with Some frames -> Scenario.inject s frames | None -> ());
   (* Advance in small slices so the first detection gets a timestamp
      (resolution = [step] simulated ms). *)
   let step = 5 in
@@ -97,6 +129,9 @@ let trial ~image ~frames ~defense ~ms ~rng =
       detected = detected_now s;
       halted = Cpu.halted (Scenario.app s) <> None;
       detect_ms = !detect_ms;
+      gcs_alarm_count = List.length (Groundstation.alarms (Scenario.gcs s));
+      master_detections =
+        (match Scenario.master s with Some m -> Master.attacks_detected m | None -> 0);
     }
   in
   (outcome, registry)
@@ -110,7 +145,8 @@ let attack_frames ti obs =
   | V2 -> Rop.v2_stealthy ti obs ~writes
   | V3 -> Rop.v3_execute ti obs ~chain_dest:F.Layout.free_region ~writes
 
-let run ?pool ?jobs ?(ms = 900) ~seed ~trials (build : F.Build.t) =
+let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ~seed ~trials
+    (build : F.Build.t) =
   if trials < 0 then invalid_arg "Montecarlo.run: negative trial count";
   let image = build.F.Build.image in
   (* The attacker's static + dynamic analysis of the unprotected binary
@@ -120,18 +156,31 @@ let run ?pool ?jobs ?(ms = 900) ~seed ~trials (build : F.Build.t) =
   let obs = Rop.observe ti in
   let frames = Array.map (attack_frames ti obs) attacks in
   let nd = Array.length defenses and na = Array.length attacks in
-  let tasks = nd * na * trials in
+  let nlevels = Array.length faults.Fault.Profile.levels in
+  (* Task layout, fixed and index-addressed for jobs-invariance: for
+     each fault level, the nd*na*trials attack grid followed by
+     nd*trials attack-free control flights. *)
+  let grid_tasks = nd * na * trials in
+  let per_level = grid_tasks + (nd * trials) in
+  let tasks = nlevels * per_level in
   let results =
     Engine.map ?pool ?jobs ~seed ~tasks (fun ~index ~rng ->
-        let defense = defenses.(index / (na * trials)) in
-        let attack_i = index / trials mod na in
-        trial ~image ~frames:frames.(attack_i) ~defense ~ms ~rng)
+        let level = faults.Fault.Profile.levels.(index / per_level) in
+        let rem = index mod per_level in
+        if rem < grid_tasks then
+          let defense = defenses.(rem / (na * trials)) in
+          let attack_i = rem / trials mod na in
+          trial ~image ~inject:(Some frames.(attack_i)) ~defense ~level ~ms ~rng
+        else
+          let defense = defenses.((rem - grid_tasks) / trials) in
+          trial ~image ~inject:None ~defense ~level ~ms ~rng)
   in
   let metrics = Metrics.create () in
   Array.iter (fun (_, r) -> Metrics.merge ~into:metrics r) results;
-  let cell d a =
-    let base = ((d * na) + a) * trials in
-    let fold f init = Array.fold_left f init (Array.init trials (fun k -> fst results.(base + k))) in
+  let fold base n f init = Array.fold_left f init (Array.init n (fun k -> fst results.(base + k))) in
+  let cell l d a =
+    let base = (l * per_level) + (((d * na) + a) * trials) in
+    let fold f init = fold base trials f init in
     {
       defense = defenses.(d);
       attack = attacks.(a);
@@ -144,18 +193,48 @@ let run ?pool ?jobs ?(ms = 900) ~seed ~trials (build : F.Build.t) =
       detect_ms_max = fold (fun m o -> Float.max m (Option.value ~default:0.0 o.detect_ms)) 0.0;
     }
   in
-  let cells =
-    Array.init (nd * na) (fun i -> cell (i / na) (i mod na))
+  let control l d =
+    let base = (l * per_level) + grid_tasks + (d * trials) in
+    let fold f init = fold base trials f init in
+    {
+      posture = defenses.(d);
+      flights = trials;
+      alarmed = fold (fun n o -> if o.gcs_alarm_count > 0 then n + 1 else n) 0;
+      alarms_total = fold (fun n o -> n + o.gcs_alarm_count) 0;
+      recoveries = fold (fun n o -> n + o.master_detections) 0;
+      crashed = fold (fun n o -> if o.halted then n + 1 else n) 0;
+      first_alarm_n = fold (fun n o -> if o.detect_ms <> None then n + 1 else n) 0;
+      first_alarm_ms_sum = fold (fun s o -> s +. Option.value ~default:0.0 o.detect_ms) 0.0;
+    }
   in
-  { seed; trials; ms; cells; metrics }
+  let levels =
+    Array.init nlevels (fun l ->
+        {
+          level = faults.Fault.Profile.levels.(l);
+          cells = Array.init (nd * na) (fun i -> cell l (i / na) (i mod na));
+          controls = Array.init nd (fun d -> control l d);
+        })
+  in
+  { seed; trials; ms; profile = faults.Fault.Profile.name; levels; metrics }
+
+let cells t = t.levels.(0).cells
+
+let level_takeovers lr defense =
+  Array.fold_left (fun n c -> if c.defense = defense then n + c.takeovers else n) 0 lr.cells
+
+let level_detections lr defense =
+  Array.fold_left (fun n c -> if c.defense = defense then n + c.detections else n) 0 lr.cells
 
 let takeovers t defense =
-  Array.fold_left (fun n c -> if c.defense = defense then n + c.takeovers else n) 0 t.cells
+  Array.fold_left (fun n lr -> n + level_takeovers lr defense) 0 t.levels
 
 let detections t defense =
-  Array.fold_left (fun n c -> if c.defense = defense then n + c.detections else n) 0 t.cells
+  Array.fold_left (fun n lr -> n + level_detections lr defense) 0 t.levels
 
 let mean_detect_ms c = if c.detect_n = 0 then 0.0 else c.detect_ms_sum /. float_of_int c.detect_n
+
+let false_alarm_rate c =
+  if c.flights = 0 then 0.0 else float_of_int c.alarmed /. float_of_int c.flights
 
 let cell_to_json c =
   Json.Obj
@@ -171,25 +250,62 @@ let cell_to_json c =
       ("detect_ms_max", Json.Float c.detect_ms_max);
     ]
 
+let control_to_json c =
+  Json.Obj
+    [
+      ("defense", Json.String (defense_name c.posture));
+      ("flights", Json.Int c.flights);
+      ("alarmed", Json.Int c.alarmed);
+      ("alarms_total", Json.Int c.alarms_total);
+      ("recoveries", Json.Int c.recoveries);
+      ("crashed", Json.Int c.crashed);
+      ("false_alarm_rate", Json.Float (false_alarm_rate c));
+      ( "first_alarm_ms_mean",
+        Json.Float
+          (if c.first_alarm_n = 0 then 0.0
+           else c.first_alarm_ms_sum /. float_of_int c.first_alarm_n) );
+    ]
+
+let level_to_json lr =
+  Json.Obj
+    [
+      ("level", Json.String lr.level.Fault.Profile.name);
+      ("grid", Json.List (Array.to_list (Array.map cell_to_json lr.cells)));
+      ("controls", Json.List (Array.to_list (Array.map control_to_json lr.controls)));
+    ]
+
 let to_json ?(with_metrics = true) t =
   Json.Obj
     ([
        ("seed", Json.Int t.seed);
        ("trials_per_cell", Json.Int t.trials);
        ("flight_ms", Json.Int t.ms);
-       ("grid", Json.List (Array.to_list (Array.map cell_to_json t.cells)));
+       ("fault_profile", Json.String t.profile);
+       ("levels", Json.List (Array.to_list (Array.map level_to_json t.levels)));
+       ("grid", Json.List (Array.to_list (Array.map cell_to_json (cells t))));
      ]
     @ if with_metrics then [ ("metrics", Metrics.to_json t.metrics) ] else [])
 
 let pp fmt t =
-  Format.fprintf fmt "@[<v>Monte Carlo campaign: %d trials/cell, %d ms flights, seed %d@,"
-    t.trials t.ms t.seed;
-  Format.fprintf fmt "  %-14s %-4s %9s %10s %6s %15s@," "defense" "atk" "takeovers"
-    "detections" "halts" "mean-detect-ms";
+  Format.fprintf fmt
+    "@[<v>Monte Carlo campaign: %d trials/cell, %d ms flights, seed %d, faults %s@," t.trials
+    t.ms t.seed t.profile;
   Array.iter
-    (fun c ->
-      Format.fprintf fmt "  %-14s %-4s %5d/%-3d %6d/%-3d %6d %15.1f@,"
-        (defense_name c.defense) (attack_name c.attack) c.takeovers c.trials c.detections
-        c.trials c.halts (mean_detect_ms c))
-    t.cells;
+    (fun lr ->
+      Format.fprintf fmt "  fault level: %s@," lr.level.Fault.Profile.name;
+      Format.fprintf fmt "  %-14s %-4s %9s %10s %6s %15s@," "defense" "atk" "takeovers"
+        "detections" "halts" "mean-detect-ms";
+      Array.iter
+        (fun c ->
+          Format.fprintf fmt "  %-14s %-4s %5d/%-3d %6d/%-3d %6d %15.1f@,"
+            (defense_name c.defense) (attack_name c.attack) c.takeovers c.trials c.detections
+            c.trials c.halts (mean_detect_ms c))
+        lr.cells;
+      Array.iter
+        (fun c ->
+          Format.fprintf fmt "  %-14s ctrl %d/%d flights alarmed (%.2f false-alarm rate), %d recoveries, %d crashed@,"
+            (defense_name c.posture) c.alarmed c.flights (false_alarm_rate c) c.recoveries
+            c.crashed)
+        lr.controls)
+    t.levels;
   Format.fprintf fmt "@]"

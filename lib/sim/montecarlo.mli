@@ -7,6 +7,13 @@
     takeover/detection/time-to-detect statistics aggregated per cell —
     with output bit-identical for any job count.
 
+    A fault-intensity axis rides on top: given a {!Mavr_fault.Profile},
+    the whole grid runs once per intensity level, and each level also
+    flies {e control} flights — same posture, same faults, no attack —
+    so the campaign reports false-alarm rates (GCS alarms and spurious
+    master recoveries on attack-free flights) next to the detection
+    rates they calibrate.
+
     Defense postures:
     - [Undefended] — bare APM running the unprotected binary;
     - [Software_only] — §VIII-A: the binary is diversified once (a
@@ -36,39 +43,76 @@ type cell = {
   detect_ms_max : float;
 }
 
+(** Attack-free flights under the same faults: every flag raised here is
+    a false alarm. *)
+type control = {
+  posture : defense;
+  flights : int;
+  alarmed : int;  (** flights with at least one GCS alarm *)
+  alarms_total : int;
+  recoveries : int;  (** spurious master detections (each = a reflash) *)
+  crashed : int;  (** flights whose app CPU ended halted *)
+  first_alarm_n : int;
+  first_alarm_ms_sum : float;
+}
+
+type level_result = {
+  level : Mavr_fault.Profile.level;
+  cells : cell array;  (** 9 cells, defense-major, fixed order *)
+  controls : control array;  (** one per defense, same order *)
+}
+
 type t = {
   seed : int;
   trials : int;
   ms : int;  (** simulated flight length per trial *)
-  cells : cell array;  (** 9 cells, defense-major, fixed order *)
+  profile : string;  (** fault profile name *)
+  levels : level_result array;
+      (** one per fault level, profile order; [levels.(0)] is the clean
+          baseline (every profile's first level is "off") *)
   metrics : Mavr_telemetry.Metrics.registry;
       (** every trial's registry, merged *)
 }
 
-(** [run ?pool ?jobs ?ms ~seed ~trials build] — the full grid,
-    [3 x 3 x trials] scenario flights of [ms] simulated milliseconds
-    each (default 900; the attack is injected after a [ms/3] warm-up).
-    The attacker's analysis of the unprotected [build] runs once; trial
-    randomness (layout seeds, master seeds) is split per task from
-    [seed]. *)
+(** [run ?pool ?jobs ?ms ?faults ~seed ~trials build] — per fault level,
+    the [3 x 3 x trials] attack grid plus [3 x trials] control flights,
+    each a scenario of [ms] simulated milliseconds (default 900; attacks
+    are injected after a [ms/3] warm-up).  [faults] defaults to
+    {!Mavr_fault.Profile.none} — a single clean level, the pre-fault
+    campaign.  The attacker's analysis of the unprotected [build] runs
+    once; trial randomness (fault seeds, layout seeds, master seeds) is
+    split per task from [seed]. *)
 val run :
   ?pool:Mavr_campaign.Pool.t ->
   ?jobs:int ->
   ?ms:int ->
+  ?faults:Mavr_fault.Profile.t ->
   seed:int ->
   trials:int ->
   Mavr_firmware.Build.t ->
   t
 
-(** Grid marginals: totals across one defense's row of cells. *)
+(** The clean baseline grid: [t.levels.(0).cells]. *)
+val cells : t -> cell array
+
+(** Marginals across one defense's row of cells — per level, and summed
+    over every fault level (the CLI's exit-code criterion: zero MAVR
+    takeovers at {e every} intensity). *)
+val level_takeovers : level_result -> defense -> int
+
+val level_detections : level_result -> defense -> int
 val takeovers : t -> defense -> int
-
 val detections : t -> defense -> int
-
 val mean_detect_ms : cell -> float
 
-(** Deterministic JSON (cells in fixed order, metrics sorted by name).
-    [with_metrics:false] drops the merged registry. *)
+(** [alarmed / flights] on a control row. *)
+val false_alarm_rate : control -> float
+
+(** Deterministic JSON (levels and cells in fixed order, metrics sorted
+    by name).  The top-level [grid] key carries the clean baseline cells
+    for downstream tooling; the [levels] list holds every intensity's
+    grid and control rows.  [with_metrics:false] drops the merged
+    registry. *)
 val to_json : ?with_metrics:bool -> t -> Mavr_telemetry.Json.t
 
 val pp : Format.formatter -> t -> unit

@@ -22,13 +22,14 @@ type t = {
   gcs : Groundstation.t;
   sensors : Sensors.t;
   cycles_per_ms : int;
+  faults : Mavr_fault.Injector.t option;
+  uplink : string Queue.t;
   mutable dyn : Dynamics.state;
   mutable now_ms : float;
-  mutable uplink : string list;
   mutable tel : tel option;
 }
 
-let create ?(cycles_per_ms = 2000) ~image defense =
+let create ?(cycles_per_ms = 2000) ?faults ~image defense =
   let app = Cpu.create () in
   let master =
     match defense with
@@ -38,6 +39,9 @@ let create ?(cycles_per_ms = 2000) ~image defense =
     | Mavr config ->
         let m = Master.create ~config () in
         Master.provision m image;
+        (* Arm the reflash-stream fault model before the first boot so
+           the initial programming session is already under test. *)
+        Option.iter (fun f -> Master.set_reflash_faults m (Mavr_fault.Injector.reflash f)) faults;
         Master.boot m ~app;
         Some m
   in
@@ -47,9 +51,10 @@ let create ?(cycles_per_ms = 2000) ~image defense =
     gcs = Groundstation.create ();
     sensors = Sensors.create ~seed:0xBADC0FFEE ();
     cycles_per_ms;
+    faults;
+    uplink = Queue.create ();
     dyn = Dynamics.initial;
     now_ms = 0.0;
-    uplink = [];
     tel = None;
   }
 
@@ -62,6 +67,9 @@ let attach_telemetry ?(recorder_capacity = 256) t ~registry =
   (match t.master with
   | Some m -> Master.attach_telemetry m ~registry ~recorder
   | None -> ());
+  (match t.faults with
+  | Some f -> Mavr_fault.Injector.attach_metrics f registry
+  | None -> ());
   t.tel <- Some { probes; recorder; ticks = M.counter registry "sim.ticks" };
   probes
 
@@ -70,9 +78,13 @@ let probes t = match t.tel with Some tel -> Some tel.probes | None -> None
 let app t = t.app
 let gcs t = t.gcs
 let master t = t.master
+let faults t = t.faults
 let sensors t = t.sensors
 let now_ms t = t.now_ms
 let dynamics t = t.dyn
+
+let uplink_channel faults = Option.bind faults Mavr_fault.Injector.uplink
+let downlink_channel faults = Option.bind faults Mavr_fault.Injector.downlink
 
 let record_event t name ~value =
   match t.tel with
@@ -83,24 +95,48 @@ let record_event t name ~value =
 let tick t =
   (* 1 ms of simulated time. *)
   (match t.tel with Some tel -> Mavr_telemetry.Metrics.incr tel.ticks | None -> ());
+  let module Channel = Mavr_fault.Channel in
+  let tick_no = int_of_float t.now_ms in
   t.dyn <- Dynamics.step t.dyn ~dt:0.001;
   Sensors.write_to_cpu (Sensors.sample t.sensors t.dyn) t.app;
-  (match t.uplink with
-  | [] -> ()
-  | frame :: rest ->
-      record_event t "sim.uplink_delivered" ~value:(String.length frame);
-      Cpu.uart_send t.app frame;
-      t.uplink <- rest);
+  (* Uplink: at most one queued attacker frame enters the radio per
+     tick; with a channel armed it is corrupted/jittered on the way, and
+     earlier frames still in flight can land this tick too. *)
+  let uplink_bytes =
+    let frame = Queue.take_opt t.uplink in
+    match uplink_channel t.faults with
+    | None -> Option.value frame ~default:""
+    | Some ch ->
+        Option.iter (fun f -> Channel.push ch ~now:tick_no f) frame;
+        Channel.due ch ~now:tick_no
+  in
+  if uplink_bytes <> "" then begin
+    record_event t "sim.uplink_delivered" ~value:(String.length uplink_bytes);
+    Cpu.uart_send t.app uplink_bytes
+  end;
   ignore (Cpu.run_until_halt t.app ~max_cycles:t.cycles_per_ms);
+  (* Drain this tick's telemetry BEFORE the watchdog check: a recovery
+     reflash resets the application CPU, which clears the UART TX
+     buffer — draining afterwards would destroy exactly the bytes the
+     GCS needs to see at the moment of an attack. *)
+  let tx = Cpu.uart_take_tx t.app in
   (match t.master with Some m -> ignore (Master.check_and_recover m ~app:t.app) | None -> ());
   t.now_ms <- t.now_ms +. 1.0;
-  Groundstation.feed t.gcs ~now_ms:t.now_ms (Cpu.uart_take_tx t.app);
+  let downlink_bytes =
+    match downlink_channel t.faults with
+    | None -> tx
+    | Some ch -> Channel.transmit ch ~now:(tick_no + 1) tx
+  in
+  Groundstation.feed t.gcs ~now_ms:t.now_ms downlink_bytes;
   let fresh = Groundstation.check t.gcs ~now_ms:t.now_ms in
   List.iter
     (fun a ->
       record_event t ("gcs.alarm." ^ Groundstation.alarm_key a)
         ~value:(int_of_float t.now_ms))
-    fresh
+    fresh;
+  (* Single-event upsets strike between ticks, after this tick's state
+     has been delivered and judged. *)
+  match t.faults with Some f -> Mavr_fault.Injector.seu_tick f t.app | None -> ()
 
 let run t ~ms =
   let n = int_of_float (Float.ceil ms) in
@@ -110,7 +146,7 @@ let run t ~ms =
 
 let inject t frames =
   record_event t "sim.inject" ~value:(List.length frames);
-  t.uplink <- t.uplink @ frames
+  List.iter (fun f -> Queue.add f t.uplink) frames
 
 type report = {
   duration_ms : float;

@@ -15,16 +15,25 @@ type defense =
 
 type t
 
-(** [create ?cycles_per_ms ~image defense] boots the system.
+(** [create ?cycles_per_ms ?faults ~image defense] boots the system.
     [cycles_per_ms] scales the emulated clock (default 2000 — a slowed
-    16 MHz part, keeping long scenarios fast while preserving ordering). *)
-val create : ?cycles_per_ms:int -> image:Mavr_obj.Image.t -> defense -> t
+    16 MHz part, keeping long scenarios fast while preserving ordering).
+    [faults] arms the fault-injection rig for the whole flight: the
+    downlink channel corrupts the app→GCS telemetry stream, the uplink
+    channel corrupts injected attacker frames, SEUs strike between
+    ticks, and the master's programming sessions (including the very
+    first boot) run under the reflash-stream fault model. *)
+val create :
+  ?cycles_per_ms:int -> ?faults:Mavr_fault.Injector.t -> image:Mavr_obj.Image.t -> defense -> t
 
 val app : t -> Mavr_avr.Cpu.t
 val gcs : t -> Groundstation.t
 
 (** The master processor (when the defense is enabled). *)
 val master : t -> Mavr_core.Master.t option
+
+(** The fault-injection rig passed at {!create}, if any. *)
+val faults : t -> Mavr_fault.Injector.t option
 
 val now_ms : t -> float
 val dynamics : t -> Dynamics.state

@@ -13,6 +13,7 @@ type metric =
   | Gauge of gauge
   | Histogram of histogram
   | Sampled of (unit -> int)
+  | Sampled_counter of (unit -> int)
 
 type registry = { tbl : (string, metric) Hashtbl.t }
 
@@ -23,6 +24,7 @@ let kind_name = function
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
   | Sampled _ -> "sampled"
+  | Sampled_counter _ -> "sampled counter"
 
 (* Registration is idempotent per (name, kind): asking for an existing
    metric returns the same cell, so independent subsystems can share a
@@ -67,6 +69,11 @@ let sampled t name f =
     (fun () -> ((), Sampled f))
     (function Sampled _ -> Some () | _ -> None)
 
+let sampled_counter t name f =
+  register t name
+    (fun () -> ((), Sampled_counter f))
+    (function Sampled_counter _ -> Some () | _ -> None)
+
 let incr c = c.c <- c.c + 1
 let add c n = c.c <- c.c + n
 let value c = c.c
@@ -107,6 +114,7 @@ let snapshot t =
         | Counter c -> Counter_value c.c
         | Gauge g -> Gauge_value g.g
         | Sampled f -> Gauge_value (f ())
+        | Sampled_counter f -> Counter_value (f ())
         | Histogram h -> Histogram_value (histogram_stats h)
       in
       (name, v) :: acc)
@@ -124,7 +132,8 @@ let reset t =
           h.sum <- 0;
           h.hmin <- max_int;
           h.hmax <- min_int
-      | Sampled _ -> () (* reflects live state elsewhere; nothing to reset *))
+      | Sampled _ | Sampled_counter _ ->
+          () (* reflect live state elsewhere; nothing to reset *))
     t.tbl
 
 (* ---- merge ---------------------------------------------------------- *)
@@ -139,7 +148,12 @@ let reset t =
 let merge ~into src =
   Hashtbl.iter
     (fun name m ->
-      let m = match m with Sampled f -> Gauge { g = f () } | m -> m in
+      let m =
+        match m with
+        | Sampled f -> Gauge { g = f () }
+        | Sampled_counter f -> Counter { c = f () }
+        | m -> m
+      in
       match (Hashtbl.find_opt into.tbl name, m) with
       | None, Counter c -> Hashtbl.add into.tbl name (Counter { c = c.c })
       | None, Gauge g -> Hashtbl.add into.tbl name (Gauge { g = g.g })
@@ -152,17 +166,17 @@ let merge ~into src =
           d.sum <- d.sum + h.sum;
           if h.hmin < d.hmin then d.hmin <- h.hmin;
           if h.hmax > d.hmax then d.hmax <- h.hmax
-      | Some (Sampled _), _ ->
+      | Some (Sampled _ | Sampled_counter _), _ ->
           invalid_arg
             (Printf.sprintf
-               "Telemetry.Metrics.merge: %S is a sampled gauge in the destination (pull gauges \
+               "Telemetry.Metrics.merge: %S is a sampled metric in the destination (pull cells \
                 cannot absorb merged values)"
                name)
       | Some existing, incoming ->
           invalid_arg
             (Printf.sprintf "Telemetry.Metrics.merge: %S is a %s here but a %s in the source"
                name (kind_name existing) (kind_name incoming))
-      | _, Sampled _ -> assert false)
+      | _, (Sampled _ | Sampled_counter _) -> assert false)
     src.tbl
 
 (* ---- export --------------------------------------------------------- *)

@@ -54,6 +54,14 @@ val observe : histogram -> int -> unit
     alone (it reflects state owned elsewhere). *)
 val sampled : registry -> string -> (unit -> int) -> unit
 
+(** [sampled_counter t name f] is {!sampled} with counter semantics:
+    snapshots report it as a counter, and {!merge} materializes it into
+    the destination as an owned counter that {e adds} across sources.
+    Use it for monotone totals owned by live rigs (fault-injection byte
+    counts, retry tallies) that must sum — not max — when per-trial
+    registries join at a campaign barrier. *)
+val sampled_counter : registry -> string -> (unit -> int) -> unit
+
 (** {2 Snapshot and export} *)
 
 type histogram_stats = { count : int; sum : int; min : int; max : int; mean : float }
@@ -82,7 +90,9 @@ val reset : registry -> unit
     - a {e sampled} gauge in [src] is read once, at merge time, and lands
       in [into] as a plain (max-combined) gauge — its sampler belongs to
       the worker's finished rig, so the value is final and [into] must
-      own it outright.
+      own it outright;
+    - a {e sampled counter} likewise materializes once, into an owned
+      counter, and therefore adds across sources.
 
     Names absent from [into] are registered as fresh owned cells (never
     aliased with [src]'s).

@@ -157,6 +157,80 @@ let test_parser_bulk_totals () =
   Alcotest.(check int) "every byte accounted once" (String.length stream)
     (parsed_bytes + st.Parser.bytes_dropped + Parser.pending p)
 
+let test_parser_fuzz_under_channel () =
+  (* The lossy-channel model is the adversary here: whatever it does to
+     a valid stream — single-bit flips, drops, duplications, bursts —
+     [Parser.feed] must never raise, and the exact byte-accounting
+     invariant must survive (every corrupted byte lands in a parsed
+     frame, the dropped tally, or the pending buffer). *)
+  let module Channel = Mavr_fault.Channel in
+  let intensities =
+    [
+      { Channel.clean with bit_flip_ppm = 2_000; drop_ppm = 1_000 };
+      {
+        Channel.bit_flip_ppm = 10_000;
+        drop_ppm = 5_000;
+        dup_ppm = 2_000;
+        burst_ppm = 100_000;
+        burst_len_max = 16;
+        jitter_max_ticks = 0;
+      };
+      (* Absurd rates: the stream is mostly noise. *)
+      {
+        Channel.bit_flip_ppm = 200_000;
+        drop_ppm = 100_000;
+        dup_ppm = 100_000;
+        burst_ppm = 500_000;
+        burst_len_max = 32;
+        jitter_max_ticks = 0;
+      };
+    ]
+  in
+  List.iteri
+    (fun level params ->
+      for seed = 0 to 19 do
+        let rng = Mavr_prng.Splitmix.create ~seed:((level * 101) + seed) in
+        let ch = Channel.create ~rng params in
+        let buf = Buffer.create 4096 in
+        for k = 0 to 60 do
+          let payload, msgid =
+            if k mod 3 = 0 then
+              ( Messages.Heartbeat.encode
+                  { typ = 1; autopilot = 3; base_mode = 0; custom_mode = 0; system_status = 4 },
+                0 )
+            else
+              ( Messages.Raw_imu.encode
+                  { time_usec = k; xacc = k; yacc = 0; zacc = 0; xgyro = k * 7; ygyro = 0;
+                    zgyro = 0; xmag = 0; ymag = 0; zmag = 0 },
+                27 )
+          in
+          let wire =
+            Frame.encode { Frame.seq = k land 0xFF; sysid = 1; compid = 1; msgid; payload }
+          in
+          Buffer.add_string buf (Channel.corrupt ch wire)
+        done;
+        let stream = Buffer.contents buf in
+        (* Feed in a cycling chunk size so split-frame carry-over is
+           exercised at every intensity. *)
+        let p = Parser.create () in
+        let parsed_bytes = ref 0 in
+        let pos = ref 0 and n = ref 1 in
+        while !pos < String.length stream do
+          let len = min !n (String.length stream - !pos) in
+          List.iter
+            (fun f -> parsed_bytes := !parsed_bytes + Frame.wire_length f)
+            (Parser.feed p (String.sub stream !pos len));
+          pos := !pos + len;
+          n := (!n mod 37) + 1
+        done;
+        let st = Parser.stats p in
+        Alcotest.(check int)
+          (Printf.sprintf "byte accounting (intensity %d, seed %d)" level seed)
+          (String.length stream)
+          (!parsed_bytes + st.Parser.bytes_dropped + Parser.pending p)
+      done)
+    intensities
+
 let test_messages_catalog () =
   List.iter
     (fun (d : Messages.def) ->
@@ -317,6 +391,7 @@ let () =
           Alcotest.test_case "resync after garbage" `Quick test_parser_resync_after_garbage;
           Alcotest.test_case "crc error recovery" `Quick test_parser_crc_error_recovery;
           Alcotest.test_case "bulk totals" `Quick test_parser_bulk_totals;
+          Alcotest.test_case "fuzz under lossy channel" `Quick test_parser_fuzz_under_channel;
         ] );
       ( "messages",
         [

@@ -152,6 +152,36 @@ let test_gcs_duplicate_alarm_suppression () =
   Alcotest.(check int) "second episode, second alarm" 2 !alarms;
   Alcotest.(check int) "retained history matches" 2 (List.length (Gcs.alarms g))
 
+let test_gcs_heartbeat_lost_while_telemetry_flows () =
+  (* Regression: the heartbeat-lost check used to live in the [else] of
+     the telemetry-silence branch, so it could only fire when telemetry
+     was healthy AND the silence latch was clear.  Heartbeats stopping
+     while IMU traffic keeps flowing is exactly the partial-failure the
+     nested check handled by accident — pin it down explicitly. *)
+  let g = Gcs.create ~heartbeat_timeout_ms:1000.0 ~telemetry_timeout_ms:5000.0 () in
+  Gcs.feed g ~now_ms:0.0 (hb_frame 0);
+  let keys = ref [] in
+  for t = 1 to 25 do
+    let now = float_of_int (t * 100) in
+    Gcs.feed g ~now_ms:now (imu_frame (t land 0xFF));
+    keys := !keys @ List.map Gcs.alarm_key (Gcs.check g ~now_ms:now)
+  done;
+  Alcotest.(check (list string)) "only the heartbeat alarm, exactly once"
+    [ "heartbeat_lost" ] !keys
+
+let test_gcs_both_silent_raises_both_alarms () =
+  (* Regression for the same nesting bug from the other side: once the
+     telemetry-silence episode latches, the heartbeat clock must keep
+     running — a fully dead link owes the operator BOTH alarms. *)
+  let g = Gcs.create ~heartbeat_timeout_ms:3000.0 ~telemetry_timeout_ms:1000.0 () in
+  Gcs.feed g ~now_ms:0.0 (hb_frame 0);
+  Alcotest.(check (list string)) "silence fires first" [ "telemetry_silence" ]
+    (List.map Gcs.alarm_key (Gcs.check g ~now_ms:1500.0));
+  (* Pre-fix, the latched silence episode starved this check forever. *)
+  Alcotest.(check (list string)) "heartbeat loss still surfaces" [ "heartbeat_lost" ]
+    (List.map Gcs.alarm_key (Gcs.check g ~now_ms:3500.0));
+  Alcotest.(check int) "both retained" 2 (List.length (Gcs.alarms g))
+
 let test_gcs_corruption_alarm () =
   let g = Gcs.create () in
   Gcs.feed g ~now_ms:0.0 (hb_frame 0);
@@ -170,6 +200,37 @@ let test_gcs_reboot_detection () =
   Gcs.feed g ~now_ms:40.0 (hb_frame 1);
   Alcotest.(check bool) "reboot alarm" true
     (List.exists (function Gcs.Unexpected_reboot _ -> true | _ -> false) (Gcs.alarms g))
+
+let test_gcs_noise_corruption_without_reboot_alarm () =
+  (* Severe radio noise over an honest transmitter: the GCS must flag
+     link corruption, but must NOT read corrupted sequence numbers as an
+     unexpected reboot — CRC rejection keeps damaged frames out of the
+     sequence tracker, so only genuine resets can trip that alarm. *)
+  let module Channel = Mavr_fault.Channel in
+  let severe =
+    {
+      Channel.bit_flip_ppm = 10_000;
+      drop_ppm = 5_000;
+      dup_ppm = 2_000;
+      burst_ppm = 100_000;
+      burst_len_max = 16;
+      jitter_max_ticks = 0;
+    }
+  in
+  let ch = Channel.create ~rng:(Mavr_prng.Splitmix.create ~seed:3) severe in
+  let g = Gcs.create () in
+  for i = 0 to 400 do
+    let now = float_of_int (i * 50) in
+    let wire = if i mod 4 = 0 then hb_frame (i land 0xFF) else imu_frame (i land 0xFF) in
+    Gcs.feed g ~now_ms:now (Channel.corrupt ch wire);
+    ignore (Gcs.check g ~now_ms:now)
+  done;
+  let alarms = Gcs.alarms g in
+  Alcotest.(check bool) "corruption flagged" true
+    (List.exists (function Gcs.Link_corruption _ -> true | _ -> false) alarms);
+  Alcotest.(check bool) "no phantom reboot" false
+    (List.exists (function Gcs.Unexpected_reboot _ -> true | _ -> false) alarms);
+  Alcotest.(check bool) "most frames still got through" true (Gcs.frames_received g > 200)
 
 let test_gcs_tracks_gyro () =
   let g = Gcs.create () in
@@ -291,6 +352,49 @@ let test_scenario_telemetry () =
       Alcotest.(check bool) "recovery session timed" true (h.Mavr_telemetry.Metrics.count >= 1)
   | _ -> Alcotest.fail "master flash histogram missing"
 
+let test_recovery_tick_still_delivers_telemetry () =
+  (* Regression: the tick used to run the master's watchdog BEFORE
+     draining the app's UART — a recovery reflash resets the CPU and
+     clears TX, so every byte the app transmitted during the tick it
+     died in was silently destroyed.  Pin the order: the GCS must
+     receive the dying tick's telemetry AND the reflash must happen. *)
+  let config = { Mavr_core.Master.default_config with watchdog_window_cycles = 20_000 } in
+  let s = Sc.create ~image:(image ()) (Sc.Mavr config) in
+  Sc.run s ~ms:400.0;
+  (* Fill the TX buffer outside the tick loop, then kill the CPU: the
+     next tick holds both pending telemetry and a recovery. *)
+  ignore (Mavr_avr.Cpu.run_until_halt (Sc.app s) ~max_cycles:200_000);
+  Mavr_avr.Cpu.force_halt (Sc.app s) (Mavr_avr.Cpu.Wild_pc 0);
+  let frames_before = Gcs.frames_received (Sc.gcs s) in
+  let reflashes_before = (Sc.report s).reflashes in
+  Sc.run s ~ms:1.0;
+  let r = Sc.report s in
+  Alcotest.(check int) "master recovered in that tick" (reflashes_before + 1) r.reflashes;
+  Alcotest.(check bool) "the dying tick's telemetry reached the GCS" true
+    (Gcs.frames_received (Sc.gcs s) > frames_before)
+
+let test_uplink_queue_preserves_order () =
+  (* Regression companion for the O(n^2) uplink-append fix: batches
+     queued across multiple [inject] calls must still be delivered one
+     per tick, in injection order (asserted via the recorder's
+     [sim.uplink_delivered] events, whose value is the chunk length). *)
+  let s = Sc.create ~image:(image ()) Sc.No_defense in
+  let registry = Mavr_telemetry.Metrics.create () in
+  (* The ring also carries the per-instruction trace; size it so the
+     milestone events survive a few ticks of execution. *)
+  let probes = Sc.attach_telemetry ~recorder_capacity:20_000 s ~registry in
+  Sc.run s ~ms:5.0;
+  Sc.inject s [ "aa" ];
+  Sc.inject s [ "bbb"; "cccc" ];
+  Sc.run s ~ms:5.0;
+  let delivered =
+    List.filter_map
+      (fun (e : Mavr_telemetry.Recorder.event) ->
+        if e.name = "sim.uplink_delivered" then Some e.value else None)
+      (Mavr_avr.Probes.flight_record probes)
+  in
+  Alcotest.(check (list int)) "one chunk per tick, injection order" [ 2; 3; 4 ] delivered
+
 let test_mavr_prevents_takeover () =
   let b, ti, obs = Helpers.attack_target () in
   ignore b;
@@ -328,8 +432,14 @@ let () =
           Alcotest.test_case "silence exact edge" `Quick test_gcs_silence_exact_timeout_edge;
           Alcotest.test_case "heartbeat exact edge" `Quick test_gcs_heartbeat_exact_timeout_edge;
           Alcotest.test_case "duplicate suppression" `Quick test_gcs_duplicate_alarm_suppression;
+          Alcotest.test_case "heartbeat lost, telemetry flowing" `Quick
+            test_gcs_heartbeat_lost_while_telemetry_flows;
+          Alcotest.test_case "both silent, both alarms" `Quick
+            test_gcs_both_silent_raises_both_alarms;
           Alcotest.test_case "corruption alarm" `Quick test_gcs_corruption_alarm;
           Alcotest.test_case "reboot detection" `Quick test_gcs_reboot_detection;
+          Alcotest.test_case "noise: corruption, not reboot" `Quick
+            test_gcs_noise_corruption_without_reboot_alarm;
           Alcotest.test_case "gyro tracking" `Quick test_gcs_tracks_gyro;
         ] );
       ( "scenarios",
@@ -339,6 +449,9 @@ let () =
           Alcotest.test_case "stealthy attack invisible" `Slow test_stealthy_attack_invisible_to_gcs;
           Alcotest.test_case "V1 attack visible" `Slow test_v1_attack_visible_to_gcs;
           Alcotest.test_case "MAVR recovers in flight" `Slow test_mavr_recovers_in_flight;
+          Alcotest.test_case "recovery tick delivers telemetry" `Slow
+            test_recovery_tick_still_delivers_telemetry;
+          Alcotest.test_case "uplink queue order" `Quick test_uplink_queue_preserves_order;
           Alcotest.test_case "MAVR prevents takeover" `Slow test_mavr_prevents_takeover;
           Alcotest.test_case "scenario telemetry" `Slow test_scenario_telemetry;
         ] );
