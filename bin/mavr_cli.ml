@@ -419,7 +419,14 @@ let faults_conv =
   Arg.conv (parse, print)
 
 let cmd_campaign =
-  let run profile trials ms layouts seed jobs faults timing json =
+  let run profile trials ms layouts seed jobs faults timing no_superblocks json =
+    (* The flag flips the default inherited by every CPU the campaign
+       spawns (workers included: the pool re-executes this binary's state
+       per domain task via closures, and freshly created CPUs read the
+       default at [create] time).  The semantic contract — checked by the
+       byte-diff rule in bin/dune — is that the campaign document is
+       identical either way. *)
+    if no_superblocks then Mavr_avr.Cpu.set_superblocks_default false;
     let b = build_firmware profile F.Profile.mavr in
     let (census, grid), span =
       Mavr_campaign.Clock.time (fun () ->
@@ -508,13 +515,22 @@ let cmd_campaign =
            ~doc:"Include wall/cpu timing (and the job count) in the report. Off by default so \
                  the output is reproducible byte-for-byte across hosts and $(b,--jobs) values.")
   in
+  let no_superblocks =
+    Arg.(value & flag & info [ "no-superblocks" ]
+           ~doc:"Run every emulated CPU with the superblock engine disabled (pure \
+                 single-step/cached dispatch). The campaign document is byte-identical either \
+                 way — this flag exists to prove it, and as an escape hatch when bisecting \
+                 emulator issues.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Deterministic parallel evaluation campaign: gadget-survival census plus the \
              attack-by-defense Monte Carlo grid, optionally swept across fault-injection \
              intensities. Exits 1 if any randomized layout keeps the prebuilt payload feasible \
              or any MAVR-defended trial is taken over (at any fault level).")
-    Term.(const run $ profile_arg $ trials $ ms $ layouts $ seed $ jobs $ faults $ timing $ json_flag)
+    Term.(
+      const run $ profile_arg $ trials $ ms $ layouts $ seed $ jobs $ faults $ timing
+      $ no_superblocks $ json_flag)
 
 let cmd_tables =
   let run () =

@@ -128,6 +128,12 @@ let sorted_reachable t =
   let addrs = Hashtbl.fold (fun a _ acc -> a :: acc) t.reachable [] in
   List.sort compare addrs
 
+let block_starts t =
+  let starts = Hashtbl.fold (fun a _ acc -> if Hashtbl.mem t.reachable a then a :: acc else acc) t.leaders [] in
+  List.sort compare starts
+
+let block_start_words t = List.map (fun a -> a / 2) (block_starts t)
+
 let iter_reachable t f =
   List.iter
     (fun a ->

@@ -49,6 +49,15 @@ val sweep_insn_at : t -> int -> (Mavr_avr.Isa.t * int) option
 
 val is_reachable : t -> int -> bool
 
+(** Reachable basic-block leader {e byte} addresses, sorted: recovery
+    entries plus every branch/call target.  The static complement to the
+    superblock engine's dynamic block discovery. *)
+val block_starts : t -> int list
+
+(** {!block_starts} as {e word} addresses — the exact input
+    {!Mavr_avr.Cpu.precompile} expects. *)
+val block_start_words : t -> int list
+
 (** [iter_reachable t f] calls [f addr insn size] in ascending address
     order over every descent-reached instruction. *)
 val iter_reachable : t -> (int -> Mavr_avr.Isa.t -> int -> unit) -> unit

@@ -56,6 +56,15 @@ val set_pc : t -> int -> unit
 val sp : t -> int  (** stack pointer (data-space address) *)
 
 val set_sp : t -> int -> unit
+
+(** Lowest SP value ever observed on this CPU (any write path: pushes,
+    calls, interrupt entry, direct SPL/SPH stores), i.e. the deepest
+    stack excursion.  Maintained by the engine itself so it is exact
+    under both single-step and superblock execution; [max_int] until the
+    first SP write.  Spans reflash lifetimes (not cleared by
+    {!reset}). *)
+val sp_watermark : t -> int
+
 val reg : t -> int -> int
 val set_reg : t -> int -> int -> unit
 val sreg : t -> int
@@ -86,15 +95,57 @@ val force_halt : t -> halt -> unit
     executes, with [pc] the instruction's {e word} address and [insn] its
     decode (from the predecode cache when enabled).  SP, SREG and the
     cycle counter still hold their pre-execution values when [f] runs.
-    [None] uninstalls. *)
+    [None] uninstalls.
+
+    Installing a per-instruction tap forces the batched loops to
+    single-step (fused superblocks batch accounting the tap must
+    observe); installing one displaces any block tap.  Install/remove
+    from inside a tap callback is safe: the engine re-reads the tap
+    state at every block boundary, so the change takes effect at the
+    next boundary and no stale fused code runs. *)
 val set_insn_tap : t -> (int -> Isa.t -> unit) option -> unit
 
 val insn_tap_active : t -> bool
 
-(** [set_irq_tap t (Some f)] — [f latency] fires when an interrupt is
-    taken, with [latency] the cycles between the scheduled compare match
-    and the vector dispatch. *)
-val set_irq_tap : t -> (int -> unit) option -> unit
+(** Compile-time cap on instructions per fused superblock — the bound on
+    [count] in block-tap callbacks and on the batched-run overshoot past
+    [max_cycles].  Useful for sizing per-(block, prefix-length) memo
+    tables keyed on [bi_key]. *)
+val max_block_insns : int
+
+(** Identity of a compiled superblock, exposed to the block tap: entry
+    word address, the per-instruction word addresses and decodes, and a
+    small dense key ([bi_key]) that is unique per compiled block within
+    a CPU lifetime — suitable for memoizing per-block aggregates. *)
+type block_info = private {
+  bi_key : int;
+  bi_pc : int;
+  bi_pcs : int array;
+  bi_insns : Isa.t array;
+}
+
+(** [set_block_tap t ~on_block ~on_step] installs boundary-grained
+    instrumentation: when the superblock engine executes a block,
+    [on_block info count] fires once {e after} it, with [count] the
+    number of instructions actually retired from [info] (< the block
+    length when a mid-block exit fired); whenever the engine
+    single-steps instead (interrupt windows, superblocks disabled),
+    [on_step pc insn] fires per instruction exactly like an insn tap.
+    Displaced by {!set_insn_tap}; same boundary semantics for mid-run
+    toggles. *)
+val set_block_tap :
+  t -> on_block:(block_info -> int -> unit) -> on_step:(int -> Isa.t -> unit) -> unit
+
+val clear_block_tap : t -> unit
+val block_tap_active : t -> bool
+
+(** [set_irq_tap t (Some f)] — [f ~latency ~masked] fires when an
+    interrupt is taken: [latency] is the hardware dispatch latency
+    (cycles from the compare match — or from the [sei] that unmasked it,
+    whichever is later — to vector entry), [masked] the cycles the
+    pending interrupt spent blocked on a cleared I flag.  Their sum is
+    the total compare-to-dispatch delay. *)
+val set_irq_tap : t -> (latency:int -> masked:int -> unit) option -> unit
 
 (** [set_halt_tap t (Some f)] — [f halt] fires exactly once per fault,
     whichever execution path raised it (including {!force_halt}).  This
@@ -107,19 +158,28 @@ val set_halt_tap : t -> (halt -> unit) option -> unit
 val step : t -> unit
 
 (** [run t ~max_cycles] executes batched until halt or until at least
-    [max_cycles] cycles have elapsed since the call.  The per-instruction
-    dispatch comes from the predecode cache (below); halt and interrupt
-    checks are folded into the loop condition rather than paid twice per
-    instruction as with a [step] driver loop. *)
+    [max_cycles] cycles have elapsed since the call.  Dispatch goes
+    through fused superblocks when enabled (below), falling back to the
+    predecode cache per instruction.
+
+    Budget contract: the budget saturates (a [max_cycles] of [max_int]
+    means "run until halt" and never wraps into an instant
+    [`Budget_exhausted]), and execution stops at the first block
+    boundary at-or-after the budget — the overshoot is bounded by one
+    superblock (or, when single-stepping, one instruction plus one
+    interrupt dispatch). *)
 val run : t -> max_cycles:int -> [ `Halted of halt | `Budget_exhausted ]
 
 (** [run_until_halt t ~max_cycles] is [run] for callers that only care
     whether the CPU faulted: [Some halt] on a fault within the budget,
-    [None] when the budget is exhausted with the CPU still healthy. *)
+    [None] when the budget is exhausted with the CPU still healthy.
+    Same budget/overshoot contract as {!run}. *)
 val run_until_halt : t -> max_cycles:int -> halt option
 
 (** [run_until t ~max_cycles pred] additionally stops when [pred t]
-    becomes true (checked after every instruction). *)
+    becomes true.  The predicate is observed between {e instructions},
+    so this entry point always single-steps regardless of the
+    superblock switch. *)
 val run_until :
   t -> max_cycles:int -> (t -> bool) -> [ `Pred | `Halted of halt | `Budget_exhausted ]
 
@@ -136,6 +196,36 @@ val run_until :
 val set_decode_cache : t -> bool -> unit
 
 val decode_cache_enabled : t -> bool
+
+(** {2 Superblock threaded-code engine}
+
+    The batched loops compile straight-line runs of instructions into
+    fused superinstruction arrays — one closure per instruction, with
+    PC updates, retirement counting, interrupt polling and tap
+    dispatch hoisted to block boundaries.  Observable semantics are
+    bit-identical to single-[step] execution: a block is never entered
+    when an enabled timer compare could fire inside its worst-case
+    cycle span, and any in-block write that could change that (timer
+    re-arm, SREG.I set) exits the block after the writing instruction.
+    Compiled blocks are dropped whenever the flash epoch moves, exactly
+    like the predecode cache, so reflash and SEU page writes never
+    execute stale fused code.  Enabled by default. *)
+
+val set_superblocks : t -> bool -> unit
+val superblocks_enabled : t -> bool
+
+(** Process-wide default consulted by {!create} — lets a campaign
+    driver flip every subsequently created CPU (including those built
+    inside worker domains) without threading a flag through the
+    scenario layers. *)
+val set_superblocks_default : bool -> unit
+
+(** [precompile t word_pcs] eagerly compiles blocks at the given entry
+    word addresses (e.g. {!Mavr_analysis.Cfg} block starts) instead of
+    discovering them lazily at execution time; returns the number of
+    blocks compiled.  Out-of-range or already-compiled entries are
+    skipped.  No-op (returning 0) when superblocks are disabled. *)
+val precompile : t -> int list -> int
 
 (** {2 Peripherals} *)
 

@@ -72,7 +72,6 @@ type t = {
   cpu : Cpu.t;
   registry : Metrics.registry;
   recorder : Recorder.t;
-  mutable min_sp : int;
   mutable last_dump : string option;
   mutable faults : int;
 }
@@ -82,7 +81,10 @@ let recorder t = t.recorder
 let flight_record t = Recorder.events t.recorder
 let last_fault_dump t = t.last_dump
 let faults_seen t = t.faults
-let min_sp t = if t.min_sp = max_int then None else Some t.min_sp
+
+let min_sp t =
+  let w = Cpu.sp_watermark t.cpu in
+  if w = max_int then None else Some w
 
 let render_dump p h =
   let cpu = p.cpu in
@@ -97,39 +99,160 @@ let attach ?(prefix = "avr") ?(recorder_capacity = 64) ~registry cpu =
       cpu;
       registry;
       recorder = Recorder.create ~capacity:recorder_capacity;
-      min_sp = max_int;
       last_dump = None;
       faults = 0;
     }
   in
-  let insn_total = Metrics.counter registry (name "insn.total") in
-  let classes =
-    Array.map (fun c -> Metrics.counter registry (name ("insn." ^ c))) class_names
-  in
   let irq_count = Metrics.counter registry (name "irq.taken") in
   let irq_latency = Metrics.histogram registry (name "irq.latency_cycles") in
+  let irq_masked = Metrics.histogram registry (name "irq.masked_cycles") in
   let halt_counters =
     List.map (fun k -> (k, Metrics.counter registry (name ("halt." ^ k)))) halt_keys
   in
   Metrics.sampled registry (name "cycles") (fun () -> Cpu.cycles cpu);
   Metrics.sampled registry (name "insn.retired") (fun () -> Cpu.instructions_retired cpu);
+  (* SP high-water comes from the engine's own watermark (updated on
+     every SP write path), not from sampling SP at tap time: it is exact
+     under both block-grained and single-step execution, which the
+     superblocks-on/off campaign byte-diff depends on. *)
   Metrics.sampled registry (name "stack.min_sp") (fun () ->
-      if p.min_sp = max_int then 0 else p.min_sp);
+      let w = Cpu.sp_watermark cpu in
+      if w = max_int then 0 else w);
   Metrics.sampled registry (name "stack.high_water_bytes") (fun () ->
-      if p.min_sp = max_int then 0 else Device.data_end (Cpu.device cpu) - 1 - p.min_sp);
-  Cpu.set_insn_tap cpu
-    (Some
-       (fun pc insn ->
-         Metrics.incr insn_total;
-         Metrics.incr classes.(class_of insn);
-         let sp = Cpu.sp cpu in
-         if sp < p.min_sp then p.min_sp <- sp;
-         Recorder.record p.recorder ~cycle:(Cpu.cycles cpu) ~value:(pc * 2) (mnemonic insn)));
+      let w = Cpu.sp_watermark cpu in
+      if w = max_int then 0 else Device.data_end (Cpu.device cpu) - 1 - w);
+  (* Block-grained instruction mix, pull-based.  The block tap fires once
+     per executed block on the engine's hot path, so it must do almost
+     nothing: it records *which* (block, executed-prefix-length) pair ran
+     — a single increment in a flat growable array keyed
+     [bi_key * stride + count] — and the per-class counters are
+     materialized on demand as [sampled_counter]s, which snapshot and
+     merge exactly like plain counters.  Tracking per prefix length
+     matters because side exits are the *common* case on trace-shaped
+     blocks (a loop trace exits mid-block on its final iteration; ~2/3 of
+     block executions retire a strict prefix), and both earlier designs —
+     a per-instruction classification walk, then an eager per-prefix
+     delta replay — put a dependent multi-line memory chain plus a run of
+     counter adds on every block boundary.  [bi_key] is dense, unique per
+     compiled block and never reused across flash epochs, so execution
+     counts attributed to dead epochs stay valid history. *)
+  let stride = Cpu.max_block_insns + 1 in
+  let execs = ref (Array.make (256 * stride) 0) in
+  let infos : Cpu.block_info option array ref = ref (Array.make 256 None) in
+  (* Single-stepped instructions (interrupt windows, superblocks off)
+     are classified eagerly — that path is already per-instruction. *)
+  let stepped = Array.make n_classes 0 in
+  let stepped_total = ref 0 in
+  let blocks_tallied = ref 0 in
+  let ensure_exec idx =
+    let m = !execs in
+    if idx < Array.length m then m
+    else begin
+      let n = Array.make (max (idx + 1) (2 * Array.length m)) 0 in
+      Array.blit m 0 n 0 (Array.length m);
+      execs := n;
+      n
+    end
+  in
+  let ensure_info key =
+    let m = !infos in
+    if key < Array.length m then m
+    else begin
+      let n = Array.make (max (key + 1) (2 * Array.length m)) None in
+      Array.blit m 0 n 0 (Array.length m);
+      infos := n;
+      n
+    end
+  in
+  (* Aggregation, amortized across the 13 mix cells: one cumulative
+     prefix walk over every block ever executed, cached until more
+     blocks run.  agg.(n_classes) is the grand total. *)
+  let agg = Array.make (n_classes + 1) 0 in
+  let agg_gen = ref (-1) in
+  let aggregate () =
+    if !agg_gen <> !blocks_tallied then begin
+      agg_gen := !blocks_tallied;
+      Array.fill agg 0 (n_classes + 1) 0;
+      let e = !execs in
+      let counts = Array.make n_classes 0 in
+      Array.iteri
+        (fun key info ->
+          match info with
+          | None -> ()
+          | Some (info : Cpu.block_info) ->
+              let insns = info.Cpu.bi_insns in
+              let base = key * stride in
+              Array.fill counts 0 n_classes 0;
+              for pfx = 1 to Array.length insns do
+                let c = class_of insns.(pfx - 1) in
+                counts.(c) <- counts.(c) + 1;
+                let n = if base + pfx < Array.length e then e.(base + pfx) else 0 in
+                if n > 0 then begin
+                  for c = 0 to n_classes - 1 do
+                    agg.(c) <- agg.(c) + (n * counts.(c))
+                  done;
+                  agg.(n_classes) <- agg.(n_classes) + (n * pfx)
+                end
+              done)
+        !infos
+    end
+  in
+  Metrics.sampled_counter registry (name "insn.total") (fun () ->
+      aggregate ();
+      !stepped_total + agg.(n_classes));
+  Array.iteri
+    (fun c cname ->
+      Metrics.sampled_counter registry (name ("insn." ^ cname)) (fun () ->
+          aggregate ();
+          stepped.(c) + agg.(c)))
+    class_names;
+  (* The per-block flight-recorder event names the block's leading
+     mnemonic; memoized per block so the hot path never re-matches. *)
+  let no_head = String.make 0 'x' in
+  let heads = ref (Array.make 256 no_head) in
+  let head (info : Cpu.block_info) =
+    let key = info.Cpu.bi_key in
+    let h = !heads in
+    let h =
+      if key < Array.length h then h
+      else begin
+        let n = Array.make (max (key + 1) (2 * Array.length h)) no_head in
+        Array.blit h 0 n 0 (Array.length h);
+        heads := n;
+        n
+      end
+    in
+    let s = Array.unsafe_get h key in
+    if s != no_head then s
+    else begin
+      let s = mnemonic info.Cpu.bi_insns.(0) in
+      h.(key) <- s;
+      s
+    end
+  in
+  let on_block (info : Cpu.block_info) count =
+    let key = info.Cpu.bi_key in
+    let idx = (key * stride) + count in
+    let e = ensure_exec idx in
+    let v = Array.unsafe_get e idx in
+    if v = 0 then (ensure_info key).(key) <- Some info;
+    Array.unsafe_set e idx (v + 1);
+    incr blocks_tallied;
+    Recorder.point p.recorder ~cycle:(Cpu.cycles cpu) ~value:(info.Cpu.bi_pc * 2) (head info)
+  in
+  let on_step pc insn =
+    incr stepped_total;
+    let c = class_of insn in
+    stepped.(c) <- stepped.(c) + 1;
+    Recorder.point p.recorder ~cycle:(Cpu.cycles cpu) ~value:(pc * 2) (mnemonic insn)
+  in
+  Cpu.set_block_tap cpu ~on_block ~on_step;
   Cpu.set_irq_tap cpu
     (Some
-       (fun latency ->
+       (fun ~latency ~masked ->
          Metrics.incr irq_count;
          Metrics.observe irq_latency latency;
+         Metrics.observe irq_masked masked;
          Recorder.record p.recorder ~cycle:(Cpu.cycles cpu) ~value:latency "irq.timer"));
   Cpu.set_halt_tap cpu
     (Some
@@ -146,7 +269,7 @@ let attach ?(prefix = "avr") ?(recorder_capacity = 64) ~registry cpu =
   p
 
 let detach t =
-  Cpu.set_insn_tap t.cpu None;
+  Cpu.clear_block_tap t.cpu;
   Cpu.set_irq_tap t.cpu None;
   Cpu.set_halt_tap t.cpu None
 

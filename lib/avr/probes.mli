@@ -6,19 +6,29 @@
 
     - instruction-mix counters ([<prefix>.insn.total], [.insn.alu],
       [.insn.call], ... — see {!class_names});
-    - interrupt count and dispatch-latency histogram ([.irq.taken],
-      [.irq.latency_cycles]);
-    - stack high-water mark ([.stack.min_sp], [.stack.high_water_bytes]);
+    - interrupt count, dispatch-latency and software-masked-time
+      histograms ([.irq.taken], [.irq.latency_cycles],
+      [.irq.masked_cycles]);
+    - stack high-water mark ([.stack.min_sp], [.stack.high_water_bytes]),
+      read from the engine's exact SP watermark;
     - halt-reason counters ([.halt.wild_pc], [.halt.illegal], ...);
     - sampled [.cycles] / [.insn.retired] gauges;
-    - a cycle-stamped {e flight recorder}: a bounded ring of the last N
-      executed instructions (plus interrupt and halt events), dumped
+    - a cycle-stamped {e flight recorder}: a bounded ring of recent
+      execution events (plus interrupt and halt events), dumped
       automatically the instant the CPU halts or faults — the
       post-mortem artifact for a failed ROP probe (§V-D).
 
+    The bundle attaches at {e block} granularity ({!Cpu.set_block_tap}):
+    under the superblock engine the mix counters are batched per block
+    from a memoized class breakdown, and the flight recorder logs one
+    event per block (leading mnemonic, entry byte address); whenever the
+    engine single-steps — interrupt windows, superblocks disabled — the
+    same counters advance per instruction and the recorder logs per
+    instruction, so every counter total is identical in both modes.
+
     The overhead contract: with no probes attached the CPU hot path pays
-    one flag test per instruction; attaching moves all cost onto the
-    enabled path (measured in [bench/main.exe] and EXPERIMENTS.md). *)
+    one flag test per instruction; attaching costs one tap dispatch per
+    {e block} (measured in [bench/main.exe] and EXPERIMENTS.md). *)
 
 type t
 
@@ -61,8 +71,8 @@ val last_fault_dump : t -> string option
     running; the count survives). *)
 val faults_seen : t -> int
 
-(** Lowest stack pointer observed (deepest stack), [None] before any
-    instruction ran. *)
+(** Lowest stack pointer observed (deepest stack; the engine's exact
+    watermark), [None] before any SP write. *)
 val min_sp : t -> int option
 
 (** Machine-readable fault dump: halt reason, CPU state and the flight

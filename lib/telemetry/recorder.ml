@@ -2,46 +2,72 @@ type kind = Point | Span_begin | Span_end
 
 type event = { cycle : int; kind : kind; name : string; value : int }
 
-(* Fixed-capacity ring: [buf.(head)] is the slot the next event lands in,
-   so once full the writer overwrites the oldest entry in O(1) — the
-   flight recorder must cost the same whether it has run for a thousand
-   cycles or a billion. *)
+(* Struct-of-arrays ring: the writer sits on the superblock engine's
+   per-block tap path, so recording must not allocate — four stores and
+   three counter updates, with the [event] records the readers see built
+   on demand.  [buf.(head)] is the slot the next event lands in, so once
+   full the writer overwrites the oldest entry in O(1) — the flight
+   recorder must cost the same whether it has run for a thousand cycles
+   or a billion. *)
 type t = {
-  buf : event array;
+  cycles : int array;
+  kinds : int array; (* kind_code below *)
+  names : string array;
+  values : int array;
   mutable head : int;
   mutable len : int;
   mutable total : int;
 }
 
-let nil_event = { cycle = 0; kind = Point; name = ""; value = 0 }
+let kind_code = function Point -> 0 | Span_begin -> 1 | Span_end -> 2
+let kind_of_code = function 1 -> Span_begin | 2 -> Span_end | _ -> Point
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Telemetry.Recorder.create: capacity must be positive";
-  { buf = Array.make capacity nil_event; head = 0; len = 0; total = 0 }
+  {
+    cycles = Array.make capacity 0;
+    kinds = Array.make capacity 0;
+    names = Array.make capacity "";
+    values = Array.make capacity 0;
+    head = 0;
+    len = 0;
+    total = 0;
+  }
 
-let capacity t = Array.length t.buf
+let capacity t = Array.length t.cycles
 let length t = t.len
 let total_recorded t = t.total
 
-let record t ~cycle ?(kind = Point) ?(value = 0) name =
-  let cap = Array.length t.buf in
-  t.buf.(t.head) <- { cycle; kind; name; value };
-  t.head <- (t.head + 1) mod cap;
+let[@inline] push t ~cycle ~kindc ~value name =
+  let cap = Array.length t.cycles in
+  let h = t.head in
+  Array.unsafe_set t.cycles h cycle;
+  Array.unsafe_set t.kinds h kindc;
+  Array.unsafe_set t.names h name;
+  Array.unsafe_set t.values h value;
+  t.head <- (if h + 1 = cap then 0 else h + 1);
   if t.len < cap then t.len <- t.len + 1;
   t.total <- t.total + 1
 
-let span_begin t ~cycle ?(value = 0) name = record t ~cycle ~kind:Span_begin ~value name
-let span_end t ~cycle ?(value = 0) name = record t ~cycle ~kind:Span_end ~value name
+(* The hot-path entry: all arguments required, so no optional-argument
+   boxing on the per-block tap. *)
+let point t ~cycle ~value name = push t ~cycle ~kindc:0 ~value name
+let record t ~cycle ?(kind = Point) ?(value = 0) name = push t ~cycle ~kindc:(kind_code kind) ~value name
+let span_begin t ~cycle ?(value = 0) name = push t ~cycle ~kindc:1 ~value name
+let span_end t ~cycle ?(value = 0) name = push t ~cycle ~kindc:2 ~value name
 
 let clear t =
   t.head <- 0;
   t.len <- 0;
   t.total <- 0
 
-let events t =
-  let cap = Array.length t.buf in
-  let start = (t.head - t.len + cap) mod cap in
-  List.init t.len (fun i -> t.buf.((start + i) mod cap))
+(* [i]th retained event, oldest first. *)
+let event t i =
+  let cap = Array.length t.cycles in
+  let j = (t.head - t.len + i + cap) mod cap in
+  { cycle = t.cycles.(j); kind = kind_of_code t.kinds.(j); name = t.names.(j); value = t.values.(j) }
+
+let events t = List.init t.len (event t)
 
 let kind_name = function Point -> "point" | Span_begin -> "begin" | Span_end -> "end"
 

@@ -31,6 +31,11 @@ val length : t -> int
 val total_recorded : t -> int
 
 val record : t -> cycle:int -> ?kind:kind -> ?value:int -> string -> unit
+
+(** [record] specialized to [Point] with every argument required: the
+    per-block tap's entry, kept allocation-free (no optional-argument
+    boxing, no event record built until read time). *)
+val point : t -> cycle:int -> value:int -> string -> unit
 val span_begin : t -> cycle:int -> ?value:int -> string -> unit
 val span_end : t -> cycle:int -> ?value:int -> string -> unit
 val clear : t -> unit

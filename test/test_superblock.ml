@@ -1,0 +1,381 @@
+(* Superblock engine equivalence and the cycle-accounting bugfix sweep:
+   differential fuzz against single-step ground truth over randomized
+   firmware of all three profiles (with mid-run SEU flash flips and
+   corrupted reflash lifetimes bumping the flash epoch), the saturating
+   run budget, masked-vs-dispatch interrupt latency, and mid-run tap
+   toggling from inside a tap callback. *)
+
+module Cpu = Mavr_avr.Cpu
+module Isa = Mavr_avr.Isa
+module Io = Mavr_avr.Device.Io
+module Opcode = Mavr_avr.Opcode
+module Image = Mavr_obj.Image
+module Cfg = Mavr_analysis.Cfg
+module Splitmix = Mavr_prng.Splitmix
+module Seu = Mavr_fault.Seu
+module Reflash = Mavr_fault.Reflash
+
+let load ?(superblocks = true) insns =
+  let cpu = Cpu.create () in
+  Cpu.set_superblocks cpu superblocks;
+  Cpu.load_program cpu (String.concat "" (List.map Opcode.encode_bytes insns));
+  cpu
+
+let arch_state cpu =
+  ( Cpu.pc cpu,
+    Cpu.sp cpu,
+    Cpu.sreg cpu,
+    Cpu.cycles cpu,
+    Cpu.instructions_retired cpu,
+    Cpu.halted cpu,
+    Cpu.interrupts_taken cpu,
+    Cpu.watchdog_feeds cpu,
+    Cpu.sp_watermark cpu,
+    List.init 32 (Cpu.reg cpu) )
+
+let boot_pair (image : Image.t) =
+  let mk superblocks =
+    let cpu = Cpu.create () in
+    Cpu.set_superblocks cpu superblocks;
+    Cpu.load_program cpu image.Image.code;
+    cpu
+  in
+  (mk true, mk false)
+
+(* The engines may legally stop at different points for the same budget
+   (block-boundary overshoot), so single-step the laggard until both sit
+   on the same cycle count — both trajectories visit the same
+   instruction-boundary states, so this converges iff they agree. *)
+let align_pair a b =
+  let rec go fuel =
+    let ca = Cpu.cycles a and cb = Cpu.cycles b in
+    if ca = cb || fuel = 0 then ()
+    else if ca < cb && Cpu.halted a = None then (Cpu.step a; go (fuel - 1))
+    else if cb < ca && Cpu.halted b = None then (Cpu.step b; go (fuel - 1))
+    else ()
+  in
+  go 100_000
+
+let check_same name fused stepped =
+  Alcotest.(check bool) (name ^ ": architectural state identical") true
+    (arch_state fused = arch_state stepped);
+  Alcotest.(check string) (name ^ ": identical UART output")
+    (Cpu.uart_take_tx stepped) (Cpu.uart_take_tx fused)
+
+(* ---- differential fuzz ---------------------------------------------- *)
+
+let frame seq =
+  Mavr_mavlink.Frame.encode
+    { Mavr_mavlink.Frame.seq; sysid = 255; compid = 0; msgid = 76; payload = "go" }
+
+(* Drive both engines through identical slices, comparing full state and
+   UART output at every boundary.  [fault] additionally applies
+   identically seeded SEU upsets (SRAM pokes and flash bit flips — the
+   latter bump the flash epoch mid-run, the stale-fused-code hazard) and
+   one corrupted-reflash lifetime halfway through. *)
+let diff_run name (image : Image.t) ~seed ~slices ~slice_cycles ~fault =
+  let fused, stepped = boot_pair image in
+  let seu_for s =
+    Seu.create
+      ~rng:(Splitmix.create ~seed:(s * 7919))
+      { Seu.sram_flip_ppm = 400_000; flash_flip_ppm = 400_000 }
+  in
+  let seu_fused = seu_for seed and seu_stepped = seu_for seed in
+  for slice = 1 to slices do
+    if slice mod 3 = 0 then begin
+      let f = frame slice in
+      Cpu.uart_send fused f;
+      Cpu.uart_send stepped f
+    end;
+    ignore (Cpu.run fused ~max_cycles:slice_cycles);
+    ignore (Cpu.run stepped ~max_cycles:slice_cycles);
+    align_pair fused stepped;
+    check_same (Printf.sprintf "%s seed=%d slice=%d" name seed slice) fused stepped;
+    if fault then begin
+      Seu.tick seu_fused fused;
+      Seu.tick seu_stepped stepped;
+      if slice = slices / 2 then begin
+        let rf =
+          Reflash.create
+            ~rng:(Splitmix.create ~seed:(seed * 31))
+            { Reflash.page_corrupt_ppm = 200_000; max_retries = 3 }
+        in
+        let streamed, _ = Reflash.stream rf ~page_bytes:256 image.Image.code in
+        Cpu.load_program fused streamed;
+        Cpu.load_program stepped streamed
+      end
+    end
+  done
+
+(* Randomized firmware: a fresh generator seed rebuilds each profile
+   with different code layout; the mavr profile additionally gets
+   per-lifetime layout randomization (the MAVR defense itself). *)
+let randomized_images (name, variant) =
+  let build gen_seed =
+    (Mavr_firmware.Build.build (Mavr_firmware.Profile.tiny ~n:120 ~seed:gen_seed) variant)
+      .Mavr_firmware.Build.image
+  in
+  [ (name ^ "/gen99", build 99); (name ^ "/gen7", build 7) ]
+
+let fuzz_profiles =
+  lazy
+    (List.concat_map randomized_images
+       [
+         ("mavr", Mavr_firmware.Profile.mavr);
+         ("stock", Mavr_firmware.Profile.stock);
+         ("patched", Mavr_firmware.Profile.patched);
+       ]
+    @ (* layout-randomized reflash generations of the mavr image *)
+    List.map
+      (fun seed ->
+        ( Printf.sprintf "mavr/layout%d" seed,
+          Mavr_core.Randomize.randomize ~seed (Helpers.build_mavr ()).image ))
+      [ 3; 17 ])
+
+let test_differential_clean () =
+  List.iter
+    (fun (name, image) ->
+      diff_run name image ~seed:11 ~slices:8 ~slice_cycles:40_000 ~fault:false)
+    (Lazy.force fuzz_profiles)
+
+let test_differential_faulted () =
+  List.iter
+    (fun (name, image) ->
+      List.iter
+        (fun seed -> diff_run name image ~seed ~slices:10 ~slice_cycles:25_000 ~fault:true)
+        [ 5; 23 ])
+    (Lazy.force fuzz_profiles)
+
+let test_attack_identical_on_and_off () =
+  (* The stealthy ROP chain exercises mid-instruction gadget entries and
+     the cli window; the fused engine must land the identical write. *)
+  let b, ti, obs = Helpers.attack_target () in
+  let run superblocks =
+    let cpu = Cpu.create () in
+    Cpu.set_superblocks cpu superblocks;
+    Cpu.load_program cpu b.image.Image.code;
+    Cpu.io_poke cpu Io.gyro_lo 0x34;
+    Cpu.io_poke cpu Io.gyro_hi 0x12;
+    ignore (Cpu.run cpu ~max_cycles:60_000);
+    List.iter (Cpu.uart_send cpu)
+      (Mavr_core.Rop.v2_stealthy ti obs
+         ~writes:
+           [
+             Mavr_core.Rop.write_u16 obs ~addr:Mavr_firmware.Layout.gyro_cfg
+               ~value:0x4000 ~neighbour:0;
+           ]);
+    ignore (Cpu.run cpu ~max_cycles:3_000_000);
+    cpu
+  in
+  let on = run true and off = run false in
+  align_pair on off;
+  let cfg cpu =
+    Cpu.data_peek cpu Mavr_firmware.Layout.gyro_cfg
+    lor (Cpu.data_peek cpu (Mavr_firmware.Layout.gyro_cfg + 1) lsl 8)
+  in
+  Alcotest.(check int) "attack landed under superblocks" 0x4000 (cfg on);
+  Alcotest.(check int) "attack landed when stepping" 0x4000 (cfg off);
+  Alcotest.(check bool) "identical attack outcome" true (arch_state on = arch_state off)
+
+(* ---- satellite 1: saturating run budget ----------------------------- *)
+
+let test_max_int_budget_runs () =
+  (* Pre-fix, [stop = t.cycles + max_int] wrapped negative and the loop
+     returned [`Budget_exhausted] without retiring a single
+     instruction. *)
+  let cpu = load Isa.[ Ldi (16, 7); Break ] in
+  (match Cpu.run cpu ~max_cycles:max_int with
+  | `Halted Cpu.Break_hit -> ()
+  | `Halted h -> Alcotest.failf "unexpected halt: %s" (Format.asprintf "%a" Cpu.pp_halt h)
+  | `Budget_exhausted -> Alcotest.fail "max_int budget exhausted instantly (overflow)");
+  Alcotest.(check int) "program actually ran" 7 (Cpu.reg cpu 16);
+  (* Same for the other two entry points. *)
+  let cpu = load Isa.[ Ldi (17, 9); Break ] in
+  (match Cpu.run_until_halt cpu ~max_cycles:max_int with
+  | Some Cpu.Break_hit -> ()
+  | _ -> Alcotest.fail "run_until_halt overflowed the budget");
+  let cpu = load Isa.[ Ldi (18, 4); Rjmp (-1) ] in
+  match Cpu.run_until cpu ~max_cycles:max_int (fun c -> Cpu.reg c 18 = 4) with
+  | `Pred -> ()
+  | _ -> Alcotest.fail "run_until overflowed the budget"
+
+let test_overshoot_bounded_by_one_block () =
+  (* A long straight-line block entered with a 1-cycle budget: execution
+     stops at the first block boundary, i.e. overshoot < the block's
+     cycle span, not unbounded. *)
+  let body = List.init 40 (fun _ -> Isa.Nop) in
+  let cpu = load (body @ Isa.[ Rjmp (-41) ]) in
+  ignore (Cpu.run cpu ~max_cycles:1);
+  Alcotest.(check bool) "made progress" true (Cpu.cycles cpu >= 1);
+  (* The trace compiler follows the back-edge, so one block spans up to
+     [max_block_insns] = 64 instructions; nothing here costs more than
+     2 cycles, so one block is at most 128 cycles. *)
+  Alcotest.(check bool) "overshoot bounded by one block" true (Cpu.cycles cpu <= 128)
+
+(* ---- satellite 2: masked time vs dispatch latency ------------------- *)
+
+let test_masked_latency_split () =
+  (* Arm the timer with interrupts disabled, burn a long delay loop, then
+     sei: the compare match pends across the masked window.  The tap must
+     bill that window as [masked], not dispatch [latency]. *)
+  let insns =
+    Isa.[
+      Jmp 4 (* reset *);
+      Jmp 14 (* timer vector -> isr *);
+      (* main, word 4: arm timer, period (1+1)*64 = 128 cycles *)
+      Ldi (24, 1); Out (Io.ocr, 24);
+      Ldi (24, 1); Out (Io.tccr, 24);
+      (* delay ~3*200 cycles with I clear *)
+      Ldi (25, 200);
+      (* word 9: *) Dec 25;
+      Brbc (1, -2) (* until Z *);
+      Bset 7 (* sei, word 11 *);
+      Rjmp (-1) (* word 12: idle *);
+      Nop (* word 13: pad *);
+      (* isr, word 14: *) Inc 20; Reti;
+    ]
+  in
+  let events = ref [] in
+  let cpu = load insns in
+  Cpu.set_irq_tap cpu
+    (Some (fun ~latency ~masked -> events := (latency, masked) :: !events));
+  ignore (Cpu.run cpu ~max_cycles:5_000);
+  (match List.rev !events with
+  | [] -> Alcotest.fail "no interrupt taken"
+  | (latency, masked) :: _rest ->
+      (* The first pending compare spent the delay loop masked: roughly
+         3*200 - 128 cycles, far above any dispatch latency. *)
+      Alcotest.(check bool) "masked window billed separately" true (masked > 300);
+      Alcotest.(check bool) "dispatch latency small" true (latency >= 0 && latency < 20));
+  (* Identical split with superblocks off. *)
+  let events_off = ref [] in
+  let cpu = load ~superblocks:false insns in
+  Cpu.set_irq_tap cpu
+    (Some (fun ~latency ~masked -> events_off := (latency, masked) :: !events_off));
+  ignore (Cpu.run cpu ~max_cycles:5_000);
+  Alcotest.(check bool) "split identical on/off" true (!events = !events_off)
+
+(* ---- satellite 3: tap toggling at block boundaries ------------------ *)
+
+let counting_program =
+  (* A bounded loop long enough to span several fused traces even with
+     the 64-instruction unrolling cap: r16 counts down from 200, then
+     break. *)
+  Isa.[ Ldi (16, 200); (* word 1 *) Dec 16; Brbc (1, -2); Break ]
+
+let test_tap_removed_from_inside_callback () =
+  let reference = load counting_program in
+  ignore (Cpu.run reference ~max_cycles:1_000);
+  let cpu = load counting_program in
+  let fired = ref 0 in
+  Cpu.set_insn_tap cpu
+    (Some
+       (fun _ _ ->
+         incr fired;
+         if !fired = 5 then Cpu.set_insn_tap cpu None));
+  ignore (Cpu.run cpu ~max_cycles:1_000);
+  Alcotest.(check int) "tap stopped firing after self-removal" 5 !fired;
+  Alcotest.(check bool) "tap inactive" false (Cpu.insn_tap_active cpu);
+  Alcotest.(check bool) "execution unperturbed" true
+    (arch_state cpu = arch_state reference)
+
+let test_tap_installed_from_inside_block_tap () =
+  let reference = load counting_program in
+  ignore (Cpu.run reference ~max_cycles:1_000);
+  let cpu = load counting_program in
+  let blocks = ref 0 and insns = ref 0 in
+  let on_block _info _count =
+    incr blocks;
+    if !blocks = 2 then
+      (* Switch granularity mid-run, from inside the callback: the insn
+         tap must take over at the next boundary, never re-running or
+         skipping fused code. *)
+      Cpu.set_insn_tap cpu (Some (fun _ _ -> incr insns))
+  in
+  Cpu.set_block_tap cpu ~on_block ~on_step:(fun _ _ -> ());
+  ignore (Cpu.run cpu ~max_cycles:1_000);
+  Alcotest.(check int) "block tap fired before the switch" 2 !blocks;
+  Alcotest.(check bool) "insn tap took over" true (!insns > 0);
+  Alcotest.(check bool) "execution unperturbed" true
+    (arch_state cpu = arch_state reference)
+
+let test_block_tap_counts_partition_retired () =
+  let cpu = load counting_program in
+  let seen = ref 0 in
+  Cpu.set_block_tap cpu
+    ~on_block:(fun info count ->
+      Alcotest.(check bool) "count within block" true
+        (count >= 1 && count <= Array.length info.Cpu.bi_insns);
+      seen := !seen + count)
+    ~on_step:(fun _ _ -> incr seen);
+  ignore (Cpu.run cpu ~max_cycles:1_000);
+  Alcotest.(check int) "block counts partition retirements"
+    (Cpu.instructions_retired cpu) !seen
+
+let test_superblocks_toggle_mid_run () =
+  let image = (Helpers.build_mavr ()).image in
+  let run toggle =
+    let cpu = Cpu.create () in
+    Cpu.load_program cpu image.Image.code;
+    ignore (Cpu.run cpu ~max_cycles:50_000);
+    if toggle then Cpu.set_superblocks cpu false;
+    ignore (Cpu.run cpu ~max_cycles:50_000);
+    if toggle then Cpu.set_superblocks cpu true;
+    ignore (Cpu.run cpu ~max_cycles:50_000);
+    cpu
+  in
+  let toggled = run true and plain = run false in
+  align_pair toggled plain;
+  Alcotest.(check bool) "mid-run toggle equivalent" true
+    (arch_state toggled = arch_state plain)
+
+(* ---- static precompile hint ----------------------------------------- *)
+
+let test_precompile_from_cfg () =
+  let image = (Helpers.build_mavr ()).image in
+  let cfg = Cfg.recover image in
+  let starts = Cfg.block_start_words cfg in
+  Alcotest.(check bool) "cfg exports block starts" true (List.length starts > 10);
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu image.Image.code;
+  let compiled = Cpu.precompile cpu starts in
+  Alcotest.(check bool) "blocks compiled eagerly" true (compiled > 10);
+  ignore (Cpu.run cpu ~max_cycles:200_000);
+  let lazy_cpu = Cpu.create () in
+  Cpu.load_program lazy_cpu image.Image.code;
+  ignore (Cpu.run lazy_cpu ~max_cycles:200_000);
+  Alcotest.(check bool) "precompiled run identical" true
+    (arch_state cpu = arch_state lazy_cpu)
+
+let () =
+  Alcotest.run "superblock"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "clean profiles vs single-step" `Quick test_differential_clean;
+          Alcotest.test_case "SEU + corrupted reflash epochs" `Quick
+            test_differential_faulted;
+          Alcotest.test_case "ROP attack identical on/off" `Quick
+            test_attack_identical_on_and_off;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "max_int budget saturates" `Quick test_max_int_budget_runs;
+          Alcotest.test_case "overshoot bounded by one block" `Quick
+            test_overshoot_bounded_by_one_block;
+        ] );
+      ( "irq-accounting",
+        [ Alcotest.test_case "masked vs dispatch latency" `Quick test_masked_latency_split ] );
+      ( "tap-toggling",
+        [
+          Alcotest.test_case "self-removal from callback" `Quick
+            test_tap_removed_from_inside_callback;
+          Alcotest.test_case "install from block tap" `Quick
+            test_tap_installed_from_inside_block_tap;
+          Alcotest.test_case "block counts partition retired" `Quick
+            test_block_tap_counts_partition_retired;
+          Alcotest.test_case "engine toggle mid-run" `Quick test_superblocks_toggle_mid_run;
+        ] );
+      ( "precompile",
+        [ Alcotest.test_case "cfg block starts" `Quick test_precompile_from_cfg ] );
+    ]
