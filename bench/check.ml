@@ -48,6 +48,12 @@ let required =
     [ "fault_robustness"; "identical_j1_j2" ];
     [ "fault_robustness"; "wall_s" ];
     [ "fault_robustness"; "cpu_s" ];
+    [ "tracing"; "off_wall_s" ];
+    [ "tracing"; "on_wall_s" ];
+    [ "tracing"; "overhead_pct" ];
+    [ "tracing"; "identical" ];
+    [ "tracing"; "trace_events" ];
+    [ "tracing"; "progress_lines" ];
   ]
 
 let load path =
@@ -219,6 +225,34 @@ let () =
            | None -> prerr_endline "bench smoke: telemetry overhead missing"; false)
       in
       if not sb_ok then exit 1;
+      (* PR-7 observability gates.  Arming the tracer and progress stream
+         can never change a campaign result; the produced trace must be
+         non-empty; and on a full-budget run the instrumentation tax is
+         bounded at 10% wall clock (quick budgets are too short for a
+         stable ratio, so the overhead gate applies to the committed
+         artifact only). *)
+      let tr_ok =
+        Json.path [ "tracing"; "identical" ] doc = Some (Json.Bool true)
+        || (prerr_endline "bench smoke: tracing perturbed the campaign document"; false)
+      in
+      let tr_ok =
+        tr_ok
+        && (match num [ "tracing"; "trace_events" ] with
+           | Some n when n > 0.0 -> true
+           | _ -> prerr_endline "bench smoke: traced run produced no span events"; false)
+      in
+      let tr_ok =
+        tr_ok
+        && (quick_run
+           ||
+           match num [ "tracing"; "overhead_pct" ] with
+           | Some p when p <= 10.0 -> true
+           | Some p ->
+               Printf.eprintf "bench smoke: tracing overhead %.1f%% above the 10%% gate\n" p;
+               false
+           | None -> prerr_endline "bench smoke: tracing overhead missing"; false)
+      in
+      if not tr_ok then exit 1;
       (match Option.bind (Json.path [ "schema" ] doc) Json.to_str with
       | Some "mavr-bench" -> ()
       | Some other ->

@@ -10,7 +10,9 @@
      flight-record  induce a fault and print the flight-recorder dump
      analyze    static analysis: CFG recovery + gadget-survival census
      lint       check firmware structural invariants (exit 1 on findings)
-     campaign   parallel Monte Carlo evaluation campaign (census + attack grid)
+     campaign   parallel Monte Carlo evaluation campaign (census + attack grid;
+                --trace/--progress stream a Perfetto trace and live heartbeats)
+     profile    superblock hot-path profiler: ranked hot blocks with symbols
      tables     print the paper-table reproductions (also in bench/main.exe)
 
    Exit codes: 0 success, 1 operation failed (gadgets absent, randomization
@@ -419,7 +421,9 @@ let faults_conv =
   Arg.conv (parse, print)
 
 let cmd_campaign =
-  let run profile trials ms layouts seed jobs faults timing no_superblocks json =
+  let run profile trials ms layouts seed jobs faults timing no_superblocks trace progress json =
+    let module J = Mavr_telemetry.Json in
+    let module Span = Mavr_telemetry.Span in
     (* The flag flips the default inherited by every CPU the campaign
        spawns (workers included: the pool re-executes this binary's state
        per domain task via closures, and freshly created CPUs read the
@@ -428,23 +432,111 @@ let cmd_campaign =
        identical either way. *)
     if no_superblocks then Mavr_avr.Cpu.set_superblocks_default false;
     let b = build_firmware profile F.Profile.mavr in
+    let tracer = Option.map (fun _ -> Mavr_campaign.Clock.tracer ()) trace in
+    match
+      try
+        Ok
+          (match progress with
+          | None -> None
+          | Some "-" -> Some ((fun line -> prerr_endline line), None)
+          | Some path ->
+              let oc = open_out path in
+              Some
+                ( (fun line ->
+                    output_string oc line;
+                    output_char oc '\n';
+                    flush oc),
+                  Some oc ))
+      with Sys_error e -> Error e
+    with
+    | Error e ->
+        Format.eprintf "error: cannot open progress sink: %s@." e;
+        1
+    | Ok progress_sink ->
+    let progress_t =
+      Option.map (fun (sink, _) -> Mavr_campaign.Progress.create ~sink ()) progress_sink
+    in
+    (* Coordinator lane: the census and grid phases as top-level spans. *)
+    let top_lane = Option.map (fun tr -> Span.lane tr ~sort:(-1) "campaign") tracer in
+    let phase name f = match top_lane with None -> f () | Some l -> Span.span l name f in
+    let pool_stats = ref [||] in
     let (census, grid), span =
       Mavr_campaign.Clock.time (fun () ->
           (* One pool serves both workloads; per-task seeds come from the
              campaign root, so the output depends only on (--seed, --trials,
              --layouts, --ms, --faults) — never on --jobs or scheduling. *)
           Mavr_campaign.Pool.with_pool ?jobs (fun pool ->
-              ( Mavr_analysis.Survival.census ~seed:(Mavr_analysis.Survival.Root seed) ~pool
-                  ~layouts b.F.Build.image,
-                Mavr_sim.Montecarlo.run ~pool ~ms ~faults ~seed ~trials b )))
+              Option.iter
+                (fun p ->
+                  Mavr_campaign.Progress.on_heartbeat p (fun () ->
+                      [
+                        ( "pool",
+                          J.List
+                            (Array.to_list
+                               (Array.map
+                                  (fun (d : Mavr_campaign.Pool.domain_stats) ->
+                                    J.Obj
+                                      [
+                                        ("tasks", J.Int d.Mavr_campaign.Pool.tasks_run);
+                                        ("busy_s", J.Float d.Mavr_campaign.Pool.busy_s);
+                                      ])
+                                  (Mavr_campaign.Pool.stats pool))) );
+                      ]))
+                progress_t;
+              let census =
+                phase "census" (fun () ->
+                    Mavr_analysis.Survival.census ~seed:(Mavr_analysis.Survival.Root seed) ~pool
+                      ?tracer ?progress:progress_t ~layouts b.F.Build.image)
+              in
+              let grid =
+                phase "grid" (fun () ->
+                    Mavr_sim.Montecarlo.run ~pool ~ms ~faults ?tracer ?progress:progress_t ~seed
+                      ~trials b)
+              in
+              pool_stats := Mavr_campaign.Pool.stats pool;
+              (census, grid)))
+    in
+    Option.iter (fun p -> Mavr_campaign.Progress.emit p ~reason:"final") progress_t;
+    Option.iter (fun (_, oc) -> Option.iter close_out oc) progress_sink;
+    (match (trace, tracer) with
+    | Some path, Some tr -> (
+        try
+          let oc = open_out path in
+          output_string oc (J.to_string (Span.to_trace_event tr));
+          output_char oc '\n';
+          close_out oc
+        with Sys_error e -> Format.eprintf "warning: cannot write trace: %s@." e)
+    | _ -> ());
+    (* Per-domain utilization rides under the timing key: opt-in, like
+       every other wall-clock-dependent field, so the default document
+       stays byte-identical for any --jobs. *)
+    let pool_json () =
+      let st = !pool_stats in
+      let busy = Array.fold_left (fun a d -> a +. d.Mavr_campaign.Pool.busy_s) 0.0 st in
+      J.Obj
+        [
+          ( "domains",
+            J.List
+              (Array.to_list
+                 (Array.map
+                    (fun (d : Mavr_campaign.Pool.domain_stats) ->
+                      J.Obj
+                        [
+                          ("tasks", J.Int d.Mavr_campaign.Pool.tasks_run);
+                          ("busy_s", J.Float d.Mavr_campaign.Pool.busy_s);
+                        ])
+                    st)) );
+          ("busy_s", J.Float busy);
+          ("idle_s", J.Float (Float.max 0.0 ((float_of_int (Array.length st) *. span.Mavr_campaign.Clock.wall_s) -. busy)));
+        ]
     in
     if json then
       print_endline
-        (Mavr_telemetry.Json.to_string ~indent:2
-           (Mavr_telemetry.Json.Obj
+        (J.to_string ~indent:2
+           (J.Obj
               ([
-                 ("profile", Mavr_telemetry.Json.String profile.F.Profile.name);
-                 ("seed", Mavr_telemetry.Json.Int seed);
+                 ("profile", J.String profile.F.Profile.name);
+                 ("seed", J.Int seed);
                  ("census", Mavr_analysis.Survival.to_json census);
                  ("grid", Mavr_sim.Montecarlo.to_json grid);
                ]
@@ -454,13 +546,10 @@ let cmd_campaign =
               if timing then
                 [
                   ( "timing",
-                    Mavr_telemetry.Json.Obj
-                      (( "jobs",
-                         Mavr_telemetry.Json.Int
-                           (Option.value jobs
-                              ~default:(min Mavr_campaign.Pool.max_jobs
-                                          (max 1 (Domain.recommended_domain_count ())))) )
-                      :: Mavr_campaign.Clock.span_to_json_fields span) );
+                    J.Obj
+                      (("jobs", J.Int (Array.length !pool_stats))
+                      :: Mavr_campaign.Clock.span_to_json_fields span
+                      @ [ ("pool", pool_json ()) ]) );
                 ]
               else [])))
     else begin
@@ -469,9 +558,15 @@ let cmd_campaign =
         seed;
       Format.printf "  %a@." Mavr_analysis.Survival.pp census;
       Format.printf "%a@." Mavr_sim.Montecarlo.pp grid;
-      if timing then
+      if timing then begin
         Format.printf "completed in %.2f s wall, %.2f s cpu@." span.Mavr_campaign.Clock.wall_s
-          span.Mavr_campaign.Clock.cpu_s
+          span.Mavr_campaign.Clock.cpu_s;
+        Array.iteri
+          (fun i (d : Mavr_campaign.Pool.domain_stats) ->
+            Format.printf "  domain %d: %d tasks, %.2f s busy@." i d.Mavr_campaign.Pool.tasks_run
+              d.Mavr_campaign.Pool.busy_s)
+          !pool_stats
+      end
     end;
     (* The campaign doubles as a defense check: a feasible prebuilt payload
        in any randomized layout, or any takeover under the MAVR defense,
@@ -522,6 +617,22 @@ let cmd_campaign =
                  way — this flag exists to prove it, and as an escape hatch when bisecting \
                  emulator issues.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace_event JSON trace of the campaign to FILE \
+                   (Perfetto-loadable): per-task spans with boot/warmup/flight phases on host \
+                   time, plus deterministic cycle-stamped flight-recorder lanes. Stripped of \
+                   host timing (bin/trace_check --strip), the trace is byte-identical across \
+                   $(b,--jobs) values.")
+  in
+  let progress =
+    Arg.(value & opt (some string) None
+         & info [ "progress" ] ~docv:"FILE"
+             ~doc:"Stream live progress heartbeats to FILE as JSONL ($(b,-) for stderr): \
+                   monotonic seq, tasks done/total, rate and ETA, per-cell running detection \
+                   tallies, per-domain pool utilization.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Deterministic parallel evaluation campaign: gadget-survival census plus the \
@@ -530,7 +641,61 @@ let cmd_campaign =
              or any MAVR-defended trial is taken over (at any fault level).")
     Term.(
       const run $ profile_arg $ trials $ ms $ layouts $ seed $ jobs $ faults $ timing
-      $ no_superblocks $ json_flag)
+      $ no_superblocks $ trace $ progress $ json_flag)
+
+let cmd_profile =
+  let run profile ms attack top json =
+    let module J = Mavr_telemetry.Json in
+    (* Undefended on purpose: MAVR's defense randomizes the layout at
+       boot, which would invalidate the built image's symbol table and
+       CFG — the annotations this report exists for. *)
+    let b = build_firmware profile F.Profile.mavr in
+    let s = Mavr_sim.Scenario.create ~image:b.F.Build.image Mavr_sim.Scenario.No_defense in
+    let registry = Mavr_telemetry.Metrics.create () in
+    let probes = Mavr_sim.Scenario.attach_telemetry s ~registry in
+    let warmup = max 1 (ms / 3) in
+    Mavr_sim.Scenario.run s ~ms:(float_of_int warmup);
+    (if attack then
+       let ti = Mavr_core.Rop.analyze b in
+       let obs = Mavr_core.Rop.observe ti in
+       Mavr_sim.Scenario.inject s
+         (Mavr_core.Rop.v2_stealthy ti obs
+            ~writes:
+              [ Mavr_core.Rop.write_u16 obs ~addr:F.Layout.gyro_cfg ~value:0x4141 ~neighbour:0 ]));
+    Mavr_sim.Scenario.run s ~ms:(float_of_int (max 1 (ms - warmup)));
+    let stats = Mavr_avr.Probes.block_stats probes in
+    if stats = [] then begin
+      Format.eprintf
+        "error: no superblocks executed — is the superblock engine disabled on this build?@.";
+      1
+    end
+    else begin
+      let report =
+        Mavr_analysis.Hotspot.rank ~top ~image:b.F.Build.image
+          ~stepped:(Mavr_avr.Probes.stepped_insns probes)
+          stats
+      in
+      if json then print_endline (J.to_string ~indent:2 (Mavr_analysis.Hotspot.to_json report))
+      else Format.printf "%a" Mavr_analysis.Hotspot.pp report;
+      0
+    end
+  in
+  let ms =
+    Arg.(value & opt int 2000 & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds to profile.")
+  in
+  let attack =
+    Arg.(value & flag & info [ "attack" ] ~doc:"Inject the stealthy V2 attack after warm-up.")
+  in
+  let top =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows in the ranked report.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Superblock hot-path profiler: fly the firmware instrumented, rank the hottest \
+             superblocks by instructions retired, and annotate each with its containing \
+             function symbol, static-CFG attribution and leading disassembly. Exits 1 when no \
+             superblocks executed.")
+    Term.(const run $ profile_arg $ ms $ attack $ top $ json_flag)
 
 let cmd_tables =
   let run () =
@@ -565,7 +730,7 @@ let () =
     Cmd.group info
       [ cmd_build; cmd_gadgets; cmd_randomize; cmd_attack; cmd_fly; cmd_stats;
         cmd_flight_record; cmd_disasm; cmd_lifetime; cmd_entropy; cmd_analyze; cmd_lint;
-        cmd_campaign; cmd_tables ]
+        cmd_campaign; cmd_profile; cmd_tables ]
   in
   (* Map every cmdliner-level error (unknown subcommand, bad flag, missing
      argument) to the documented usage-error code 2; uncaught exceptions

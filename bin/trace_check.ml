@@ -1,0 +1,179 @@
+(* trace_check — validate and normalize observability artifacts.
+
+   Modes:
+     trace_check FILE             validate FILE against the Chrome
+                                  trace_event schema subset Span emits
+     trace_check --strip FILE     validate, then re-emit the document
+                                  (compact, to stdout) with every
+                                  host-process ts/dur/cpu field zeroed —
+                                  the jobs-invariant form bin/dune
+                                  byte-diffs across --jobs values
+     trace_check --progress FILE  validate a Progress JSONL stream:
+                                  every line parses, seq increases by 1,
+                                  done is monotonic and never exceeds
+                                  total
+
+   Exit codes: 0 valid, 1 invalid, 2 usage. *)
+
+module J = Mavr_telemetry.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("trace_check: " ^ s); exit 1) fmt
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error e -> fail "%s" e
+
+let mem name j = J.member name j
+let str name j = Option.bind (mem name j) J.to_str
+let int name j = Option.bind (mem name j) J.to_int
+let num name j = Option.bind (mem name j) J.to_float
+
+(* ---- trace_event validation ----------------------------------------- *)
+
+let meta_names = [ "process_name"; "process_sort_index"; "thread_name"; "thread_sort_index" ]
+
+let validate_event i ev =
+  let ctx = Printf.sprintf "traceEvents[%d]" i in
+  (match ev with J.Obj _ -> () | _ -> fail "%s: not an object" ctx);
+  let name = match str "name" ev with Some n -> n | None -> fail "%s: missing name" ctx in
+  (match int "pid" ev with Some _ -> () | None -> fail "%s (%s): missing pid" ctx name);
+  (match int "tid" ev with Some _ -> () | None -> fail "%s (%s): missing tid" ctx name);
+  match str "ph" ev with
+  | Some "M" ->
+      if not (List.mem name meta_names) then fail "%s: unknown metadata event %S" ctx name;
+      (match mem "args" ev with
+      | Some (J.Obj _) -> ()
+      | _ -> fail "%s (%s): metadata without args object" ctx name)
+  | Some "X" ->
+      (match num "ts" ev with Some _ -> () | None -> fail "%s (%s): complete event without numeric ts" ctx name);
+      (match num "dur" ev with Some _ -> () | None -> fail "%s (%s): complete event without numeric dur" ctx name)
+  | Some "i" ->
+      (match num "ts" ev with Some _ -> () | None -> fail "%s (%s): instant without numeric ts" ctx name);
+      (match str "s" ev with Some _ -> () | None -> fail "%s (%s): instant without scope" ctx name)
+  | Some ph -> fail "%s (%s): unsupported phase %S" ctx name ph
+  | None -> fail "%s (%s): missing ph" ctx name
+
+(* pid → process name, from process_name metadata. *)
+let process_names events =
+  List.filter_map
+    (fun ev ->
+      match (str "ph" ev, str "name" ev) with
+      | Some "M", Some "process_name" -> (
+          match (int "pid" ev, Option.bind (mem "args" ev) (str "name")) with
+          | Some pid, Some pname -> Some (pid, pname)
+          | _ -> None)
+      | _ -> None)
+    events
+
+let validate_trace doc =
+  let events =
+    match mem "traceEvents" doc with
+    | Some (J.List evs) -> evs
+    | Some _ -> fail "traceEvents is not a list"
+    | None -> fail "missing traceEvents"
+  in
+  if events = [] then fail "empty traceEvents";
+  List.iteri validate_event events;
+  let procs = process_names events in
+  if procs = [] then fail "no process_name metadata";
+  List.iter
+    (fun (pid, pname) ->
+      if pname <> "host" && pname <> "cycles" then
+        fail "pid %d has unexpected process name %S" pid pname)
+    procs;
+  (* Thread names must be unique within a process — Perfetto merges rows
+     otherwise, and duplicate lanes would hide a Span.lane collision. *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      match (str "ph" ev, str "name" ev) with
+      | Some "M", Some "thread_name" -> (
+          match (int "pid" ev, int "tid" ev, Option.bind (mem "args" ev) (str "name")) with
+          | Some pid, Some _, Some tname ->
+              if Hashtbl.mem seen (pid, tname) then
+                fail "duplicate lane %S in pid %d" tname pid;
+              Hashtbl.add seen (pid, tname) ()
+          | _ -> ())
+      | _ -> ())
+    events;
+  events
+
+(* ---- timing strip ---------------------------------------------------- *)
+
+let strip_trace doc events =
+  let host_pids =
+    List.filter_map (fun (pid, n) -> if n = "host" then Some pid else None) (process_names events)
+  in
+  let is_host ev = match int "pid" ev with Some p -> List.mem p host_pids | None -> false in
+  let zero_field k kvs =
+    List.map (fun (key, v) -> if key = k then (key, J.Int 0) else (key, v)) kvs
+  in
+  let strip_ev ev =
+    match ev with
+    | J.Obj kvs when is_host ev && str "ph" ev <> Some "M" ->
+        let kvs = zero_field "ts" (zero_field "dur" kvs) in
+        let kvs =
+          List.map
+            (function
+              | "args", J.Obj akvs -> ("args", J.Obj (zero_field "cpu_dur_us" akvs))
+              | kv -> kv)
+            kvs
+        in
+        J.Obj kvs
+    | ev -> ev
+  in
+  match doc with
+  | J.Obj kvs ->
+      J.Obj
+        (List.map
+           (function
+             | "traceEvents", J.List evs -> ("traceEvents", J.List (List.map strip_ev evs))
+             | kv -> kv)
+           kvs)
+  | _ -> fail "trace document is not an object"
+
+(* ---- progress stream validation -------------------------------------- *)
+
+let validate_progress path =
+  let lines =
+    String.split_on_char '\n' (read_file path) |> List.filter (fun l -> String.trim l <> "")
+  in
+  if lines = [] then fail "empty progress stream";
+  let last_seq = ref 0 and last_done = ref 0 and last_total = ref 0 in
+  List.iteri
+    (fun i line ->
+      let ctx = Printf.sprintf "line %d" (i + 1) in
+      let j = match J.of_string line with Ok j -> j | Error e -> fail "%s: %s" ctx e in
+      let seq = match int "seq" j with Some s -> s | None -> fail "%s: missing seq" ctx in
+      if seq <> !last_seq + 1 then
+        fail "%s: seq %d after %d (dropped or reordered lines)" ctx seq !last_seq;
+      last_seq := seq;
+      let d = match int "done" j with Some d -> d | None -> fail "%s: missing done" ctx in
+      let total = match int "total" j with Some t -> t | None -> fail "%s: missing total" ctx in
+      if d < !last_done then fail "%s: done went backwards (%d after %d)" ctx d !last_done;
+      if d > total then fail "%s: done %d exceeds total %d" ctx d total;
+      last_done := d;
+      last_total := total;
+      match str "reason" j with Some _ -> () | None -> fail "%s: missing reason" ctx)
+    lines;
+  Printf.printf "progress ok: %d lines, %d/%d tasks\n" (List.length lines) !last_done !last_total
+
+let () =
+  match Sys.argv with
+  | [| _; "--progress"; path |] -> validate_progress path
+  | [| _; "--strip"; path |] | [| _; path |] ->
+      let strip = Sys.argv.(1) = "--strip" in
+      let doc =
+        match J.of_string (read_file path) with Ok j -> j | Error e -> fail "%s: %s" path e
+      in
+      let events = validate_trace doc in
+      if strip then print_endline (J.to_string (strip_trace doc events))
+      else Printf.printf "trace ok: %d events\n" (List.length events)
+  | _ ->
+      prerr_endline "usage: trace_check [--strip] FILE | trace_check --progress FILE";
+      exit 2

@@ -1,0 +1,129 @@
+module Image = Mavr_obj.Image
+module Probes = Mavr_avr.Probes
+module Disasm = Mavr_avr.Disasm
+module Isa = Mavr_avr.Isa
+module Json = Mavr_telemetry.Json
+
+type block = {
+  addr : int;
+  symbol : string option;
+  sym_offset : int;
+  insns : int;
+  execs : int;
+  retired : int;
+  share_pct : float;
+  cum_pct : float;
+  cfg_leader : bool;
+  reachable : bool;
+  head : string;
+}
+
+type report = {
+  total_retired : int;
+  block_retired : int;
+  stepped : int;
+  blocks_executed : int;
+  blocks : block list;
+}
+
+let head_insn (image : Image.t) addr =
+  let len = min 4 (String.length image.code - addr) in
+  if len <= 0 then "(out of image)"
+  else
+    match Disasm.sweep ~pos:addr ~len image.code with
+    | [] -> "(data)"
+    | l :: _ -> Isa.to_string l.Disasm.insn
+
+let rank ?(top = 20) ~image ~stepped stats =
+  let cfg = Cfg.recover image in
+  let leaders = Hashtbl.create 1024 in
+  List.iter (fun a -> Hashtbl.replace leaders a ()) (Cfg.block_starts cfg);
+  let block_retired =
+    List.fold_left (fun acc (s : Probes.block_stat) -> acc + s.bs_retired) 0 stats
+  in
+  let ranked =
+    List.sort
+      (fun (a : Probes.block_stat) (b : Probes.block_stat) ->
+        let c = compare b.bs_retired a.bs_retired in
+        if c <> 0 then c else compare a.bs_addr b.bs_addr)
+      stats
+  in
+  let pct r =
+    if block_retired = 0 then 0.0 else 100.0 *. float_of_int r /. float_of_int block_retired
+  in
+  let cum = ref 0 in
+  let blocks =
+    List.filteri (fun i _ -> i < top) ranked
+    |> List.map (fun (s : Probes.block_stat) ->
+           cum := !cum + s.bs_retired;
+           let symbol, sym_offset =
+             match Image.function_containing image s.bs_addr with
+             | Some sym -> (Some sym.Image.name, s.bs_addr - sym.Image.addr)
+             | None -> (None, 0)
+           in
+           {
+             addr = s.bs_addr;
+             symbol;
+             sym_offset;
+             insns = s.bs_insns;
+             execs = s.bs_execs;
+             retired = s.bs_retired;
+             share_pct = pct s.bs_retired;
+             cum_pct = pct !cum;
+             cfg_leader = Hashtbl.mem leaders s.bs_addr;
+             reachable = Cfg.is_reachable cfg s.bs_addr;
+             head = head_insn image s.bs_addr;
+           })
+  in
+  {
+    total_retired = block_retired + stepped;
+    block_retired;
+    stepped;
+    blocks_executed = List.length stats;
+    blocks;
+  }
+
+let block_to_json b =
+  Json.Obj
+    [
+      ("addr", Json.Int b.addr);
+      ("symbol", match b.symbol with None -> Json.Null | Some s -> Json.String s);
+      ("sym_offset", Json.Int b.sym_offset);
+      ("insns", Json.Int b.insns);
+      ("execs", Json.Int b.execs);
+      ("retired", Json.Int b.retired);
+      ("share_pct", Json.Float b.share_pct);
+      ("cum_pct", Json.Float b.cum_pct);
+      ("cfg_leader", Json.Bool b.cfg_leader);
+      ("reachable", Json.Bool b.reachable);
+      ("head", Json.String b.head);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("total_retired", Json.Int r.total_retired);
+      ("block_retired", Json.Int r.block_retired);
+      ("stepped", Json.Int r.stepped);
+      ("blocks_executed", Json.Int r.blocks_executed);
+      ("blocks", Json.List (List.map block_to_json r.blocks));
+    ]
+
+let pp fmt r =
+  Format.fprintf fmt "hot superblocks — %d insns retired in %d executed blocks (+%d single-stepped)@."
+    r.block_retired r.blocks_executed r.stepped;
+  Format.fprintf fmt "%4s  %9s %6s %10s %12s %7s %7s  %-28s %s@." "rank" "addr" "insns"
+    "execs" "retired" "share" "cum" "symbol" "head";
+  List.iteri
+    (fun i b ->
+      let sym =
+        match b.symbol with
+        | Some s -> Printf.sprintf "%s+0x%x" s b.sym_offset
+        | None -> if b.reachable then "?" else "(unreachable)"
+      in
+      let sym = if b.cfg_leader then sym else sym ^ " *" in
+      Format.fprintf fmt "%4d  0x%07x %6d %10d %12d %6.2f%% %6.2f%%  %-28s %s@." (i + 1)
+        b.addr b.insns b.execs b.retired b.share_pct b.cum_pct sym b.head)
+    r.blocks;
+  if List.exists (fun b -> not b.cfg_leader) r.blocks then
+    Format.fprintf fmt "  (* = entry is not a static CFG block leader)@."

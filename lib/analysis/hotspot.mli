@@ -1,0 +1,53 @@
+(** Superblock hotness profiler.
+
+    Ranks the dynamic superblock execution counters
+    ({!Mavr_avr.Probes.block_stats} — one row per executed block, with
+    per-prefix retirement already folded in) into a hot-block report
+    annotated from the static side: containing function symbol (via the
+    image's symbol table), static CFG attribution (is the hot entry a
+    recovered block leader? descent-reachable at all?), and the leading
+    disassembly.  This is the lens that says where the emulator's
+    remaining telemetry overhead and the next superinstruction-fusion
+    wins live — and, on the security side, whether hot execution is
+    escaping the statically known CFG (a wild-PC smell).
+
+    Symbol attribution assumes the counters were collected on the same
+    image layout that is being annotated; profile undefended (MAVR's
+    randomization reshuffles functions, invalidating the built image's
+    symbol table). *)
+
+type block = {
+  addr : int;  (** block entry, byte address *)
+  symbol : string option;  (** containing function, if any *)
+  sym_offset : int;  (** [addr] minus the function's entry *)
+  insns : int;  (** compiled block length *)
+  execs : int;  (** block executions *)
+  retired : int;  (** instructions retired in this block *)
+  share_pct : float;  (** retired / total block-retired *)
+  cum_pct : float;  (** running share in rank order *)
+  cfg_leader : bool;  (** entry is a static CFG block leader *)
+  reachable : bool;  (** entry is descent-reachable in the CFG *)
+  head : string;  (** disassembly of the block's first instruction *)
+}
+
+type report = {
+  total_retired : int;  (** block-retired + single-stepped *)
+  block_retired : int;
+  stepped : int;
+  blocks_executed : int;  (** distinct executed block entries *)
+  blocks : block list;  (** ranked by [retired] descending, top-N *)
+}
+
+(** [rank ?top ~image ~stepped stats] — ranked report, [top] rows
+    (default 20).  Ties rank by ascending address, so the report is
+    deterministic.  Runs CFG recovery on [image] for the static
+    annotations. *)
+val rank :
+  ?top:int ->
+  image:Mavr_obj.Image.t ->
+  stepped:int ->
+  Mavr_avr.Probes.block_stat list ->
+  report
+
+val to_json : report -> Mavr_telemetry.Json.t
+val pp : Format.formatter -> report -> unit

@@ -60,11 +60,12 @@ type t = {
   feasible_layouts : int;
 }
 
-let census ?max_len ?(seed = Root 0) ?jobs ?pool ~layouts image =
+let census ?max_len ?(seed = Root 0) ?jobs ?pool ?tracer ?progress ~layouts image =
   let base = Gadget.scan ?max_len image in
   let base_n = List.length base in
   let paper = Gadget.locate_paper_gadgets image in
   let seeds = layout_seeds ~seeding:seed ~layouts in
+  Option.iter (fun p -> Mavr_campaign.Progress.add_total p layouts) progress;
   (* One task per randomized layout.  [image] and [base] are immutable
      and shared read-only across domains; each slot of the two result
      arrays is written by exactly one task, so the output is identical
@@ -72,13 +73,24 @@ let census ?max_len ?(seed = Root 0) ?jobs ?pool ~layouts image =
   let survivors = Array.make layouts 0 in
   let feasible = Array.make layouts false in
   let measure i =
-    let candidate = Randomize.randomize ~seed:seeds.(i) image in
-    survivors.(i) <-
-      List.fold_left (fun n g -> if gadget_survives ~candidate g then n + 1 else n) 0 base;
-    feasible.(i) <-
-      (match paper with
-      | Some gadgets -> Result.is_ok (payload_feasible ~reference:image ~gadgets candidate)
-      | None -> false)
+    let compute () =
+      let candidate = Randomize.randomize ~seed:seeds.(i) image in
+      survivors.(i) <-
+        List.fold_left (fun n g -> if gadget_survives ~candidate g then n + 1 else n) 0 base;
+      feasible.(i) <-
+        (match paper with
+        | Some gadgets -> Result.is_ok (payload_feasible ~reference:image ~gadgets candidate)
+        | None -> false)
+    in
+    (match tracer with
+    | None -> compute ()
+    | Some tr ->
+        let module Span = Mavr_telemetry.Span in
+        let lane = Span.lane tr ~sort:i (Printf.sprintf "layout-%04d" i) in
+        Span.span lane
+          ~args:[ ("index", Json.Int i); ("seed", Json.Int seeds.(i)) ]
+          "census.layout" compute);
+    Option.iter Mavr_campaign.Progress.task_done progress
   in
   (match pool with
   | Some p -> Pool.run p ~tasks:layouts measure

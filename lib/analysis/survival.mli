@@ -71,12 +71,19 @@ type t = {
     One campaign task per layout: pass [?pool] to reuse a running
     {!Mavr_campaign.Pool} (its job count applies), or [?jobs] to size a
     temporary one.  The result is bit-identical for any job count,
-    including the sequential default. *)
+    including the sequential default.
+
+    With [?tracer], each layout's randomize-and-measure body runs in a
+    ["census.layout"] span on lane ["layout-NNNN"] (args: index, seed);
+    with [?progress], [layouts] is added to the stream total and every
+    layout completion ticks it.  Neither affects the result. *)
 val census :
   ?max_len:int ->
   ?seed:seeding ->
   ?jobs:int ->
   ?pool:Mavr_campaign.Pool.t ->
+  ?tracer:Mavr_telemetry.Span.tracer ->
+  ?progress:Mavr_campaign.Progress.t ->
   layouts:int ->
   Mavr_obj.Image.t ->
   t

@@ -74,6 +74,15 @@ type t = {
   recorder : Recorder.t;
   mutable last_dump : string option;
   mutable faults : int;
+  (* Per-(block, executed-prefix-length) execution counts, flat array
+     keyed [bi_key * stride + count]; [infos] memoizes each tallied
+     block's identity.  Fields of [t] (not closure state) so the
+     hotness profiler ({!block_stats}) can read them after a flight. *)
+  mutable execs : int array;
+  mutable infos : Cpu.block_info option array;
+  stepped : int array;  (* per-class single-stepped instruction counts *)
+  mutable stepped_total : int;
+  mutable blocks_tallied : int;
 }
 
 let registry t = t.registry
@@ -101,6 +110,11 @@ let attach ?(prefix = "avr") ?(recorder_capacity = 64) ~registry cpu =
       recorder = Recorder.create ~capacity:recorder_capacity;
       last_dump = None;
       faults = 0;
+      execs = Array.make (256 * (Cpu.max_block_insns + 1)) 0;
+      infos = Array.make 256 None;
+      stepped = Array.make n_classes 0;
+      stepped_total = 0;
+      blocks_tallied = 0;
     }
   in
   let irq_count = Metrics.counter registry (name "irq.taken") in
@@ -137,30 +151,26 @@ let attach ?(prefix = "avr") ?(recorder_capacity = 64) ~registry cpu =
      compiled block and never reused across flash epochs, so execution
      counts attributed to dead epochs stay valid history. *)
   let stride = Cpu.max_block_insns + 1 in
-  let execs = ref (Array.make (256 * stride) 0) in
-  let infos : Cpu.block_info option array ref = ref (Array.make 256 None) in
   (* Single-stepped instructions (interrupt windows, superblocks off)
      are classified eagerly — that path is already per-instruction. *)
-  let stepped = Array.make n_classes 0 in
-  let stepped_total = ref 0 in
-  let blocks_tallied = ref 0 in
+  let stepped = p.stepped in
   let ensure_exec idx =
-    let m = !execs in
+    let m = p.execs in
     if idx < Array.length m then m
     else begin
       let n = Array.make (max (idx + 1) (2 * Array.length m)) 0 in
       Array.blit m 0 n 0 (Array.length m);
-      execs := n;
+      p.execs <- n;
       n
     end
   in
   let ensure_info key =
-    let m = !infos in
+    let m = p.infos in
     if key < Array.length m then m
     else begin
       let n = Array.make (max (key + 1) (2 * Array.length m)) None in
       Array.blit m 0 n 0 (Array.length m);
-      infos := n;
+      p.infos <- n;
       n
     end
   in
@@ -170,10 +180,10 @@ let attach ?(prefix = "avr") ?(recorder_capacity = 64) ~registry cpu =
   let agg = Array.make (n_classes + 1) 0 in
   let agg_gen = ref (-1) in
   let aggregate () =
-    if !agg_gen <> !blocks_tallied then begin
-      agg_gen := !blocks_tallied;
+    if !agg_gen <> p.blocks_tallied then begin
+      agg_gen := p.blocks_tallied;
       Array.fill agg 0 (n_classes + 1) 0;
-      let e = !execs in
+      let e = p.execs in
       let counts = Array.make n_classes 0 in
       Array.iteri
         (fun key info ->
@@ -194,12 +204,12 @@ let attach ?(prefix = "avr") ?(recorder_capacity = 64) ~registry cpu =
                   agg.(n_classes) <- agg.(n_classes) + (n * pfx)
                 end
               done)
-        !infos
+        p.infos
     end
   in
   Metrics.sampled_counter registry (name "insn.total") (fun () ->
       aggregate ();
-      !stepped_total + agg.(n_classes));
+      p.stepped_total + agg.(n_classes));
   Array.iteri
     (fun c cname ->
       Metrics.sampled_counter registry (name ("insn." ^ cname)) (fun () ->
@@ -237,11 +247,11 @@ let attach ?(prefix = "avr") ?(recorder_capacity = 64) ~registry cpu =
     let v = Array.unsafe_get e idx in
     if v = 0 then (ensure_info key).(key) <- Some info;
     Array.unsafe_set e idx (v + 1);
-    incr blocks_tallied;
+    p.blocks_tallied <- p.blocks_tallied + 1;
     Recorder.point p.recorder ~cycle:(Cpu.cycles cpu) ~value:(info.Cpu.bi_pc * 2) (head info)
   in
   let on_step pc insn =
-    incr stepped_total;
+    p.stepped_total <- p.stepped_total + 1;
     let c = class_of insn in
     stepped.(c) <- stepped.(c) + 1;
     Recorder.point p.recorder ~cycle:(Cpu.cycles cpu) ~value:(pc * 2) (mnemonic insn)
@@ -272,6 +282,49 @@ let detach t =
   Cpu.clear_block_tap t.cpu;
   Cpu.set_irq_tap t.cpu None;
   Cpu.set_halt_tap t.cpu None
+
+(* ---- hotness export -------------------------------------------------- *)
+
+type block_stat = {
+  bs_addr : int;
+  bs_insns : int;
+  bs_execs : int;
+  bs_retired : int;
+}
+
+(* Aggregated by entry byte address rather than [bi_key]: keys are
+   unique per compiled block, so a reflash epoch recompiling the same
+   code would otherwise split one hot location across rows. *)
+let block_stats t =
+  let stride = Cpu.max_block_insns + 1 in
+  let tbl = Hashtbl.create 256 in
+  Array.iteri
+    (fun key info ->
+      match info with
+      | None -> ()
+      | Some (info : Cpu.block_info) ->
+          let base = key * stride in
+          let execs = ref 0 and retired = ref 0 in
+          for pfx = 1 to Array.length info.Cpu.bi_insns do
+            let n = if base + pfx < Array.length t.execs then t.execs.(base + pfx) else 0 in
+            execs := !execs + n;
+            retired := !retired + (n * pfx)
+          done;
+          if !execs > 0 then begin
+            let addr = info.Cpu.bi_pc * 2 in
+            let len = Array.length info.Cpu.bi_insns in
+            match Hashtbl.find_opt tbl addr with
+            | None -> Hashtbl.add tbl addr (len, !execs, !retired)
+            | Some (l, e, r) -> Hashtbl.replace tbl addr (max l len, e + !execs, r + !retired)
+          end)
+    t.infos;
+  Hashtbl.fold
+    (fun addr (len, e, r) acc ->
+      { bs_addr = addr; bs_insns = len; bs_execs = e; bs_retired = r } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.bs_addr b.bs_addr)
+
+let stepped_insns t = t.stepped_total
 
 let dump_to_json t =
   let module J = Mavr_telemetry.Json in

@@ -78,3 +78,25 @@ val min_sp : t -> int option
 (** Machine-readable fault dump: halt reason, CPU state and the flight
     record as JSON. *)
 val dump_to_json : t -> Mavr_telemetry.Json.t
+
+(** {2 Hotness export}
+
+    The raw material for {!Mavr_analysis.Hotspot}: per-block execution
+    totals folded out of the per-(block, retired-prefix) counters the
+    block tap maintains. *)
+
+type block_stat = {
+  bs_addr : int;  (** block entry, {e byte} address *)
+  bs_insns : int;  (** compiled block length (longest, if recompiled) *)
+  bs_execs : int;  (** block executions (any prefix length) *)
+  bs_retired : int;  (** instructions retired inside the block *)
+}
+
+(** Every block executed since attach, aggregated by entry address
+    (reflash epochs recompile; counts accumulate), sorted by address.
+    Blocks never executed are absent. *)
+val block_stats : t -> block_stat list
+
+(** Instructions retired single-stepped (interrupt windows, superblocks
+    disabled) — execution the block rows don't cover. *)
+val stepped_insns : t -> int

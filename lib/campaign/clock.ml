@@ -32,3 +32,5 @@ let span_to_json_fields s =
     ("wall_s", Mavr_telemetry.Json.Float s.wall_s);
     ("cpu_s", Mavr_telemetry.Json.Float s.cpu_s);
   ]
+
+let tracer () = Mavr_telemetry.Span.create ~clock:{ Mavr_telemetry.Span.wall; cpu } ()

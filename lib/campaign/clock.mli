@@ -27,3 +27,8 @@ val time : (unit -> 'a) -> 'a * span
 val rate : float -> span -> float
 
 val span_to_json_fields : span -> (string * Mavr_telemetry.Json.t) list
+
+(** [tracer ()] — a {!Mavr_telemetry.Span} tracer driven by this
+    module's ratcheted {!wall} / {!cpu} clocks (the telemetry library
+    itself has no [unix] dependency, so the clock is injected here). *)
+val tracer : unit -> Mavr_telemetry.Span.tracer

@@ -15,14 +15,30 @@ let run_tasks ?pool ?jobs ~tasks body =
   | Some p -> Pool.run p ~tasks body
   | None -> Pool.with_pool ?jobs (fun p -> Pool.run p ~tasks body)
 
-let map ?pool ?jobs ~seed ~tasks f =
+module Span = Mavr_telemetry.Span
+module Json = Mavr_telemetry.Json
+
+let map ?pool ?jobs ?tracer ?(task_name = Printf.sprintf "task-%04d") ?progress ~seed ~tasks f =
   let seeds = task_seeds ~seed ~tasks in
   let results = Array.make tasks None in
+  Option.iter (fun p -> Progress.add_total p tasks) progress;
   let body i =
-    results.(i) <- Some (f ~index:i ~rng:(Splitmix.create ~seed:seeds.(i)))
+    let compute () =
+      results.(i) <- Some (f ~index:i ~rng:(Splitmix.create ~seed:seeds.(i)))
+    in
+    (match tracer with
+    | None -> compute ()
+    | Some tr ->
+        (* One lane per task, sorted by index: lane content depends only
+           on (seed, index), so the stripped trace is jobs-invariant. *)
+        let lane = Span.lane tr ~sort:i (task_name i) in
+        Span.span lane
+          ~args:[ ("index", Json.Int i); ("seed", Json.Int seeds.(i)) ]
+          "task" compute);
+    Option.iter Progress.task_done progress
   in
   run_tasks ?pool ?jobs ~tasks body;
   Array.map (function Some v -> v | None -> assert false) results
 
-let map_reduce ?pool ?jobs ~seed ~tasks ~map:f ~reduce init =
-  Array.fold_left reduce init (map ?pool ?jobs ~seed ~tasks f)
+let map_reduce ?pool ?jobs ?tracer ?task_name ?progress ~seed ~tasks ~map:f ~reduce init =
+  Array.fold_left reduce init (map ?pool ?jobs ?tracer ?task_name ?progress ~seed ~tasks f)

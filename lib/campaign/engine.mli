@@ -29,10 +29,21 @@ val task_seeds : seed:int -> tasks:int -> int array
     private generator seeded from the task's split seed.  With [?pool]
     the caller's pool is reused (its [jobs] applies and [?jobs] is
     ignored); otherwise a temporary pool of [jobs] domains is created.
+
+    Observability hooks (both default off, and neither perturbs the
+    computation): with [?tracer], each task body runs inside a span
+    named ["task"] (args: index, split seed) on its own lane,
+    [task_name index] (default ["task-NNNN"]), sorted by index — so
+    the timing-stripped trace content is identical for any [jobs].
+    With [?progress], [tasks] is added to the stream's total up front
+    and {!Progress.task_done} fires after every completion.
     @raise Pool.Task_failed when a task raises (lowest index). *)
 val map :
   ?pool:Pool.t ->
   ?jobs:int ->
+  ?tracer:Mavr_telemetry.Span.tracer ->
+  ?task_name:(int -> string) ->
+  ?progress:Progress.t ->
   seed:int ->
   tasks:int ->
   (index:int -> rng:Mavr_prng.Splitmix.t -> 'a) ->
@@ -44,6 +55,9 @@ val map :
 val map_reduce :
   ?pool:Pool.t ->
   ?jobs:int ->
+  ?tracer:Mavr_telemetry.Span.tracer ->
+  ?task_name:(int -> string) ->
+  ?progress:Progress.t ->
   seed:int ->
   tasks:int ->
   map:(index:int -> rng:Mavr_prng.Splitmix.t -> 'a) ->

@@ -23,15 +23,22 @@ type t = {
   mutable generation : int;
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
+  (* Per-slot utilization (slot 0 = the calling domain, 1.. = workers).
+     Each slot is written only by its own domain, around whole chunks, so
+     the hot loop stays untouched; cross-domain reads (the progress
+     heartbeat) are advisory and may lag by one chunk. *)
+  task_counts : int array;
+  busy_s : float array;
 }
 
 let max_jobs = 16
 
-let process t job =
+let process t ~slot job =
   let rec drain () =
     let start = Atomic.fetch_and_add job.next job.chunk in
     if start < job.total then begin
       let stop = min job.total (start + job.chunk) in
+      let t0 = Clock.wall () in
       for i = start to stop - 1 do
         try job.body i
         with e ->
@@ -41,6 +48,8 @@ let process t job =
           Mutex.unlock t.mutex
       done;
       let n = stop - start in
+      t.task_counts.(slot) <- t.task_counts.(slot) + n;
+      t.busy_s.(slot) <- t.busy_s.(slot) +. (Clock.wall () -. t0);
       if Atomic.fetch_and_add job.completed n + n = job.total then begin
         (* Last task in: wake the caller blocked in [run]'s join. *)
         Mutex.lock t.mutex;
@@ -52,7 +61,7 @@ let process t job =
   in
   drain ()
 
-let worker t =
+let worker t ~slot =
   let seen = ref 0 in
   let rec park () =
     Mutex.lock t.mutex;
@@ -64,7 +73,7 @@ let worker t =
       seen := t.generation;
       let job = t.job in
       Mutex.unlock t.mutex;
-      (match job with Some j -> process t j | None -> ());
+      (match job with Some j -> process t ~slot j | None -> ());
       park ()
     end
   in
@@ -87,12 +96,19 @@ let create ?jobs () =
       generation = 0;
       stopping = false;
       domains = [];
+      task_counts = Array.make jobs 0;
+      busy_s = Array.make jobs 0.0;
     }
   in
-  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.domains <- List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker t ~slot:(i + 1)));
   t
 
 let jobs t = t.jobs
+
+type domain_stats = { tasks_run : int; busy_s : float }
+
+let stats t =
+  Array.init t.jobs (fun i -> { tasks_run = t.task_counts.(i); busy_s = t.busy_s.(i) })
 
 let raise_first_failure job =
   match List.sort (fun (a, _, _) (b, _, _) -> compare a b) job.failures with
@@ -109,7 +125,7 @@ let run t ~tasks body =
     let job =
       { body; total = tasks; chunk; next = Atomic.make 0; completed = Atomic.make 0; failures = [] }
     in
-    if t.jobs = 1 then process t job
+    if t.jobs = 1 then process t ~slot:0 job
     else begin
       Mutex.lock t.mutex;
       t.job <- Some job;
@@ -118,7 +134,7 @@ let run t ~tasks body =
       Mutex.unlock t.mutex;
       (* The caller is a worker too: it drains the same queue, then
          blocks until the stragglers running on other domains finish. *)
-      process t job;
+      process t ~slot:0 job;
       Mutex.lock t.mutex;
       while Atomic.get job.completed < job.total do
         Condition.wait t.work_done t.mutex

@@ -28,6 +28,19 @@ val max_jobs : int
 
 val jobs : t -> int
 
+type domain_stats = {
+  tasks_run : int;  (** tasks executed on this slot, across all runs *)
+  busy_s : float;  (** wall seconds this slot spent inside task bodies *)
+}
+
+(** [stats t] — per-domain utilization, index 0 the calling domain,
+    1.. the spawned workers.  Counters accumulate across every {!run}
+    on this pool and are updated at chunk granularity by each slot's
+    own domain; reading them while a job is in flight (the progress
+    heartbeat does) is safe but may lag by one chunk.  Idle time is
+    the caller's to derive: [jobs * elapsed_wall - Σ busy_s]. *)
+val stats : t -> domain_stats array
+
 (** [run t ~tasks body] executes [body i] for every [i] in
     [0 .. tasks-1], in parallel across the pool.  Returns when all tasks
     have completed.

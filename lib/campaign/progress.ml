@@ -1,0 +1,76 @@
+module Json = Mavr_telemetry.Json
+
+type t = {
+  sink : string -> unit;
+  interval_s : float;
+  started : float;
+  done_ : int Atomic.t;
+  total : int Atomic.t;
+  seq : int Atomic.t;
+  lock : Mutex.t;  (* serializes sink writes; held only via try_lock on the hot path *)
+  mutable last_emit : float;  (* guarded by [lock] *)
+  mutable providers : (unit -> (string * Json.t) list) list;
+}
+
+let create ?(interval_s = 0.5) ~sink () =
+  if interval_s < 0.0 then invalid_arg "Campaign.Progress.create: negative interval";
+  {
+    sink;
+    interval_s;
+    started = Clock.wall ();
+    done_ = Atomic.make 0;
+    total = Atomic.make 0;
+    seq = Atomic.make 0;
+    lock = Mutex.create ();
+    last_emit = neg_infinity;
+    providers = [];
+  }
+
+let add_total t n =
+  if n < 0 then invalid_arg "Campaign.Progress.add_total: negative count";
+  ignore (Atomic.fetch_and_add t.total n)
+
+let on_heartbeat t f = t.providers <- t.providers @ [ f ]
+let tasks_done t = Atomic.get t.done_
+let total t = Atomic.get t.total
+let lines_emitted t = Atomic.get t.seq
+
+(* Caller holds [t.lock]. *)
+let emit_locked t ~reason =
+  let now = Clock.wall () in
+  let d = Atomic.get t.done_ and total = Atomic.get t.total in
+  let elapsed = now -. t.started in
+  let rate = if elapsed > 0.0 then float_of_int d /. elapsed else 0.0 in
+  let eta = if rate > 0.0 then float_of_int (max 0 (total - d)) /. rate else 0.0 in
+  let detail = List.concat_map (fun f -> f ()) t.providers in
+  let seq = Atomic.fetch_and_add t.seq 1 + 1 in
+  t.last_emit <- now;
+  t.sink
+    (Json.to_string
+       (Json.Obj
+          ([
+             ("seq", Json.Int seq);
+             ("reason", Json.String reason);
+             ("wall_s", Json.Float elapsed);
+             ("done", Json.Int d);
+             ("total", Json.Int total);
+             ("rate_per_s", Json.Float rate);
+             ("eta_s", Json.Float eta);
+           ]
+          @ detail)))
+
+let task_done t =
+  let d = Atomic.fetch_and_add t.done_ 1 + 1 in
+  (* try_lock: if another domain is mid-emission, skip — its line will
+     carry this completion anyway (counters are read at emit time). *)
+  if Mutex.try_lock t.lock then
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        let now = Clock.wall () in
+        if d >= Atomic.get t.total || now -. t.last_emit >= t.interval_s then
+          emit_locked t ~reason:"heartbeat")
+
+let emit t ~reason =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> emit_locked t ~reason)

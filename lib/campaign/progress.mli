@@ -1,0 +1,49 @@
+(** Live campaign progress as a heartbeat JSONL stream.
+
+    A campaign is otherwise a black box between launch and one terminal
+    JSON document; this sink makes a multi-hour grid watchable: every
+    emitted line is a self-contained JSON object carrying a monotonic
+    ["seq"], tasks done/total, the overall completion rate and ETA, plus
+    whatever detail providers the instrumented layers registered
+    (per-cell running detection rates from [Montecarlo], per-domain
+    pool utilization from the CLI).
+
+    Emission discipline: {!task_done} is called from worker domains on
+    every task completion; it bumps an atomic counter and emits a line
+    only when the heartbeat interval has elapsed {e and} the sink lock
+    is free ([try_lock] — a busy sink never blocks a worker).  The
+    stream is advisory by design: line {e content} sampled mid-run
+    depends on scheduling and carries wall-clock times, so it lives
+    outside the deterministic-output contract (unlike [--trace]'s
+    stripped form).  Consumers detect drops/reorders via ["seq"]. *)
+
+type t
+
+(** [create ?interval_s ~sink ()] — heartbeat stream writing each line
+    (without the trailing newline) to [sink].  [interval_s] (default
+    [0.5]) is the minimum wall-clock spacing between heartbeat lines;
+    [0.] emits on every completion. *)
+val create : ?interval_s:float -> sink:(string -> unit) -> unit -> t
+
+(** [add_total t n] grows the expected task count (called by each
+    instrumented phase as it learns its fan-out). *)
+val add_total : t -> int -> unit
+
+(** [on_heartbeat t f] registers a detail provider: [f ()] is appended
+    to every subsequent line's fields.  Providers run under the sink
+    lock, possibly from any worker domain — they must be cheap and
+    thread-safe (read atomics, not locks).  Call before tasks start. *)
+val on_heartbeat : t -> (unit -> (string * Mavr_telemetry.Json.t) list) -> unit
+
+(** [task_done t] — one task finished; may emit a heartbeat line. *)
+val task_done : t -> unit
+
+(** [emit t ~reason] — force one line out (start / final summary),
+    bypassing the interval gate but not the lock. *)
+val emit : t -> reason:string -> unit
+
+(** Lines emitted so far (the last line's ["seq"]). *)
+val lines_emitted : t -> int
+
+val tasks_done : t -> int
+val total : t -> int

@@ -8,6 +8,8 @@ module Metrics = Mavr_telemetry.Metrics
 module Json = Mavr_telemetry.Json
 module Splitmix = Mavr_prng.Splitmix
 module Engine = Mavr_campaign.Engine
+module Progress = Mavr_campaign.Progress
+module Span = Mavr_telemetry.Span
 module Fault = Mavr_fault
 
 type defense = Undefended | Software_only | Mavr_defense
@@ -81,7 +83,13 @@ let detected_now s =
   (match Scenario.master s with Some m -> Master.attacks_detected m > 0 | None -> false)
   || Groundstation.attack_suspected (Scenario.gcs s)
 
-let trial ~image ~inject ~defense ~level ~ms ~rng =
+let trial ?lanes ~image ~inject ~defense ~level ~ms ~rng () =
+  (* [lanes] = (host lane, cycles lane): the host lane gets the
+     boot/warmup/flight phase spans, the cycles lane receives the rig's
+     flight-recorder window at the end (flash-session phases, inject and
+     alarm events, cycle-stamped and fully deterministic).  Tracing must
+     not perturb the trial: no draw from [rng] depends on it. *)
+  let sp name f = match lanes with None -> f () | Some (hl, _) -> Span.span hl name f in
   (* The fault seed is drawn first, unconditionally, so the remaining
      stream (layout seed, master seed) is the same whether or not this
      level actually arms the injector. *)
@@ -90,39 +98,56 @@ let trial ~image ~inject ~defense ~level ~ms ~rng =
     if Fault.Profile.level_is_off level then None
     else Some (Fault.Injector.create ~seed:fault_seed level)
   in
-  let image, kind =
-    match defense with
-    | Undefended -> (image, Scenario.No_defense)
-    | Software_only ->
-        (* §VIII-A: diversified once at flash time, no master watching. *)
-        (Randomize.randomize ~seed:(Splitmix.next rng) image, Scenario.No_defense)
-    | Mavr_defense ->
-        ( image,
-          Scenario.Mavr
-            {
-              Master.default_config with
-              watchdog_window_cycles = 20_000;
-              seed = Splitmix.next rng;
-            } )
-  in
-  let s = Scenario.create ?faults ~image kind in
   let registry = Metrics.create () in
-  let (_ : Mavr_avr.Probes.t) = Scenario.attach_telemetry s ~registry in
+  let s, probes =
+    sp "boot" (fun () ->
+        let image, kind =
+          match defense with
+          | Undefended -> (image, Scenario.No_defense)
+          | Software_only ->
+              (* §VIII-A: diversified once at flash time, no master watching. *)
+              (Randomize.randomize ~seed:(Splitmix.next rng) image, Scenario.No_defense)
+          | Mavr_defense ->
+              ( image,
+                Scenario.Mavr
+                  {
+                    Master.default_config with
+                    watchdog_window_cycles = 20_000;
+                    seed = Splitmix.next rng;
+                  } )
+        in
+        let s = Scenario.create ?faults ~image kind in
+        (s, Scenario.attach_telemetry s ~registry))
+  in
   let warmup = max 1 (ms / 3) in
-  Scenario.run s ~ms:(float_of_int warmup);
-  (match inject with Some frames -> Scenario.inject s frames | None -> ());
+  sp "warmup" (fun () -> Scenario.run s ~ms:(float_of_int warmup));
+  (match inject with
+  | Some frames ->
+      (match lanes with
+      | Some (hl, _) ->
+          Span.instant hl ~args:[ ("frames", Json.Int (List.length frames)) ] "inject"
+      | None -> ());
+      Scenario.inject s frames
+  | None -> ());
   (* Advance in small slices so the first detection gets a timestamp
      (resolution = [step] simulated ms). *)
   let step = 5 in
   let detect_ms = ref None in
-  let remaining = ref (max 1 (ms - warmup)) in
-  while !remaining > 0 do
-    let slice = min step !remaining in
-    Scenario.run s ~ms:(float_of_int slice);
-    remaining := !remaining - slice;
-    if !detect_ms = None && detected_now s then
-      detect_ms := Some (Scenario.now_ms s -. float_of_int warmup)
-  done;
+  sp "flight" (fun () ->
+      let remaining = ref (max 1 (ms - warmup)) in
+      while !remaining > 0 do
+        let slice = min step !remaining in
+        Scenario.run s ~ms:(float_of_int slice);
+        remaining := !remaining - slice;
+        if !detect_ms = None && detected_now s then
+          detect_ms := Some (Scenario.now_ms s -. float_of_int warmup)
+      done);
+  (match (lanes, !detect_ms) with
+  | Some (hl, _), Some dms -> Span.instant hl ~args:[ ("sim_ms", Json.Float dms) ] "detected"
+  | _ -> ());
+  (match lanes with
+  | Some (_, cl) -> Span.of_recorder cl (Mavr_avr.Probes.flight_record probes)
+  | None -> ());
   let outcome =
     {
       takeover = gyro_cfg (Scenario.app s) = hijack_value;
@@ -145,7 +170,7 @@ let attack_frames ti obs =
   | V2 -> Rop.v2_stealthy ti obs ~writes
   | V3 -> Rop.v3_execute ti obs ~chain_dest:F.Layout.free_region ~writes
 
-let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ~seed ~trials
+let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress ~seed ~trials
     (build : F.Build.t) =
   if trials < 0 then invalid_arg "Montecarlo.run: negative trial count";
   let image = build.F.Build.image in
@@ -163,17 +188,111 @@ let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ~seed ~trials
   let grid_tasks = nd * na * trials in
   let per_level = grid_tasks + (nd * trials) in
   let tasks = nlevels * per_level in
+  (* Running per-(defense, attack) tallies (summed across fault levels)
+     for the progress heartbeat; atomics because worker domains bump
+     them as trials land, in scheduling order. *)
+  let tally = Array.init (nd * na) (fun _ -> (Atomic.make 0, Atomic.make 0, Atomic.make 0)) in
+  let ctrl_flights = Atomic.make 0 and ctrl_alarmed = Atomic.make 0 in
+  Option.iter
+    (fun p ->
+      Progress.on_heartbeat p (fun () ->
+          let cells =
+            Array.to_list
+              (Array.mapi
+                 (fun i (done_, det, tk) ->
+                   let dn = Atomic.get done_ in
+                   Json.Obj
+                     [
+                       ("defense", Json.String (defense_name defenses.(i / na)));
+                       ("attack", Json.String (attack_name attacks.(i mod na)));
+                       ("done", Json.Int dn);
+                       ("detected", Json.Int (Atomic.get det));
+                       ("takeovers", Json.Int (Atomic.get tk));
+                       ( "detect_rate",
+                         Json.Float
+                           (if dn = 0 then 0.0
+                            else float_of_int (Atomic.get det) /. float_of_int dn) );
+                     ])
+                 tally)
+          in
+          [
+            ("cells", Json.List cells);
+            ( "controls",
+              Json.Obj
+                [
+                  ("flights", Json.Int (Atomic.get ctrl_flights));
+                  ("alarmed", Json.Int (Atomic.get ctrl_alarmed));
+                ] );
+          ]))
+    progress;
+  let lanes_for tracer ~index ~cell_label =
+    Option.map
+      (fun tr ->
+        let base = Printf.sprintf "trial-%05d %s" index cell_label in
+        ( Span.lane tr ~sort:index base,
+          Span.lane tr ~sort:index ~domain:Span.Cycles (base ^ " sim") ))
+      tracer
+  in
   let results =
-    Engine.map ?pool ?jobs ~seed ~tasks (fun ~index ~rng ->
+    Engine.map ?pool ?jobs ?progress ~seed ~tasks (fun ~index ~rng ->
         let level = faults.Fault.Profile.levels.(index / per_level) in
+        let lname = level.Fault.Profile.name in
         let rem = index mod per_level in
-        if rem < grid_tasks then
-          let defense = defenses.(rem / (na * trials)) in
-          let attack_i = rem / trials mod na in
-          trial ~image ~inject:(Some frames.(attack_i)) ~defense ~level ~ms ~rng
-        else
-          let defense = defenses.((rem - grid_tasks) / trials) in
-          trial ~image ~inject:None ~defense ~level ~ms ~rng)
+        if rem < grid_tasks then begin
+          let d = rem / (na * trials) in
+          let ai = rem / trials mod na in
+          let defense = defenses.(d) in
+          let cell_label =
+            Printf.sprintf "%s/%s/%s" lname (defense_name defense) (attack_name attacks.(ai))
+          in
+          let lanes = lanes_for tracer ~index ~cell_label in
+          let body () =
+            trial ?lanes ~image ~inject:(Some frames.(ai)) ~defense ~level ~ms ~rng ()
+          in
+          let ((o, _) as r) =
+            match lanes with
+            | None -> body ()
+            | Some (hl, _) ->
+                Span.span hl
+                  ~args:
+                    [
+                      ("index", Json.Int index);
+                      ("level", Json.String lname);
+                      ("defense", Json.String (defense_name defense));
+                      ("attack", Json.String (attack_name attacks.(ai)));
+                    ]
+                  "trial" body
+          in
+          let done_, det, tk = tally.((d * na) + ai) in
+          Atomic.incr done_;
+          if o.detected then Atomic.incr det;
+          if o.takeover then Atomic.incr tk;
+          r
+        end
+        else begin
+          let d = (rem - grid_tasks) / trials in
+          let defense = defenses.(d) in
+          let cell_label = Printf.sprintf "%s/%s/control" lname (defense_name defense) in
+          let lanes = lanes_for tracer ~index ~cell_label in
+          let body () = trial ?lanes ~image ~inject:None ~defense ~level ~ms ~rng () in
+          let ((o, _) as r) =
+            match lanes with
+            | None -> body ()
+            | Some (hl, _) ->
+                Span.span hl
+                  ~args:
+                    [
+                      ("index", Json.Int index);
+                      ("level", Json.String lname);
+                      ("defense", Json.String (defense_name defense));
+                      ("attack", Json.String "none");
+                    ]
+                  "trial" body
+          in
+          Atomic.incr ctrl_flights;
+          if o.gcs_alarm_count > 0 then Atomic.incr ctrl_alarmed;
+          r
+        end)
   in
   let metrics = Metrics.create () in
   Array.iter (fun (_, r) -> Metrics.merge ~into:metrics r) results;

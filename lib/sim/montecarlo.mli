@@ -81,12 +81,27 @@ type t = {
     {!Mavr_fault.Profile.none} — a single clean level, the pre-fault
     campaign.  The attacker's analysis of the unprotected [build] runs
     once; trial randomness (fault seeds, layout seeds, master seeds) is
-    split per task from [seed]. *)
+    split per task from [seed].
+
+    Observability (defaults off; neither perturbs any trial's PRNG
+    stream or result): with [?tracer], every trial gets two lanes
+    sorted by task index — a host lane
+    ["trial-NNNNN level/defense/attack"] holding a ["trial"] span over
+    ["boot"]/["warmup"]/["flight"] phase spans plus ["inject"]/
+    ["detected"] instants, and a [" sim"]-suffixed {e cycles} lane
+    carrying the rig's cycle-stamped flight-recorder window (master
+    flash-session phases, inject/alarm events), which is deterministic
+    and survives timing-stripping.  With [?progress], the task total
+    is registered up front, every trial completion ticks the stream,
+    and each heartbeat line carries per-(defense × attack) running
+    done/detected/takeover tallies plus control-flight counts. *)
 val run :
   ?pool:Mavr_campaign.Pool.t ->
   ?jobs:int ->
   ?ms:int ->
   ?faults:Mavr_fault.Profile.t ->
+  ?tracer:Mavr_telemetry.Span.tracer ->
+  ?progress:Mavr_campaign.Progress.t ->
   seed:int ->
   trials:int ->
   Mavr_firmware.Build.t ->

@@ -15,9 +15,9 @@ type metric =
   | Sampled of (unit -> int)
   | Sampled_counter of (unit -> int)
 
-type registry = { tbl : (string, metric) Hashtbl.t }
+type registry = { tbl : (string, metric) Hashtbl.t; mutable emit_seq : int }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; emit_seq = 0 }
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -197,14 +197,24 @@ let value_to_json = function
 
 let to_json t = Json.Obj (List.map (fun (name, v) -> (name, value_to_json v)) (snapshot t))
 
-let to_jsonl t =
+(* Each emitted line carries a registry-monotonic [seq] (never reset, so
+   a consumer tailing successive snapshots can detect dropped or
+   reordered lines) and the emulated-cycle stamp of the emission. *)
+let to_jsonl ?(cycle = 0) t =
   let b = Buffer.create 256 in
   List.iter
     (fun (name, v) ->
       let fields =
         match value_to_json v with Json.Obj kvs -> kvs | _ -> assert false
       in
-      Buffer.add_string b (Json.to_string (Json.Obj (("name", Json.String name) :: fields)));
+      t.emit_seq <- t.emit_seq + 1;
+      Buffer.add_string b
+        (Json.to_string
+           (Json.Obj
+              (("name", Json.String name)
+              :: ("seq", Json.Int t.emit_seq)
+              :: ("cycle", Json.Int cycle)
+              :: fields)));
       Buffer.add_char b '\n')
     (snapshot t);
   Buffer.contents b

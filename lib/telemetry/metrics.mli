@@ -103,8 +103,13 @@ val merge : into:registry -> registry -> unit
 
 val to_json : registry -> Json.t
 
-(** One compact JSON object per line ([{"name":...,"type":...,...}]). *)
-val to_jsonl : registry -> string
+(** One compact JSON object per line
+    ([{"name":...,"seq":...,"cycle":...,"type":...,...}]).  [seq] is
+    monotonic per registry across calls and never resets, so a stream
+    consumer can detect dropped or reordered lines; [cycle] (default 0)
+    stamps every line of this emission with the emulated-CPU cycle the
+    snapshot was taken at. *)
+val to_jsonl : ?cycle:int -> registry -> string
 
 (** Parses {!to_jsonl} output back; the round-trip equals {!snapshot}. *)
 val of_jsonl : string -> ((string * value_snapshot) list, string) result

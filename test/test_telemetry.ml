@@ -125,6 +125,33 @@ let test_jsonl_rejects_corrupt_line () =
   | Ok _ -> Alcotest.fail "accepted corrupt line"
   | Error _ -> ()
 
+let test_jsonl_seq_and_cycle_stamps () =
+  (* Every exported line carries a monotonic per-registry [seq] (never
+     reset across exports — consumers detect dropped lines) and the
+     emission cycle stamp; neither breaks the round-trip. *)
+  let r = Metrics.create () in
+  Metrics.incr (Metrics.counter r "a");
+  Metrics.incr (Metrics.counter r "b");
+  let seqs_of s =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l ->
+           match Json.of_string l with
+           | Ok j ->
+               ( Option.bind (Json.member "seq" j) Json.to_int,
+                 Option.bind (Json.member "cycle" j) Json.to_int )
+           | Error e -> Alcotest.failf "line does not parse: %s" e)
+  in
+  Alcotest.(check (list (pair (option int) (option int))))
+    "first export stamps" [ (Some 1, Some 500); (Some 2, Some 500) ]
+    (seqs_of (Metrics.to_jsonl ~cycle:500 r));
+  Alcotest.(check (list (pair (option int) (option int))))
+    "seq continues across exports" [ (Some 3, Some 900); (Some 4, Some 900) ]
+    (seqs_of (Metrics.to_jsonl ~cycle:900 r));
+  match Metrics.of_jsonl (Metrics.to_jsonl ~cycle:42 r) with
+  | Ok parsed -> Alcotest.(check bool) "still round-trips" true (parsed = Metrics.snapshot r)
+  | Error e -> Alcotest.failf "of_jsonl: %s" e
+
 (* ---- flight-recorder ring ---- *)
 
 let test_recorder_wraparound () =
@@ -187,6 +214,7 @@ let () =
           Alcotest.test_case "idempotent registration" `Quick test_registry_idempotent_and_kind_clash;
           Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "jsonl corrupt line" `Quick test_jsonl_rejects_corrupt_line;
+          Alcotest.test_case "jsonl seq and cycle stamps" `Quick test_jsonl_seq_and_cycle_stamps;
         ] );
       ( "recorder",
         [
