@@ -54,6 +54,15 @@ let required =
     [ "tracing"; "identical" ];
     [ "tracing"; "trace_events" ];
     [ "tracing"; "progress_lines" ];
+    [ "dataflow"; "arduplane"; "static_bound" ];
+    [ "dataflow"; "arduplane"; "dynamic_high_water" ];
+    [ "dataflow"; "arduplane"; "bound_holds" ];
+    [ "dataflow"; "arduplane"; "taint_findings_mavr" ];
+    [ "dataflow"; "arduplane"; "taint_findings_patched" ];
+    [ "dataflow"; "arduplane"; "validator_ok" ];
+    [ "dataflow"; "arduplane"; "stackdepth_ms" ];
+    [ "dataflow"; "arduplane"; "taint_ms" ];
+    [ "dataflow"; "arduplane"; "validate_ms" ];
   ]
 
 let load path =
@@ -253,6 +262,46 @@ let () =
            | None -> prerr_endline "bench smoke: tracing overhead missing"; false)
       in
       if not tr_ok then exit 1;
+      (* PR-8 data-flow gates — semantic claims, so they apply to quick
+         runs too: on every profile the static stack bound dominates the
+         measured SP watermark, the uplink taint analysis rediscovers the
+         §IV unchecked copy on the vulnerable toolchain and stays silent
+         on the bounds-checked one, and the translation-validator accepts
+         the fresh randomized layout. *)
+      let df_ok =
+        match Json.path [ "dataflow" ] doc with
+        | Some (Json.Obj rows) when rows <> [] ->
+            List.for_all
+              (fun (profile, row) ->
+                let bool_true k = Json.member k row = Some (Json.Bool true) in
+                let int_of k =
+                  match Json.member k row with Some (Json.Int i) -> Some i | _ -> None
+                in
+                let ok = ref true in
+                let complain fmt =
+                  Printf.ksprintf
+                    (fun s ->
+                      Printf.eprintf "bench smoke: dataflow.%s: %s\n" profile s;
+                      ok := false)
+                    fmt
+                in
+                if not (bool_true "bound_holds") then
+                  complain "static stack bound does not dominate the dynamic watermark";
+                if not (bool_true "validator_ok") then
+                  complain "translation-validator rejected the randomized layout";
+                (match int_of "taint_findings_mavr" with
+                | Some n when n >= 1 -> ()
+                | _ -> complain "taint lost the unchecked PARAM_SET copy on the mavr build");
+                (match int_of "taint_findings_patched" with
+                | Some 0 -> ()
+                | _ -> complain "taint is not silent on the bounds-checked build");
+                !ok)
+              rows
+        | _ ->
+            prerr_endline "bench smoke: dataflow is not a non-empty object";
+            false
+      in
+      if not df_ok then exit 1;
       (match Option.bind (Json.path [ "schema" ] doc) Json.to_str with
       | Some "mavr-bench" -> ()
       | Some other ->

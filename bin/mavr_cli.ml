@@ -8,7 +8,9 @@
      fly        closed-loop defended/undefended flight
      stats      instrumented flight: telemetry registry summary (or --json)
      flight-record  induce a fault and print the flight-recorder dump
-     analyze    static analysis: CFG recovery + gadget-survival census
+     analyze    static analysis: CFG recovery + gadget-survival census, plus the
+                data-flow clients (--stack/--stack-verify bound, --taint uplink
+                tracking, --validate-seed translation validation)
      lint       check firmware structural invariants (exit 1 on findings)
      campaign   parallel Monte Carlo evaluation campaign (census + attack grid;
                 --trace/--progress stream a Perfetto trace and live heartbeats)
@@ -16,7 +18,9 @@
      tables     print the paper-table reproductions (also in bench/main.exe)
 
    Exit codes: 0 success, 1 operation failed (gadgets absent, randomization
-   had no effect, output not writable, no fault captured, lint findings,
+   had no effect or failed validation, output not writable, no fault captured,
+   lint findings, an analyze sub-analysis found a violation — taint findings,
+   translation mismatch, stack bound under the dynamic watermark — or a
    campaign found a feasible payload or a takeover under the MAVR defense),
    2 usage error. *)
 
@@ -110,8 +114,16 @@ let cmd_randomize =
     let b = build_firmware profile F.Profile.mavr in
     (* Latency is a wall-clock quantity; [Sys.time] (CPU time) only agreed
        with it here by virtue of the process being single-threaded. *)
-    let r, span = Mavr_campaign.Clock.time (fun () -> Mavr_core.Randomize.randomize ~seed b.image) in
-    Format.printf "randomized %s with seed %d in %.1f ms wall, %.1f ms cpu (host)@."
+    let checked, span =
+      Mavr_campaign.Clock.time (fun () ->
+          Mavr_core.Randomize.randomize_checked ~seed b.image)
+    in
+    match checked with
+    | Error m ->
+        Format.eprintf "error: %s@." m;
+        1
+    | Ok r ->
+    Format.printf "randomized + translation-validated %s with seed %d in %.1f ms wall, %.1f ms cpu (host)@."
       profile.F.Profile.name seed
       (1000. *. span.Mavr_campaign.Clock.wall_s)
       (1000. *. span.Mavr_campaign.Clock.cpu_s);
@@ -331,31 +343,121 @@ let cmd_entropy =
   Cmd.v (Cmd.info "entropy" ~doc:"Layout entropy and brute-force effort (paper §V-D, §VIII-B)")
     Term.(const run $ n $ pad)
 
+(* The analyze --json document carries a schema version so downstream
+   consumers (bin/trace_check --analyze, bench/check) can reject drift:
+     1  cfg + gadgets + census (PR 5)
+     2  adds optional stack / taint / translation_validation /
+        stack_verify sections and the toolchain field (this version) *)
+let analyze_schema_version = 2
+
+(* Dynamic cross-check of the static stack bound: fly the image with
+   probes attached, drive the uplink with benign PARAM_SET frames (the
+   deepest interprocedural path), and compare the exact SP watermark
+   against the static image bound. *)
+let stack_verify_run (img : Image.t) ~ms =
+  let module Cpu = Mavr_avr.Cpu in
+  let registry = Mavr_telemetry.Metrics.create () in
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu img.Image.code;
+  let probes = Mavr_avr.Probes.attach ~registry cpu in
+  ignore (Cpu.run cpu ~max_cycles:60_000);
+  for i = 0 to 7 do
+    let payload = String.init 16 (fun k -> Char.chr ((1 + i + k) land 0x3F)) in
+    Cpu.uart_send cpu
+      (Mavr_mavlink.Frame.encode
+         { Mavr_mavlink.Frame.seq = i; sysid = 255; compid = 0; msgid = 23; payload })
+  done;
+  ignore (Cpu.run cpu ~max_cycles:(16_000 * ms));
+  Mavr_avr.Probes.min_sp probes
+
 let cmd_analyze =
-  let run profile toolchain layouts json =
+  let run profile toolchain layouts stack stack_verify taint validate_seed json =
+    let module J = Mavr_telemetry.Json in
+    let module Sd = Mavr_analysis.Stackdepth in
     let b = build_firmware profile toolchain in
     let img = b.F.Build.image in
     let cfg = Mavr_analysis.Cfg.recover img in
     let stats = Mavr_analysis.Cfg.stats cfg in
     let gadgets = Mavr_core.Gadget.scan img in
     let census = Mavr_analysis.Survival.census ~layouts img in
+    let sd =
+      if stack || stack_verify <> None then Some (Sd.analyze cfg) else None
+    in
+    let taint_r = if taint then Some (Mavr_analysis.Taint.analyze cfg) else None in
+    let equiv_r =
+      Option.map
+        (fun seed ->
+          match Mavr_core.Randomize.randomize ~seed img with
+          | exception Mavr_core.Patch.Unpatchable m ->
+              Error [ { Mavr_analysis.Equiv.at = 0; what = "unpatchable image: " ^ m } ]
+          | r -> Mavr_analysis.Equiv.validate ~original:img ~randomized:r)
+        validate_seed
+    in
+    (* Dynamic cross-check: static bound must dominate the SP watermark. *)
+    let verify_r =
+      Option.map
+        (fun ms ->
+          let stack_top = F.Layout.stack_top in
+          let min_sp = stack_verify_run img ~ms in
+          let static = (Option.get sd).Sd.image_bound in
+          let ok =
+            match (static, min_sp) with
+            | Sd.Finite b, Some sp -> stack_top - sp <= b
+            | _ -> false
+          in
+          (ms, stack_top, min_sp, ok))
+        stack_verify
+    in
     if json then
       print_endline
-        (Mavr_telemetry.Json.to_string ~indent:2
-           (Mavr_telemetry.Json.Obj
-              [
-                ("profile", Mavr_telemetry.Json.String profile.F.Profile.name);
-                ("cfg", Mavr_analysis.Cfg.stats_to_json stats);
-                ( "gadgets",
-                  Mavr_telemetry.Json.Obj
-                    (( "total",
-                       Mavr_telemetry.Json.Int (List.length gadgets) )
-                    :: List.map
-                         (fun (k, n) ->
-                           (Mavr_core.Gadget.kind_name k, Mavr_telemetry.Json.Int n))
-                         (Mavr_core.Gadget.count_by_kind gadgets)) );
-                ("census", Mavr_analysis.Survival.to_json census);
-              ]))
+        (J.to_string ~indent:2
+           (J.Obj
+              ([
+                 ("schema", J.Int analyze_schema_version);
+                 ("profile", J.String profile.F.Profile.name);
+                 ( "toolchain",
+                   J.String
+                     (if toolchain == F.Profile.stock then "stock"
+                      else if toolchain == F.Profile.patched then "patched"
+                      else "mavr") );
+                 ("cfg", Mavr_analysis.Cfg.stats_to_json stats);
+                 ( "gadgets",
+                   J.Obj
+                     (("total", J.Int (List.length gadgets))
+                     :: List.map
+                          (fun (k, n) -> (Mavr_core.Gadget.kind_name k, J.Int n))
+                          (Mavr_core.Gadget.count_by_kind gadgets)) );
+                 ("census", Mavr_analysis.Survival.to_json census);
+               ]
+              @ (match sd with
+                | Some r -> [ ("stack", Sd.to_json ~per_function:false img r) ]
+                | None -> [])
+              @ (match taint_r with
+                | Some r -> [ ("taint", Mavr_analysis.Taint.to_json r) ]
+                | None -> [])
+              @ (match equiv_r with
+                | Some r -> [ ("translation_validation", Mavr_analysis.Equiv.to_json r) ]
+                | None -> [])
+              @
+              match verify_r with
+              | Some (ms, stack_top, min_sp, ok) ->
+                  [
+                    ( "stack_verify",
+                      J.Obj
+                        ([ ("ms", J.Int ms); ("stack_top", J.Int stack_top) ]
+                        @ (match min_sp with
+                          | Some sp ->
+                              [
+                                ("min_sp", J.Int sp);
+                                ("dynamic_high_water", J.Int (stack_top - sp));
+                              ]
+                          | None -> [])
+                        @ [
+                            ("static_bound", Sd.bound_to_json (Option.get sd).Sd.image_bound);
+                            ("ok", J.Bool ok);
+                          ]) );
+                  ]
+              | None -> [])))
     else begin
       Format.printf "%s (%d B image)@." profile.F.Profile.name (Image.size img);
       Format.printf "  %a@." Mavr_analysis.Cfg.pp_stats stats;
@@ -364,18 +466,81 @@ let cmd_analyze =
            (List.map
               (fun (k, n) -> Printf.sprintf "%s %d" (Mavr_core.Gadget.kind_name k) n)
               (Mavr_core.Gadget.count_by_kind gadgets)));
-      Format.printf "  %a@." Mavr_analysis.Survival.pp census
+      Format.printf "  %a@." Mavr_analysis.Survival.pp census;
+      Option.iter (fun r -> Format.printf "%t@." (fun fmt -> Sd.pp fmt img r)) sd;
+      Option.iter
+        (fun (r : Mavr_analysis.Taint.report) ->
+          Format.printf "  taint: %d unbounded uplink cop%s (%d nodes, %d iterations)@."
+            (List.length r.findings)
+            (if List.length r.findings = 1 then "y" else "ies")
+            r.nodes r.iterations;
+          List.iter
+            (fun f -> Format.printf "  @[<v>%a@]@." Mavr_analysis.Taint.pp_finding f)
+            r.findings)
+        taint_r;
+      Option.iter
+        (function
+          | Ok (s : Mavr_analysis.Equiv.stats) ->
+              Format.printf
+                "  translation validation: OK — %d functions, %d insns, %d edges, %d funptrs \
+                 isomorphic@."
+                s.functions s.insns s.edges s.funptrs
+          | Error ms ->
+              Format.printf "  translation validation: %d mismatch(es)@." (List.length ms);
+              List.iteri
+                (fun i m ->
+                  if i < 10 then Format.printf "    %a@." Mavr_analysis.Equiv.pp_mismatch m)
+                ms)
+        equiv_r;
+      Option.iter
+        (fun (ms, stack_top, min_sp, ok) ->
+          Format.printf "  stack verify (%d ms flight): static %a vs dynamic %s — %s@." ms
+            Sd.pp_bound (Option.get sd).Sd.image_bound
+            (match min_sp with
+            | Some sp -> Printf.sprintf "%d B (min SP 0x%04x of 0x%04x)" (stack_top - sp) sp stack_top
+            | None -> "no SP write observed")
+            (if ok then "bound holds" else "VIOLATION"))
+        verify_r
     end;
-    0
+    let clean =
+      (match taint_r with Some r -> r.Mavr_analysis.Taint.findings = [] | None -> true)
+      && (match equiv_r with Some (Error _) -> false | _ -> true)
+      && match verify_r with Some (_, _, _, ok) -> ok | None -> true
+    in
+    if clean then 0 else 1
   in
   let layouts =
     Arg.(value & opt int 10 & info [ "layouts" ] ~docv:"K"
            ~doc:"Randomized layouts to measure in the survival census.")
   in
+  let stack =
+    Arg.(value & flag & info [ "stack" ]
+           ~doc:"Static worst-case stack bound (interprocedural data-flow).")
+  in
+  let stack_verify =
+    Arg.(value & opt (some int) None & info [ "stack-verify" ] ~docv:"MS"
+           ~doc:"Fly the image for $(docv) simulated milliseconds with PARAM_SET uplink \
+                 traffic and check the static stack bound dominates the measured SP \
+                 watermark (exit 1 on violation).")
+  in
+  let taint =
+    Arg.(value & flag & info [ "taint" ]
+           ~doc:"Uplink taint analysis: flag loops that copy through a pointer store under \
+                 an unclamped UART-derived exit bound (exit 1 on findings).")
+  in
+  let validate_seed =
+    Arg.(value & opt (some int) None & info [ "validate-seed" ] ~docv:"SEED"
+           ~doc:"Randomize with $(docv) and run the translation validator: prove the result \
+                 CFG-isomorphic to the seed image modulo relocation (exit 1 on mismatch).")
+  in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Static analysis: CFG recovery, gadget census, survival under randomization")
-    Term.(const run $ profile_arg $ toolchain_arg $ layouts $ json_flag)
+       ~doc:"Static analysis: CFG recovery, gadget census, survival under randomization, \
+             and the data-flow clients (stack bound, uplink taint, translation validation). \
+             Exits 1 when a requested sub-analysis finds a violation.")
+    Term.(
+      const run $ profile_arg $ toolchain_arg $ layouts $ stack $ stack_verify $ taint
+      $ validate_seed $ json_flag)
 
 let cmd_lint =
   let run profile toolchain rseed json =
@@ -712,6 +877,20 @@ let cmd_tables =
   in
   Cmd.v (Cmd.info "tables" ~doc:"Quick Table I/II/III summary") Term.(const run $ const ())
 
+(* Close the dependency loop at program start: Mavr_analysis.Equiv
+   depends on mavr_core, so the randomizer receives its translation
+   validator by injection.  Every randomize_checked call in this binary
+   proves semantic equivalence, not just structural sanity. *)
+let () =
+  Mavr_core.Randomize.set_translation_validator (fun ~original ~randomized ->
+      match Mavr_analysis.Equiv.validate ~original ~randomized with
+      | Ok _ -> Ok ()
+      | Error (m :: _ as ms) ->
+          Error
+            (Format.asprintf "%d mismatch(es), first: %a" (List.length ms)
+               Mavr_analysis.Equiv.pp_mismatch m)
+      | Error [] -> Error "validator rejected the image without a mismatch")
+
 let () =
   let doc = "MAVR: code-reuse stealthy attacks and mitigation on UAVs (ICDCS 2015 reproduction)" in
   let exits =
@@ -719,9 +898,11 @@ let () =
       Cmd.Exit.info 0 ~doc:"on success.";
       Cmd.Exit.info 1
         ~doc:
-          "on operation failure: gadgets absent, randomization had no effect, output not \
-           writable, no fault captured, lint findings, or a campaign that found a feasible \
-           payload or a takeover under the MAVR defense.";
+          "on operation failure: gadgets absent, randomization had no effect or failed \
+           translation validation, output not writable, no fault captured, lint findings, an \
+           analyze sub-analysis violation (taint finding, translation mismatch, stack bound \
+           below the dynamic watermark), or a campaign that found a feasible payload or a \
+           takeover under the MAVR defense.";
       Cmd.Exit.info 2 ~doc:"on usage error: unknown subcommand, bad option, or bad argument.";
     ]
   in

@@ -12,6 +12,12 @@
                                   every line parses, seq increases by 1,
                                   done is monotonic and never exceeds
                                   total
+     trace_check --analyze FILE   validate a `mavr analyze --json`
+                                  document against schema version 2:
+                                  required cfg/gadgets/census sections
+                                  plus well-formed optional stack /
+                                  taint / translation_validation /
+                                  stack_verify sections
 
    Exit codes: 0 valid, 1 invalid, 2 usage. *)
 
@@ -163,9 +169,108 @@ let validate_progress path =
     lines;
   Printf.printf "progress ok: %d lines, %d/%d tasks\n" (List.length lines) !last_done !last_total
 
+(* ---- analyze document validation ------------------------------------- *)
+
+let analyze_schema_version = 2
+
+(* A stack bound serializes as an int (finite) or {"unbounded": why}. *)
+let check_bound ctx = function
+  | Some (J.Int _) -> ()
+  | Some (J.Obj _ as o) -> (
+      match str "unbounded" o with
+      | Some _ -> ()
+      | None -> fail "%s: object bound without an unbounded reason" ctx)
+  | Some _ -> fail "%s: bound is neither int nor object" ctx
+  | None -> fail "%s: missing" ctx
+
+let validate_analyze path =
+  let doc =
+    match J.of_string (read_file path) with Ok j -> j | Error e -> fail "%s: %s" path e
+  in
+  (match int "schema" doc with
+  | Some v when v = analyze_schema_version -> ()
+  | Some v -> fail "analyze schema version %d, expected %d" v analyze_schema_version
+  | None -> fail "missing schema version");
+  (match str "profile" doc with Some _ -> () | None -> fail "missing profile");
+  (match str "toolchain" doc with
+  | Some ("mavr" | "stock" | "patched") -> ()
+  | Some t -> fail "unknown toolchain %S" t
+  | None -> fail "missing toolchain");
+  let section name =
+    match mem name doc with
+    | Some (J.Obj _ as o) -> Some o
+    | Some _ -> fail "%s is not an object" name
+    | None -> None
+  in
+  let require name =
+    match section name with Some o -> o | None -> fail "missing %s section" name
+  in
+  let ints o oname keys =
+    List.iter
+      (fun k -> match int k o with Some _ -> () | None -> fail "%s.%s missing" oname k)
+      keys
+  in
+  ints (require "cfg") "cfg"
+    [ "entries"; "reachable_insns"; "reachable_bytes"; "exec_bytes"; "blocks";
+      "sweep_insns"; "sweep_bytes" ];
+  ints (require "gadgets") "gadgets" [ "total" ];
+  ignore (require "census");
+  let sections = ref [ "cfg"; "gadgets"; "census" ] in
+  Option.iter
+    (fun stack ->
+      sections := "stack" :: !sections;
+      ints stack "stack" [ "entries"; "iterations" ];
+      List.iter
+        (fun k -> check_bound ("stack." ^ k) (mem k stack))
+        [ "main_total"; "isr_extra"; "image_bound" ])
+    (section "stack");
+  Option.iter
+    (fun taint ->
+      sections := "taint" :: !sections;
+      ints taint "taint" [ "iterations"; "nodes" ];
+      match mem "findings" taint with
+      | Some (J.List fs) ->
+          List.iteri
+            (fun i f ->
+              let ctx = Printf.sprintf "taint.findings[%d]" i in
+              (match str "fn" f with Some _ -> () | None -> fail "%s: missing fn" ctx);
+              ints f ctx [ "branch_addr"; "store_addr" ];
+              match str "detail" f with Some _ -> () | None -> fail "%s: missing detail" ctx)
+            fs
+      | _ -> fail "taint.findings missing or not a list")
+    (section "taint");
+  Option.iter
+    (fun tv ->
+      sections := "translation_validation" :: !sections;
+      match mem "ok" tv with
+      | Some (J.Bool true) -> (
+          match mem "stats" tv with
+          | Some (J.Obj _ as s) ->
+              ints s "translation_validation.stats"
+                [ "functions"; "insns"; "edges"; "funptrs"; "vectors" ]
+          | _ -> fail "translation_validation ok without stats")
+      | Some (J.Bool false) -> (
+          match mem "mismatches" tv with
+          | Some (J.List (_ :: _)) -> ()
+          | _ -> fail "translation_validation failed without mismatches")
+      | _ -> fail "translation_validation.ok missing")
+    (section "translation_validation");
+  Option.iter
+    (fun sv ->
+      sections := "stack_verify" :: !sections;
+      ints sv "stack_verify" [ "ms"; "stack_top" ];
+      check_bound "stack_verify.static_bound" (mem "static_bound" sv);
+      match mem "ok" sv with
+      | Some (J.Bool _) -> ()
+      | _ -> fail "stack_verify.ok missing")
+    (section "stack_verify");
+  Printf.printf "analyze ok: schema %d, sections %s\n" analyze_schema_version
+    (String.concat "," (List.rev !sections))
+
 let () =
   match Sys.argv with
   | [| _; "--progress"; path |] -> validate_progress path
+  | [| _; "--analyze"; path |] -> validate_analyze path
   | [| _; "--strip"; path |] | [| _; path |] ->
       let strip = Sys.argv.(1) = "--strip" in
       let doc =
@@ -175,5 +280,7 @@ let () =
       if strip then print_endline (J.to_string (strip_trace doc events))
       else Printf.printf "trace ok: %d events\n" (List.length events)
   | _ ->
-      prerr_endline "usage: trace_check [--strip] FILE | trace_check --progress FILE";
+      prerr_endline
+        "usage: trace_check [--strip] FILE | trace_check --progress FILE | trace_check \
+         --analyze FILE";
       exit 2

@@ -128,6 +128,8 @@ let sorted_reachable t =
   let addrs = Hashtbl.fold (fun a _ acc -> a :: acc) t.reachable [] in
   List.sort compare addrs
 
+let reachable_addrs = sorted_reachable
+
 let block_starts t =
   let starts = Hashtbl.fold (fun a _ acc -> if Hashtbl.mem t.reachable a then a :: acc else acc) t.leaders [] in
   List.sort compare starts

@@ -49,6 +49,10 @@ val sweep_insn_at : t -> int -> (Mavr_avr.Isa.t * int) option
 
 val is_reachable : t -> int -> bool
 
+(** Every descent-reached instruction boundary, ascending — the node set
+    the {!Dataflow} solver iterates. *)
+val reachable_addrs : t -> int list
+
 (** Reachable basic-block leader {e byte} addresses, sorted: recovery
     entries plus every branch/call target.  The static complement to the
     superblock engine's dynamic block discovery. *)

@@ -1,0 +1,219 @@
+module Isa = Mavr_avr.Isa
+module Device = Mavr_avr.Device
+module Disasm = Mavr_avr.Disasm
+module Image = Mavr_obj.Image
+module Json = Mavr_telemetry.Json
+
+type stats = {
+  functions : int;
+  insns : int;
+  edges : int;
+  funptrs : int;
+  vectors : int;
+}
+
+type mismatch = { at : int; what : string }
+
+let mk at fmt = Printf.ksprintf (fun what -> { at; what }) fmt
+
+(* Address translation: the randomizer permutes whole function blocks of
+   the text section and leaves everything else in place, so the map is
+   [name-match + intra-block offset] inside text and the identity
+   elsewhere. *)
+let make_map ~(original : Image.t) ~(randomized : Image.t) =
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Image.symbol) -> Hashtbl.replace by_name s.name s.addr)
+    randomized.Image.symbols;
+  fun addr ->
+    if addr < original.text_start || addr >= original.text_end then addr
+    else
+      match Image.function_containing original addr with
+      | None -> addr
+      | Some sym -> (
+          match Hashtbl.find_opt by_name sym.name with
+          | Some base -> base + (addr - sym.addr)
+          | None -> addr)
+
+(* The randomized image's instruction expected at the translated address,
+   given the original instruction: only transfer targets change, and only
+   through [map_addr]. *)
+let retarget ~map_addr ~orig_addr ~rand_addr ~size insn =
+  let rel k = map_addr (orig_addr + size + (2 * k)) - (rand_addr + size) in
+  match insn with
+  | Isa.Jmp a -> Isa.Jmp (map_addr (2 * a) / 2)
+  | Isa.Call a -> Isa.Call (map_addr (2 * a) / 2)
+  | Isa.Rjmp k -> Isa.Rjmp (rel k / 2)
+  | Isa.Rcall k -> Isa.Rcall (rel k / 2)
+  | Isa.Brbs (f, k) -> Isa.Brbs (f, rel k / 2)
+  | Isa.Brbc (f, k) -> Isa.Brbc (f, rel k / 2)
+  | other -> other
+
+(* Compare one executable range instruction-by-instruction under the
+   translation: boundaries and sizes must line up exactly, and each
+   instruction must equal its retargeted original. *)
+let compare_range ~map_addr ~o_code ~r_code ~o_base ~r_base ~len ~what bad =
+  let o_lines = Disasm.sweep ~pos:o_base ~len o_code in
+  let r_lines = Disasm.sweep ~pos:r_base ~len r_code in
+  let count = ref 0 in
+  let rec go = function
+    | [], [] -> ()
+    | (o : Disasm.line) :: os, (r : Disasm.line) :: rs ->
+        incr count;
+        let o_off = o.byte_addr - o_base and r_off = r.byte_addr - r_base in
+        if o_off <> r_off || o.size_bytes <> r.size_bytes then
+          bad
+            (mk o.byte_addr "%s: instruction boundaries diverge at +0x%x vs +0x%x" what o_off
+               r_off)
+        else begin
+          let expect =
+            retarget ~map_addr ~orig_addr:o.byte_addr ~rand_addr:r.byte_addr ~size:o.size_bytes
+              o.insn
+          in
+          if expect <> r.insn then
+            bad
+              (mk r.byte_addr "%s: at +0x%x expected %s, found %s" what o_off
+                 (Isa.to_string expect) (Isa.to_string r.insn));
+          go (os, rs)
+        end
+    | o :: _, [] -> bad (mk o.byte_addr "%s: randomized stream ends early" what)
+    | [], r :: _ -> bad (mk r.byte_addr "%s: randomized stream has extra instructions" what)
+  in
+  go (o_lines, r_lines);
+  !count
+
+let validate ~(original : Image.t) ~(randomized : Image.t) =
+  let bad_list = ref [] in
+  let bad m = bad_list := m :: !bad_list in
+  (* 1. Structure: sizes, region bounds, symbol multiset, funptr slots.
+     Without these the address map is meaningless, so fail fast. *)
+  let structural () =
+    if Image.size original <> Image.size randomized then
+      bad (mk 0 "image size %d <> %d" (Image.size original) (Image.size randomized));
+    if
+      original.text_start <> randomized.text_start
+      || original.text_end <> randomized.text_end
+      || original.exec_low_end <> randomized.exec_low_end
+    then bad (mk 0 "executable region bounds changed");
+    let key (s : Image.symbol) = (s.name, s.size, s.kind) in
+    let multiset img = List.sort compare (List.map key img.Image.symbols) in
+    if multiset original <> multiset randomized then
+      bad (mk original.text_start "function multiset (name, size, kind) changed");
+    if
+      List.sort compare original.funptr_locs <> List.sort compare randomized.funptr_locs
+    then bad (mk 0 "function-pointer slot locations changed");
+    !bad_list = []
+  in
+  if not (structural ()) then Error (List.rev !bad_list)
+  else begin
+    let map_addr = make_map ~original ~randomized in
+    let o_code = original.Image.code and r_code = randomized.Image.code in
+    (* 2. Per-function normalized instruction streams. *)
+    let insns = ref 0 in
+    List.iter
+      (fun (s : Image.symbol) ->
+        match Image.find randomized s.name with
+        | r ->
+            insns :=
+              !insns
+              + compare_range ~map_addr ~o_code ~r_code ~o_base:s.addr ~r_base:r.addr
+                  ~len:s.size ~what:s.name bad
+        | exception Not_found -> bad (mk s.addr "function %s missing after shuffle" s.name))
+      original.Image.symbols;
+    (* 3. The low region (vector slots + trampolines) stays in place but
+       its absolute targets follow the shuffle. *)
+    insns :=
+      !insns
+      + compare_range ~map_addr ~o_code ~r_code ~o_base:0 ~r_base:0 ~len:original.exec_low_end
+          ~what:"low-region" bad;
+    (* 4. Data bytes are untouched except the funptr slots, which must
+       retarget consistently. *)
+    let funptr_bytes = Hashtbl.create 16 in
+    List.iter
+      (fun loc ->
+        Hashtbl.replace funptr_bytes loc ();
+        Hashtbl.replace funptr_bytes (loc + 1) ())
+      original.funptr_locs;
+    let regions = Cfg.exec_regions original in
+    let in_exec a = List.exists (fun (s, e) -> a >= s && a < e) regions in
+    let n = min (String.length o_code) (String.length r_code) in
+    let reported = ref 0 in
+    for a = 0 to n - 1 do
+      if
+        (not (in_exec a))
+        && (not (Hashtbl.mem funptr_bytes a))
+        && o_code.[a] <> r_code.[a]
+        && !reported < 8
+      then begin
+        incr reported;
+        bad (mk a "data byte changed: 0x%02x -> 0x%02x" (Char.code o_code.[a])
+               (Char.code r_code.[a]))
+      end
+    done;
+    List.iter
+      (fun loc ->
+        match (Cfg.funptr_target original loc, Cfg.funptr_target randomized loc) with
+        | Some t, Some t' when map_addr t = t' -> ()
+        | Some t, Some t' ->
+            bad (mk loc "funptr slot retargets to 0x%x, expected 0x%x" t' (map_addr t))
+        | _ -> bad (mk loc "funptr slot truncated"))
+      original.funptr_locs;
+    (* 5. CFG isomorphism: the recovered graphs must agree node-for-node
+       and edge-for-edge under the translation. *)
+    let edges = ref 0 in
+    let o_cfg = Cfg.recover original and r_cfg = Cfg.recover randomized in
+    let o_nodes = Cfg.reachable_addrs o_cfg and r_nodes = Cfg.reachable_addrs r_cfg in
+    if List.sort compare (List.map map_addr o_nodes) <> r_nodes then
+      bad (mk 0 "reachable node sets are not isomorphic (%d vs %d nodes)"
+             (List.length o_nodes) (List.length r_nodes));
+    if
+      List.sort compare (List.map map_addr (Cfg.block_starts o_cfg))
+      <> Cfg.block_starts r_cfg
+    then bad (mk 0 "basic-block leader sets are not isomorphic");
+    Cfg.iter_reachable o_cfg (fun addr insn size ->
+        let succs = Cfg.successors ~code:o_code addr insn size in
+        edges := !edges + List.length succs;
+        let addr' = map_addr addr in
+        match Cfg.insn_at r_cfg addr' with
+        | None -> bad (mk addr' "no randomized instruction at the image of 0x%x" addr)
+        | Some (insn', size') ->
+            let succs' = Cfg.successors ~code:r_code addr' insn' size' in
+            if
+              List.sort compare (List.map map_addr succs) <> List.sort compare succs'
+            then
+              bad (mk addr' "edge set at the image of 0x%x diverges (%d vs %d successors)"
+                     addr (List.length succs) (List.length succs')));
+    match List.rev !bad_list with
+    | [] ->
+        Ok
+          {
+            functions = Image.function_count original;
+            insns = !insns;
+            edges = !edges;
+            funptrs = List.length original.funptr_locs;
+            vectors = Device.Vector.count;
+          }
+    | ms -> Error ms
+  end
+
+let stats_to_json s =
+  Json.Obj
+    [
+      ("functions", Json.Int s.functions);
+      ("insns", Json.Int s.insns);
+      ("edges", Json.Int s.edges);
+      ("funptrs", Json.Int s.funptrs);
+      ("vectors", Json.Int s.vectors);
+    ]
+
+let mismatches_to_json ms =
+  Json.List
+    (List.map
+       (fun m -> Json.Obj [ ("at", Json.Int m.at); ("what", Json.String m.what) ])
+       ms)
+
+let to_json = function
+  | Ok s -> Json.Obj [ ("ok", Json.Bool true); ("stats", stats_to_json s) ]
+  | Error ms -> Json.Obj [ ("ok", Json.Bool false); ("mismatches", mismatches_to_json ms) ]
+
+let pp_mismatch fmt m = Format.fprintf fmt "at 0x%x: %s" m.at m.what

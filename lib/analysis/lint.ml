@@ -14,6 +14,7 @@ type kind =
   | Funptr_out_of_bounds
   | Funptr_not_function
   | Stray_sp_write
+  | Unbounded_uplink_copy
 
 type finding = { kind : kind; addr : int; target : int option; detail : string; context : string }
 
@@ -26,6 +27,7 @@ let kind_name = function
   | Funptr_out_of_bounds -> "funptr_out_of_bounds"
   | Funptr_not_function -> "funptr_not_function"
   | Stray_sp_write -> "stray_sp_write"
+  | Unbounded_uplink_copy -> "unbounded_uplink_copy"
 
 (* A three-line disassembly listing starting at the offending address. *)
 let context_at (img : Image.t) addr =
@@ -37,6 +39,8 @@ let context_at (img : Image.t) addr =
 
 let finding img kind addr ?target detail =
   { kind; addr; target; detail; context = context_at img addr }
+
+let make img kind addr ?target detail = finding img kind addr ?target detail
 
 (* ---- transfer targets ------------------------------------------------ *)
 
@@ -166,79 +170,47 @@ let check_funptrs (img : Image.t) acc =
 
 (* ---- stack-pointer writes -------------------------------------------- *)
 
-(* The linear instruction list of the function containing [addr], with
-   the index of the instruction at [addr] (None when [addr] is not on the
-   function's linear decode — itself suspicious for an SP write). *)
-let function_lines (img : Image.t) addr =
-  match Image.function_containing img addr with
-  | None -> None
-  | Some sym ->
-      let lines =
-        Array.of_list
-          (List.map
-             (fun (l : Disasm.line) -> (l.byte_addr, l.insn))
-             (Disasm.sweep ~pos:sym.addr ~len:sym.size img.Image.code))
-      in
-      let idx = ref None in
-      Array.iteri (fun i (a, _) -> if a = addr then idx := Some i) lines;
-      Option.map (fun i -> (lines, i)) !idx
-
-let sp_write_whitelisted (lines : (int * Isa.t) array) idx =
-  let n = Array.length lines in
-  let insn i = if i >= 0 && i < n then Some (snd lines.(i)) else None in
-  let exists_in lo hi p =
-    let found = ref false in
-    for i = lo to hi do
-      match insn i with Some x when p x -> found := true | _ -> ()
-    done;
-    !found
-  in
-  let spl = Device.Io.spl and sph = Device.Io.sph in
-  match insn idx with
-  | Some (Isa.Out (port, src)) when port = spl || port = sph ->
-      let other = if port = spl then sph else spl in
-      let paired =
-        exists_in (idx - 3) (idx + 3) (function Isa.Out (p, _) -> p = other | _ -> false)
-      in
-      let init =
-        (* startup: the written value was just loaded with ldi *)
-        exists_in (idx - 5) (idx - 1) (function Isa.Ldi (r, _) -> r = src | _ -> false)
-      in
-      let frame =
-        (* prologue frame allocation: SP was read back via in, adjusted,
-           written back *)
-        exists_in (idx - 8) (idx - 1) (function Isa.In (_, p) -> p = spl | _ -> false)
-        && exists_in (idx - 8) (idx - 1) (function Isa.In (_, p) -> p = sph | _ -> false)
-      in
-      let teardown =
-        (* epilogue teardown / pivot: a pop run and ret follow closely *)
-        exists_in (idx + 1) (idx + 8) (function Isa.Pop _ -> true | _ -> false)
-        && exists_in (idx + 1) (idx + 8) (function Isa.Ret -> true | _ -> false)
-      in
-      paired && (init || frame || teardown)
-  | _ -> false
-
+(* The old implementation pattern-matched idiom shapes inside ±3/±8
+   instruction windows of the linear decode; it is replaced by the
+   {!Stackdepth} data-flow facts: an [out SPL/SPH] is clean iff the
+   written register provably holds an SP-relative or constant value on
+   every path reaching the write.  [sts] to the SP's data-space aliases
+   (io_base + SPL/SPH, 0x5D/0x5E on the megaAVR) is the same pivot
+   primitive through the memory map and is never a compiler idiom. *)
 let check_sp_writes img cfg acc =
   let acc = ref acc in
   let spl = Device.Io.spl and sph = Device.Io.sph in
+  let io_base = Device.atmega2560.Device.io_base in
+  let spl_mem = io_base + spl and sph_mem = io_base + sph in
+  let classes = lazy (Stackdepth.sp_write_classes cfg) in
   Cfg.iter_reachable cfg (fun addr insn _size ->
       match insn with
       | Isa.Out (port, _) when port = spl || port = sph -> (
           let half = if port = spl then "SPL" else "SPH" in
-          match function_lines img addr with
+          match Hashtbl.find_opt (Lazy.force classes) addr with
+          | Some Stackdepth.Sp_relative | Some Stackdepth.Const_init -> ()
+          | Some Stackdepth.Unknown_source ->
+              acc :=
+                finding img Stray_sp_write addr
+                  (Printf.sprintf
+                     "out %s at 0x%x writes a value with no SP-relative or constant provenance"
+                     half addr)
+                :: !acc
           | None ->
               acc :=
                 finding img Stray_sp_write addr
-                  (Printf.sprintf "out %s at 0x%x outside any function's linear decode" half addr)
-                :: !acc
-          | Some (lines, idx) ->
-              if not (sp_write_whitelisted lines idx) then
-                acc :=
-                  finding img Stray_sp_write addr
-                    (Printf.sprintf
-                       "out %s at 0x%x matches no whitelisted idiom (init / frame / teardown)"
-                       half addr)
-                  :: !acc)
+                  (Printf.sprintf
+                     "out %s at 0x%x is reached by no stack-depth analysis entry" half addr)
+                :: !acc)
+      | Isa.Sts (a, _) when a = spl_mem || a = sph_mem ->
+          acc :=
+            finding img Stray_sp_write addr
+              (Printf.sprintf
+                 "sts 0x%02x at 0x%x writes %s through its data-space alias (memory-mapped \
+                  stack pivot)"
+                 a addr
+                 (if a = spl_mem then "SPL" else "SPH"))
+            :: !acc
       | _ -> ());
   !acc
 

@@ -14,12 +14,14 @@
       start;
     - {e function pointers}: each preprocessed vtable/jump-table entry
       stays inside the text section and points at a function start;
-    - {e stack-pointer writes}: [out SPL/SPH] occurs only in whitelisted
-      idioms — startup initialization ([ldi]-fed), frame allocation
-      (SP read back via [in] then adjusted), or the epilogue
-      teardown/pivot shape (paired writes followed by a pop run and
-      [ret], the Fig. 4 idiom).  Anything else is a stray SP write, the
-      primitive a stack-pivot attack needs. *)
+    - {e stack-pointer writes}: every [out SPL/SPH] must write a value
+      the {!Stackdepth} data-flow analysis proves SP-relative (the
+      frame idiom and the Fig. 4 teardown) or constant (startup
+      initialization) on every path reaching it — a data-flow fact, not
+      the old ±3/±8-instruction window pattern match — and no [sts] may
+      target the SP's data-space aliases ([io_base + SPL/SPH], the
+      memory-mapped route to the same stack-pivot primitive).  Anything
+      else is a stray SP write. *)
 
 type kind =
   | Target_out_of_bounds
@@ -30,6 +32,8 @@ type kind =
   | Funptr_out_of_bounds
   | Funptr_not_function
   | Stray_sp_write
+  | Unbounded_uplink_copy
+      (** emitted by {!Taint.to_lint_findings}, never by {!run} itself *)
 
 type finding = {
   kind : kind;
@@ -40,6 +44,10 @@ type finding = {
 }
 
 val kind_name : kind -> string
+
+(** Build a finding (with disassembly context) from outside this module —
+    used by analyses that surface results in lint form, e.g. {!Taint}. *)
+val make : Mavr_obj.Image.t -> kind -> int -> ?target:int -> string -> finding
 
 (** [run ?cfg image] checks every invariant; [cfg] avoids re-recovering
     a CFG the caller already has.  An empty list means the image is

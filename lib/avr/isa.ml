@@ -91,6 +91,40 @@ let is_useful_for_gadget = function
   | Bst _ | Sbrc _ | Sbrs _ | Bset _ | Bclr _ | Wdr | Sleep | Break | Data _ ->
       false
 
+module Transfer = struct
+  type t =
+    | Straight
+    | Branch
+    | Jump
+    | Call
+    | Indirect_jump
+    | Indirect_call
+    | Skip
+    | Return
+    | Stop
+end
+
+let transfer : t -> Transfer.t = function
+  | Brbs _ | Brbc _ -> Transfer.Branch
+  | Jmp _ | Rjmp _ -> Transfer.Jump
+  | Call _ | Rcall _ -> Transfer.Call
+  | Ijmp -> Transfer.Indirect_jump
+  | Icall -> Transfer.Indirect_call
+  | Cpse _ | Sbic _ | Sbis _ | Sbrc _ | Sbrs _ -> Transfer.Skip
+  | Ret | Reti -> Transfer.Return
+  | Break | Data _ -> Transfer.Stop
+  | _ -> Transfer.Straight
+
+let stack_push_bytes ~pc_bytes = function
+  | Push _ -> 1
+  | Call _ | Rcall _ | Icall -> pc_bytes
+  | _ -> 0
+
+let stack_pop_bytes ~pc_bytes = function
+  | Pop _ -> 1
+  | Ret | Reti -> pc_bytes
+  | _ -> 0
+
 module Flag = struct
   let c = 0
   let z = 1

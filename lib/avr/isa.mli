@@ -111,6 +111,36 @@ val size_words : t -> int
     moves), used by the gadget classifier. *)
 val is_useful_for_gadget : t -> bool
 
+(** Coarse control-transfer class of an instruction — the per-opcode
+    transfer summary the static analyses key successor construction and
+    call-graph edges on.  Its constructors live in their own namespace so
+    [Transfer.Call] does not shadow the [Call] instruction. *)
+module Transfer : sig
+  type t =
+    | Straight  (** falls through to the next instruction only *)
+    | Branch  (** conditional branch: taken edge + fallthrough *)
+    | Jump  (** unconditional [jmp]/[rjmp] *)
+    | Call  (** [call]/[rcall]: callee edge + return continuation *)
+    | Indirect_jump  (** [ijmp] *)
+    | Indirect_call  (** [icall] *)
+    | Skip  (** [cpse]/[sbic]/[sbis]/[sbrc]/[sbrs] *)
+    | Return  (** [ret]/[reti] *)
+    | Stop  (** [break] and undecodable words *)
+end
+
+val transfer : t -> Transfer.t
+
+(** [stack_push_bytes ~pc_bytes i] — bytes the instruction pushes onto
+    the hardware stack: 1 for [push], [pc_bytes] (3 on the ATmega2560)
+    for the return address of [call]/[rcall]/[icall], 0 otherwise.
+    Interrupt entry pushes [pc_bytes] too, but that is an event, not an
+    instruction — account for it separately. *)
+val stack_push_bytes : pc_bytes:int -> t -> int
+
+(** [stack_pop_bytes ~pc_bytes i] — bytes popped: 1 for [pop],
+    [pc_bytes] for [ret]/[reti], 0 otherwise. *)
+val stack_pop_bytes : pc_bytes:int -> t -> int
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -84,6 +84,23 @@ let test_lint_catches_stray_sp_write () =
   Alcotest.(check bool) "stray_sp_write reported" true
     (has_kind Lint.Stray_sp_write (Lint.run bad))
 
+let test_lint_catches_sts_sp_alias () =
+  let img = mavr_image () in
+  let fn =
+    List.find (fun (s : Image.symbol) -> String.length s.name >= 3 && String.sub s.name 0 3 = "fn_")
+      img.symbols
+  in
+  (* SPL/SPH are also reachable through their data-space addresses
+     0x5D/0x5E — an [sts] stack pivot the old io-port check missed. *)
+  List.iter
+    (fun addr ->
+      let bad = poke img fn.addr (Opcode.encode_bytes (Isa.Sts (addr, 24))) in
+      Alcotest.(check bool)
+        (Printf.sprintf "sts 0x%02x flagged as stray SP write" addr)
+        true
+        (has_kind Lint.Stray_sp_write (Lint.run bad)))
+    [ 0x5D; 0x5E ]
+
 let test_lint_catches_wild_funptr () =
   let img = mavr_image () in
   match img.funptr_locs with
@@ -197,6 +214,8 @@ let () =
           Alcotest.test_case "clean on randomized layouts" `Quick test_lint_clean_randomized;
           Alcotest.test_case "catches corrupted vector" `Quick test_lint_catches_bad_vector;
           Alcotest.test_case "catches stray SP write" `Quick test_lint_catches_stray_sp_write;
+          Alcotest.test_case "catches sts to SP data-space alias" `Quick
+            test_lint_catches_sts_sp_alias;
           Alcotest.test_case "catches wild function pointer" `Quick test_lint_catches_wild_funptr;
         ] );
       ( "gadgets",

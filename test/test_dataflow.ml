@@ -1,0 +1,357 @@
+(* The interprocedural data-flow framework (PR 8): engine unit tests on
+   hand-built graphs, then its three clients cross-validated against the
+   emulator and the randomizer — static stack bounds vs the dynamic SP
+   watermark, uplink taint on vulnerable vs bounds-checked builds, and
+   the translation-validator on fresh and deliberately corrupted
+   randomized layouts. *)
+
+module Cpu = Mavr_avr.Cpu
+module Isa = Mavr_avr.Isa
+module Opcode = Mavr_avr.Opcode
+module Image = Mavr_obj.Image
+module F = Mavr_firmware
+module Randomize = Mavr_core.Randomize
+module Cfg = Mavr_analysis.Cfg
+module Dataflow = Mavr_analysis.Dataflow
+module Stackdepth = Mavr_analysis.Stackdepth
+module Taint = Mavr_analysis.Taint
+module Equiv = Mavr_analysis.Equiv
+
+let mavr_image () = (Helpers.build_mavr ()).image
+let mavr_cfg = lazy (Cfg.recover (mavr_image ()))
+
+(* Byte surgery (as in test_analysis). *)
+let poke (img : Image.t) pos s =
+  let b = Bytes.of_string img.code in
+  Bytes.blit_string s 0 b pos (String.length s);
+  { img with code = Bytes.to_string b }
+
+(* Boot, drive the uplink with benign PARAM_SET traffic (the deepest
+   interprocedural path), and read the exact SP watermark. *)
+let watermark (img : Image.t) ~ms =
+  let registry = Mavr_telemetry.Metrics.create () in
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu img.Image.code;
+  let probes = Mavr_avr.Probes.attach ~registry cpu in
+  ignore (Cpu.run cpu ~max_cycles:60_000);
+  for i = 0 to 7 do
+    let payload = String.init 16 (fun k -> Char.chr ((1 + i + k) land 0x3F)) in
+    Cpu.uart_send cpu
+      (Mavr_mavlink.Frame.encode
+         { Mavr_mavlink.Frame.seq = i; sysid = 255; compid = 0; msgid = 23; payload })
+  done;
+  ignore (Cpu.run cpu ~max_cycles:(16_000 * ms));
+  Mavr_avr.Probes.min_sp probes
+
+(* ---- the worklist solver on hand-built graphs ---- *)
+
+module IntSet = Set.Make (Int)
+
+module SetDom = struct
+  type t = IntSet.t
+
+  let equal = IntSet.equal
+  let join = IntSet.union
+end
+
+module SetSolver = Dataflow.Solver (SetDom)
+
+let test_solver_diamond () =
+  (* 0 -> {1,2} -> 3; reaching-nodes domain.  The join point must see
+     the union of both arms. *)
+  let succs = function 0 -> [ 1; 2 ] | 1 -> [ 3 ] | 2 -> [ 3 ] | _ -> [] in
+  let transfer n s =
+    List.map (fun m -> (m, IntSet.add n s)) (succs n)
+  in
+  let r =
+    SetSolver.solve ~nodes:[ 0; 1; 2; 3 ] ~seeds:[ (0, IntSet.empty) ] ~transfer ()
+  in
+  let got = Hashtbl.find r.SetSolver.in_states 3 in
+  Alcotest.(check (list int)) "join point sees both arms" [ 0; 1; 2 ]
+    (IntSet.elements got);
+  Alcotest.(check bool) "solver made progress" true (r.SetSolver.iterations >= 4)
+
+let test_solver_per_edge_refinement () =
+  (* A branch that sends a different fact down each edge — the clients'
+     cpi/brlo clamp in miniature. *)
+  let transfer n s =
+    match n with
+    | 0 -> [ (1, IntSet.singleton 100); (2, IntSet.singleton 200) ]
+    | _ -> List.map (fun m -> (m, s)) []
+  in
+  let r = SetSolver.solve ~nodes:[ 0; 1; 2 ] ~seeds:[ (0, IntSet.empty) ] ~transfer () in
+  Alcotest.(check (list int)) "taken edge fact" [ 100 ]
+    (IntSet.elements (Hashtbl.find r.SetSolver.in_states 1));
+  Alcotest.(check (list int)) "fallthrough edge fact" [ 200 ]
+    (IntSet.elements (Hashtbl.find r.SetSolver.in_states 2))
+
+module ChainDom = struct
+  type t = Fin of int | Top
+
+  let equal = ( = )
+
+  let join a b =
+    match (a, b) with
+    | Top, _ | _, Top -> Top
+    | Fin x, Fin y -> Fin (max x y)
+end
+
+module ChainSolver = Dataflow.Solver (ChainDom)
+
+let test_solver_widening_terminates () =
+  (* A self-loop on an infinite-ascending-chain domain only terminates
+     through the widening hook. *)
+  let transfer _ s =
+    match s with
+    | ChainDom.Fin k -> [ (0, ChainDom.Fin (k + 1)) ]
+    | ChainDom.Top -> [ (0, ChainDom.Top) ]
+  in
+  let r =
+    ChainSolver.solve ~max_joins:8
+      ~widen:(fun _ -> ChainDom.Top)
+      ~nodes:[ 0 ]
+      ~seeds:[ (0, ChainDom.Fin 0) ]
+      ~transfer ()
+  in
+  Alcotest.(check bool) "widened to top" true
+    (Hashtbl.find r.ChainSolver.in_states 0 = ChainDom.Top)
+
+let test_sccs_reverse_topological () =
+  (* 1 <-> 2 <-> 3 cycle, then 3 -> 4 -> 5: callee components first. *)
+  let succs = function
+    | 1 -> [ 2 ]
+    | 2 -> [ 3 ]
+    | 3 -> [ 1; 4 ]
+    | 4 -> [ 5 ]
+    | _ -> []
+  in
+  let comps = Dataflow.sccs ~nodes:[ 1; 2; 3; 4; 5 ] ~succs in
+  let sorted = List.map (List.sort compare) comps in
+  Alcotest.(check bool) "cycle condensed into one component" true
+    (List.mem [ 1; 2; 3 ] sorted);
+  let index c =
+    let rec go i = function
+      | [] -> Alcotest.failf "component missing"
+      | x :: _ when x = c -> i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 sorted
+  in
+  Alcotest.(check bool) "leaf before its caller" true (index [ 5 ] < index [ 4 ]);
+  Alcotest.(check bool) "caller of the cycle comes last" true
+    (index [ 4 ] < index [ 1; 2; 3 ])
+
+let test_callgraph_partition () =
+  let img = mavr_image () in
+  let cg = Dataflow.Callgraph.build (Lazy.force mavr_cfg) in
+  List.iter
+    (fun (s : Image.symbol) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s owns its entry" s.name)
+        s.addr
+        (Dataflow.Callgraph.owner cg s.addr))
+    img.symbols;
+  (* Every icall target is its own partition: a text function entry or
+     a low-region trampoline slot. *)
+  let entries =
+    List.fold_left (fun acc (s : Image.symbol) -> IntSet.add s.addr acc) IntSet.empty img.symbols
+  in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "icall target 0x%x is an entry or low slot" t)
+        true
+        (IntSet.mem t entries || t < img.Image.exec_low_end);
+      Alcotest.(check int)
+        (Printf.sprintf "icall target 0x%x owns itself" t)
+        t
+        (Dataflow.Callgraph.owner cg t))
+    (Dataflow.Callgraph.icall_targets cg)
+
+(* ---- client 1: static stack bounds ---- *)
+
+let test_stackdepth_finite_and_tight () =
+  let r = Stackdepth.analyze (Lazy.force mavr_cfg) in
+  let finite = function Stackdepth.Finite b -> b | Stackdepth.Unbounded why ->
+    Alcotest.failf "unbounded: %s" why
+  in
+  let main = finite r.Stackdepth.main_total in
+  let image = finite r.Stackdepth.image_bound in
+  Alcotest.(check bool) "image bound includes the interrupt frame" true (image > main);
+  List.iter
+    (fun ((l : Stackdepth.local), b) ->
+      match b with
+      | Stackdepth.Finite _ -> ()
+      | Stackdepth.Unbounded why ->
+          Alcotest.failf "entry 0x%x unbounded: %s" l.Stackdepth.l_entry why)
+    r.Stackdepth.per_entry
+
+let test_static_dominates_dynamic () =
+  let r = Stackdepth.analyze (Lazy.force mavr_cfg) in
+  let b =
+    match r.Stackdepth.image_bound with
+    | Stackdepth.Finite b -> b
+    | Stackdepth.Unbounded why -> Alcotest.failf "unbounded image: %s" why
+  in
+  match watermark (mavr_image ()) ~ms:300 with
+  | None -> Alcotest.fail "probes saw no stack activity"
+  | Some sp ->
+      let dynamic = F.Layout.stack_top - sp in
+      Alcotest.(check bool)
+        (Printf.sprintf "static %d B >= dynamic %d B" b dynamic)
+        true (dynamic <= b);
+      (* The bound is an over-approximation but must stay tight — the
+         slack is one interrupt frame plus the worst ISR, not pages. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "bound is tight (slack %d B)" (b - dynamic))
+        true
+        (b - dynamic <= 32)
+
+(* The full property: on every application profile and ten fresh
+   randomized layouts each, the static bound of the *randomized* image
+   still dominates its measured watermark. *)
+let test_property_static_ge_dynamic_all_profiles () =
+  List.iter
+    (fun (p : F.Profile.t) ->
+      let img = (F.Build.build p F.Profile.mavr).F.Build.image in
+      for seed = 1 to 10 do
+        let r = Randomize.randomize ~seed img in
+        let sd = Stackdepth.analyze (Cfg.recover r) in
+        let b =
+          match sd.Stackdepth.image_bound with
+          | Stackdepth.Finite b -> b
+          | Stackdepth.Unbounded why ->
+              Alcotest.failf "%s seed %d: unbounded: %s" p.name seed why
+        in
+        match watermark r ~ms:150 with
+        | None -> Alcotest.failf "%s seed %d: no stack activity" p.name seed
+        | Some sp ->
+            let dynamic = F.Layout.stack_top - sp in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s seed %d: static %d >= dynamic %d" p.name seed b dynamic)
+              true (dynamic <= b)
+      done)
+    F.Profile.all
+
+(* ---- client 2: uplink taint ---- *)
+
+let test_taint_finds_unchecked_copy () =
+  let r = Taint.analyze (Lazy.force mavr_cfg) in
+  Alcotest.(check int) "exactly one finding on the vulnerable build" 1
+    (List.length r.Taint.findings);
+  let f = List.hd r.Taint.findings in
+  Alcotest.(check string) "the finding is the PARAM_SET handler" "handle_param_set"
+    f.Taint.fn;
+  Alcotest.(check bool) "store site inside the handler's loop" true
+    (f.Taint.store_addr > 0 && f.Taint.branch_addr > 0)
+
+let test_taint_silent_on_patched () =
+  let img = (Helpers.build_patched ()).image in
+  let r = Taint.analyze (Cfg.recover img) in
+  Alcotest.(check int) "bounds-checked build is clean" 0 (List.length r.Taint.findings)
+
+let test_taint_finds_copy_on_stock () =
+  (* The vulnerability is source-level — the stock toolchain build
+     carries it too. *)
+  let img = (Helpers.build_stock ()).image in
+  let r = Taint.analyze (Cfg.recover img) in
+  Alcotest.(check bool) "stock build also flagged" true (List.length r.Taint.findings >= 1)
+
+(* ---- client 3: translation validation ---- *)
+
+let test_validator_accepts_randomized () =
+  let img = mavr_image () in
+  List.iter
+    (fun seed ->
+      match Equiv.validate ~original:img ~randomized:(Randomize.randomize ~seed img) with
+      | Ok (s : Equiv.stats) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: nonempty proof" seed)
+            true
+            (s.functions > 0 && s.insns > 0 && s.edges > 0)
+      | Error (m :: _) ->
+          Alcotest.failf "seed %d rejected: %s" seed
+            (Format.asprintf "%a" Equiv.pp_mismatch m)
+      | Error [] -> Alcotest.failf "seed %d rejected without a mismatch" seed)
+    [ 1; 17; 4242 ]
+
+let test_validator_accepts_identity () =
+  let img = mavr_image () in
+  match Equiv.validate ~original:img ~randomized:img with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "identity layout rejected"
+
+let test_validator_catches_misrelocated_call () =
+  let img = mavr_image () in
+  let r = Randomize.randomize ~seed:5 img in
+  (* Byte-surgery a single call's word target one word off — exactly
+     the bug class a broken randomizer would introduce. *)
+  let line =
+    List.find
+      (fun (l : Mavr_avr.Disasm.line) ->
+        match l.insn with Isa.Call _ -> true | _ -> false)
+      (Mavr_avr.Disasm.sweep ~pos:r.Image.text_start
+         ~len:(r.Image.text_end - r.Image.text_start)
+         r.Image.code)
+  in
+  let target = match line.insn with Isa.Call t -> t | _ -> assert false in
+  let bad = poke r line.byte_addr (Opcode.encode_bytes (Isa.Call (target + 1))) in
+  match Equiv.validate ~original:img ~randomized:bad with
+  | Ok _ -> Alcotest.fail "validator accepted a mis-relocated call target"
+  | Error ms ->
+      Alcotest.(check bool) "mismatch anchored at the corrupted site" true
+        (List.exists (fun (m : Equiv.mismatch) -> m.Equiv.at = line.Mavr_avr.Disasm.byte_addr) ms)
+
+let test_validator_catches_data_corruption () =
+  let img = mavr_image () in
+  let r = Randomize.randomize ~seed:5 img in
+  if String.length r.Image.code <= r.Image.text_end then ()
+  else
+    let pos = r.Image.text_end in
+    let flipped = String.make 1 (Char.chr (Char.code r.Image.code.[pos] lxor 0xFF)) in
+    match Equiv.validate ~original:img ~randomized:(poke r pos flipped) with
+    | Ok _ -> Alcotest.fail "validator accepted corrupted data"
+    | Error ms ->
+        Alcotest.(check bool) "mismatch anchored at the flipped byte" true
+          (List.exists (fun (m : Equiv.mismatch) -> m.Equiv.at = pos) ms)
+
+let () =
+  Alcotest.run "dataflow"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "diamond join" `Quick test_solver_diamond;
+          Alcotest.test_case "per-edge refinement" `Quick test_solver_per_edge_refinement;
+          Alcotest.test_case "widening terminates a chain" `Quick
+            test_solver_widening_terminates;
+          Alcotest.test_case "sccs reverse topological" `Quick test_sccs_reverse_topological;
+          Alcotest.test_case "callgraph partition" `Quick test_callgraph_partition;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "finite everywhere, interrupt frame counted" `Quick
+            test_stackdepth_finite_and_tight;
+          Alcotest.test_case "static dominates dynamic watermark" `Quick
+            test_static_dominates_dynamic;
+          Alcotest.test_case "static >= dynamic, 3 profiles x 10 layouts" `Slow
+            test_property_static_ge_dynamic_all_profiles;
+        ] );
+      ( "taint",
+        [
+          Alcotest.test_case "finds the unchecked PARAM_SET copy" `Quick
+            test_taint_finds_unchecked_copy;
+          Alcotest.test_case "silent on the bounds-checked build" `Quick
+            test_taint_silent_on_patched;
+          Alcotest.test_case "stock build also vulnerable" `Quick test_taint_finds_copy_on_stock;
+        ] );
+      ( "validator",
+        [
+          Alcotest.test_case "accepts fresh randomized layouts" `Quick
+            test_validator_accepts_randomized;
+          Alcotest.test_case "accepts the identity layout" `Quick test_validator_accepts_identity;
+          Alcotest.test_case "catches a mis-relocated call" `Quick
+            test_validator_catches_misrelocated_call;
+          Alcotest.test_case "catches corrupted data bytes" `Quick
+            test_validator_catches_data_corruption;
+        ] );
+    ]
