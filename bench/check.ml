@@ -63,6 +63,12 @@ let required =
     [ "dataflow"; "arduplane"; "stackdepth_ms" ];
     [ "dataflow"; "arduplane"; "taint_ms" ];
     [ "dataflow"; "arduplane"; "validate_ms" ];
+    [ "resumable"; "tasks" ];
+    [ "resumable"; "full_wall_s" ];
+    [ "resumable"; "resume_wall_s" ];
+    [ "resumable"; "resume_frontier" ];
+    [ "resumable"; "resume_identical" ];
+    [ "resumable"; "early_stop" ];
   ]
 
 let load path =
@@ -302,6 +308,42 @@ let () =
             false
       in
       if not df_ok then exit 1;
+      (* PR-9 resumable-campaign gates — semantic claims, so they apply
+         to quick runs too: a half-frontier resume reproduces the full
+         document byte-for-byte, every early-stop row is jobs-invariant
+         with explicit skip accounting, and the loosest target actually
+         saves trials (the policy is not vacuous at bench budgets). *)
+      let rs_ok =
+        Json.path [ "resumable"; "resume_identical" ] doc = Some (Json.Bool true)
+        || (prerr_endline "bench smoke: resumed campaign not byte-identical"; false)
+      in
+      let skipped_of row =
+        match Json.member "trials_skipped" row with Some (Json.Int n) -> Some n | _ -> None
+      in
+      let rs_ok =
+        rs_ok
+        &&
+        match Json.path [ "resumable"; "early_stop" ] doc with
+        | Some (Json.List rows) when rows <> [] ->
+            List.for_all
+              (fun row ->
+                Json.member "identical_j1_j4" row = Some (Json.Bool true)
+                && (match skipped_of row with Some n -> n >= 0 | None -> false)
+                && Json.member "saved_pct" row <> None
+                ||
+                (Printf.eprintf "bench smoke: bad resumable.early_stop row: %s\n"
+                   (Json.to_string row);
+                 false))
+              rows
+            && (List.exists (fun row -> match skipped_of row with Some n -> n > 0 | None -> false)
+                  rows
+               || (prerr_endline "bench smoke: early stopping saved zero trials at every target";
+                   false))
+        | _ ->
+            prerr_endline "bench smoke: resumable.early_stop is not a non-empty list";
+            false
+      in
+      if not rs_ok then exit 1;
       (match Option.bind (Json.path [ "schema" ] doc) Json.to_str with
       | Some "mavr-bench" -> ()
       | Some other ->

@@ -851,6 +851,96 @@ let tracing_overhead () =
          ("progress_lines", J.Int lines) ])
 
 (* ---------------------------------------------------------------- *)
+(* PR-9: the resumable-campaign machinery.  Two claims carried into
+   the committed artifact: a checkpointed grid truncated to half its
+   completed frontier and resumed reproduces the uninterrupted document
+   byte-for-byte (and the resumed half costs roughly half the wall
+   time), and adaptive early stopping saves a measurable share of the
+   trial budget while keeping the document jobs-invariant, with every
+   saved trial accounted for explicitly. *)
+
+let resumable_campaign () =
+  section "Resumable campaign — checkpoint/resume and adaptive early stopping";
+  let module MC = Mavr_sim.Montecarlo in
+  let module CK = Mavr_campaign.Checkpoint in
+  let b = Lazy.force tiny in
+  let profile_name = b.F.Build.profile.F.Profile.name in
+  let trials = if !quick then 12 else 16 in
+  let ms = if !quick then 200 else 500 in
+  let seed = 29 in
+  let full, full_span = Clock.time (fun () -> MC.run ~jobs:1 ~ms ~seed ~trials b) in
+  let full_json = J.to_string (MC.to_json full) in
+  let spec = MC.checkpoint_spec ~ms ~profile:profile_name ~seed ~trials () in
+  let tasks = spec.CK.tasks in
+  (* Checkpoint a complete run, then truncate the snapshot to half the
+     frontier — the state a SIGKILL halfway through would leave — and
+     resume from it. *)
+  let path = Filename.temp_file "mavr_bench_ck" ".jsonl" in
+  let ck = CK.create ~path ~every:8 spec in
+  ignore (MC.run ~jobs:1 ~ms ~seed ~trials ~checkpoint:ck b);
+  CK.close ck;
+  let lines =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  let keep = 1 + ((List.length lines - 1) / 2) in
+  let oc = open_out_bin path in
+  List.iteri
+    (fun i l -> if i < keep then (output_string oc l; output_char oc '\n'))
+    lines;
+  close_out oc;
+  let resumed, resume_span =
+    Clock.time (fun () ->
+        match CK.resume ~path spec with
+        | Error e -> failwith ("bench: resume failed: " ^ e)
+        | Ok ck ->
+            let g = MC.run ~jobs:1 ~ms ~seed ~trials ~checkpoint:ck b in
+            CK.close ck;
+            g)
+  in
+  Sys.remove path;
+  let resume_identical = String.equal full_json (J.to_string (MC.to_json resumed)) in
+  Printf.printf "  fixed budget: %d tasks, %.2f s wall (jobs=1)\n" tasks full_span.Clock.wall_s;
+  Printf.printf "  resumed from %d/%d frontier: %.2f s wall; byte-identical: %b\n" (keep - 1)
+    tasks resume_span.Clock.wall_s resume_identical;
+  Printf.printf "  %-8s %14s %9s %16s %9s\n" "target" "trials skipped" "saved" "jobs-invariant"
+    "wall s";
+  let es_rows =
+    List.map
+      (fun target ->
+        let es = Mavr_campaign.Early_stop.create ~target () in
+        let g1, es_span =
+          Clock.time (fun () -> MC.run ~jobs:1 ~ms ~seed ~trials ~early_stop:es b)
+        in
+        let g4 = MC.run ~jobs:4 ~ms ~seed ~trials ~early_stop:es b in
+        let identical =
+          String.equal (J.to_string (MC.to_json g1)) (J.to_string (MC.to_json g4))
+        in
+        let saved_pct = 100.0 *. float_of_int g1.MC.trials_skipped /. float_of_int tasks in
+        Printf.printf "  %-8.2f %14d %8.1f%% %16b %9.2f\n" target g1.MC.trials_skipped saved_pct
+          identical es_span.Clock.wall_s;
+        J.Obj
+          [ ("target_halfwidth", J.Float target);
+            ("trials_skipped", J.Int g1.MC.trials_skipped);
+            ("saved_pct", J.Float saved_pct);
+            ("identical_j1_j4", J.Bool identical);
+            ("wall_s", J.Float es_span.Clock.wall_s) ])
+      [ 0.3; 0.45 ]
+  in
+  put "resumable"
+    (J.Obj
+       [ ("trials_per_cell", J.Int trials);
+         ("flight_ms", J.Int ms);
+         ("tasks", J.Int tasks);
+         ("full_wall_s", J.Float full_span.Clock.wall_s);
+         ("resume_wall_s", J.Float resume_span.Clock.wall_s);
+         ("resume_frontier", J.Int (keep - 1));
+         ("resume_identical", J.Bool resume_identical);
+         ("early_stop", J.List es_rows) ])
+
+(* ---------------------------------------------------------------- *)
 (* PR-8: the interprocedural data-flow clients.  Three per-profile
    claims carried into the committed artifact: the static stack bound
    dominates the SP watermark of an instrumented PARAM_SET-driven
@@ -992,7 +1082,7 @@ let microbenchmarks () =
 let write_json path =
   let doc =
     J.Obj
-      ([ ("schema", J.String "mavr-bench"); ("pr", J.Int 8); ("quick", J.Bool !quick) ]
+      ([ ("schema", J.String "mavr-bench"); ("pr", J.Int 9); ("quick", J.Bool !quick) ]
       @ List.rev !results)
   in
   let oc = open_out path in
@@ -1028,6 +1118,7 @@ let () =
   campaign_scaling ();
   fault_robustness ();
   tracing_overhead ();
+  resumable_campaign ();
   if not !quick then microbenchmarks ();
   (match !json_out with Some path -> write_json path | None -> ());
   print_endline "\nDone.  See EXPERIMENTS.md for the paper-vs-measured discussion."

@@ -585,8 +585,21 @@ let faults_conv =
   let print fmt (p : Mavr_fault.Profile.t) = Format.pp_print_string fmt p.Mavr_fault.Profile.name in
   Arg.conv (parse, print)
 
+(* The campaign JSON document, shared between `campaign --json` and the
+   serve handler so a served result byte-matches the CLI's. *)
+let campaign_doc ~profile_name ~seed census grid =
+  let module J = Mavr_telemetry.Json in
+  [
+    ("profile", J.String profile_name);
+    ("seed", J.Int seed);
+    ("census", Mavr_analysis.Survival.to_json census);
+    ("grid", Mavr_sim.Montecarlo.to_json grid);
+  ]
+
 let cmd_campaign =
-  let run profile trials ms layouts seed jobs faults timing no_superblocks trace progress json =
+  let run profile trials ms layouts seed jobs faults timing no_superblocks trace progress
+      checkpoint_path checkpoint_every resume results early_stop es_z es_min es_batch
+      abort_after json =
     let module J = Mavr_telemetry.Json in
     let module Span = Mavr_telemetry.Span in
     (* The flag flips the default inherited by every CPU the campaign
@@ -621,12 +634,75 @@ let cmd_campaign =
     let progress_t =
       Option.map (fun (sink, _) -> Mavr_campaign.Progress.create ~sink ()) progress_sink
     in
+    match
+      try
+        Ok
+          (Option.map
+             (fun target ->
+               Mavr_campaign.Early_stop.create ~z:es_z ~min_trials:es_min ~batch:es_batch ~target
+                 ())
+             early_stop)
+      with Invalid_argument m -> Error m
+    with
+    | Error m ->
+        Format.eprintf "error: %s@." m;
+        2
+    | Ok es ->
+    let spec =
+      Mavr_sim.Montecarlo.checkpoint_spec ~ms ~faults ?early_stop:es ~traced:(trace <> None)
+        ~profile:profile.F.Profile.name ~seed ~trials ()
+    in
+    match
+      (* Per-trial results stream: independent of the snapshot file, so a
+         one-shot run can keep a task-level audit trail without resumability. *)
+      try
+        Ok
+          (match results with
+          | None -> None
+          | Some path ->
+              let oc = open_out path in
+              Some
+                ( (fun line ->
+                    output_string oc line;
+                    output_char oc '\n';
+                    flush oc),
+                  oc ))
+      with Sys_error e -> Error e
+    with
+    | Error e ->
+        Format.eprintf "error: cannot open results sink: %s@." e;
+        1
+    | Ok results_sink ->
+    let stream = Option.map fst results_sink in
+    match
+      match (checkpoint_path, resume) with
+      | None, true -> Error (`Usage "--resume requires --checkpoint")
+      | None, false ->
+          if Option.is_none results_sink && Option.is_none abort_after then Ok None
+          else Ok (Some (Mavr_campaign.Checkpoint.create ?stream ~every:checkpoint_every spec))
+      | Some path, false ->
+          Ok (Some (Mavr_campaign.Checkpoint.create ~path ?stream ~every:checkpoint_every spec))
+      | Some path, true -> (
+          match Mavr_campaign.Checkpoint.resume ~path ?stream ~every:checkpoint_every spec with
+          | Ok t -> Ok (Some t)
+          | Error m -> Error (`Checkpoint m))
+    with
+    | Error (`Usage m) ->
+        Format.eprintf "error: %s@." m;
+        2
+    | Error (`Checkpoint m) ->
+        Format.eprintf "error: checkpoint: %s@." m;
+        2
+    | Ok ck ->
+    Option.iter (fun t -> Option.iter (Mavr_campaign.Checkpoint.abort_after t) abort_after) ck;
     (* Coordinator lane: the census and grid phases as top-level spans. *)
     let top_lane = Option.map (fun tr -> Span.lane tr ~sort:(-1) "campaign") tracer in
     let phase name f = match top_lane with None -> f () | Some l -> Span.span l name f in
     let pool_stats = ref [||] in
-    let (census, grid), span =
-      Mavr_campaign.Clock.time (fun () ->
+    match
+      try
+        Ok
+          (Mavr_campaign.Clock.time (fun () ->
           (* One pool serves both workloads; per-task seeds come from the
              campaign root, so the output depends only on (--seed, --trials,
              --layouts, --ms, --faults) — never on --jobs or scheduling. *)
@@ -655,12 +731,19 @@ let cmd_campaign =
               in
               let grid =
                 phase "grid" (fun () ->
-                    Mavr_sim.Montecarlo.run ~pool ~ms ~faults ?tracer ?progress:progress_t ~seed
-                      ~trials b)
+                    Mavr_sim.Montecarlo.run ~pool ~ms ~faults ?tracer ?progress:progress_t
+                      ?early_stop:es ?checkpoint:ck ~seed ~trials b)
               in
               pool_stats := Mavr_campaign.Pool.stats pool;
-              (census, grid)))
-    in
+              (census, grid))))
+      with Mavr_campaign.Checkpoint.Corrupt m -> Error m
+    with
+    | Error m ->
+        Format.eprintf "error: checkpoint: %s@." m;
+        2
+    | Ok ((census, grid), span) ->
+    Option.iter Mavr_campaign.Checkpoint.close ck;
+    Option.iter (fun (_, oc) -> close_out oc) results_sink;
     Option.iter (fun p -> Mavr_campaign.Progress.emit p ~reason:"final") progress_t;
     Option.iter (fun (_, oc) -> Option.iter close_out oc) progress_sink;
     (match (trace, tracer) with
@@ -699,12 +782,7 @@ let cmd_campaign =
       print_endline
         (J.to_string ~indent:2
            (J.Obj
-              ([
-                 ("profile", J.String profile.F.Profile.name);
-                 ("seed", J.Int seed);
-                 ("census", Mavr_analysis.Survival.to_json census);
-                 ("grid", Mavr_sim.Montecarlo.to_json grid);
-               ]
+              (campaign_doc ~profile_name:profile.F.Profile.name ~seed census grid
               @
               (* Timing (and the job count that produced it) is opt-in so the
                  default document is byte-identical for every --jobs value. *)
@@ -798,15 +876,171 @@ let cmd_campaign =
                    monotonic seq, tasks done/total, rate and ETA, per-cell running detection \
                    tallies, per-domain pool utilization.")
   in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Checkpoint the Monte Carlo grid to FILE (JSONL): a spec-hashed header plus \
+                   one entry per completed trial, snapshotted atomically (write-to-temp, \
+                   rename) every $(b,--checkpoint-every) trials. A killed campaign restarted \
+                   with $(b,--resume) replays the completed frontier and produces output \
+                   byte-identical to an uninterrupted run, for any $(b,--jobs).")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 32 & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Rewrite the checkpoint snapshot every $(docv) recorded trials (default 32).")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Resume from an existing $(b,--checkpoint) file instead of starting fresh. \
+                 Exits 2 if the file is corrupt or was written by a different campaign \
+                 configuration (spec hash, seed or task count mismatch).")
+  in
+  let results =
+    Arg.(value & opt (some string) None
+         & info [ "results" ] ~docv:"FILE"
+             ~doc:"Stream per-trial results to FILE as JSONL (header, then one line per trial \
+                   outcome as it lands; on $(b,--resume) the already-completed frontier is \
+                   replayed first, so the file always covers every completed trial).")
+  in
+  let early_stop =
+    Arg.(value & opt (some float) None
+         & info [ "early-stop" ] ~docv:"W"
+             ~doc:"Stop each statistical cell adaptively once the Wilson score interval around \
+                   its detection (or false-alarm) rate has halfwidth at most $(docv) (0 < W < \
+                   1). Trials saved are reported explicitly (per-cell $(b,skipped) counts and \
+                   a top-level $(b,trials_skipped) total); cells that never stop keep \
+                   byte-identical output to a run without this flag.")
+  in
+  let es_z =
+    Arg.(value & opt float 1.96 & info [ "early-stop-z" ] ~docv:"Z"
+           ~doc:"Wilson interval critical value (default 1.96, ~95% confidence).")
+  in
+  let es_min =
+    Arg.(value & opt int 8 & info [ "early-stop-min" ] ~docv:"N"
+           ~doc:"Never stop a cell before $(docv) trials (default 8).")
+  in
+  let es_batch =
+    Arg.(value & opt int 4 & info [ "early-stop-batch" ] ~docv:"N"
+           ~doc:"Grow each open cell by $(docv) trials per adaptive round (default 4).")
+  in
+  let abort_after =
+    Arg.(value & opt (some int) None
+         & info [ "abort-after" ] ~docv:"N"
+             ~doc:"(testing) Snapshot the checkpoint and SIGKILL this process after the \
+                   $(docv)th live-recorded trial — the crash the $(b,--resume) path must \
+                   survive. Used by the kill/resume byte-diff rules in bin/dune.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Deterministic parallel evaluation campaign: gadget-survival census plus the \
              attack-by-defense Monte Carlo grid, optionally swept across fault-injection \
-             intensities. Exits 1 if any randomized layout keeps the prebuilt payload feasible \
-             or any MAVR-defended trial is taken over (at any fault level).")
+             intensities, checkpointable and resumable ($(b,--checkpoint)/$(b,--resume)) with \
+             adaptive per-cell early stopping ($(b,--early-stop)). Exits 1 if any randomized \
+             layout keeps the prebuilt payload feasible or any MAVR-defended trial is taken \
+             over (at any fault level).")
     Term.(
       const run $ profile_arg $ trials $ ms $ layouts $ seed $ jobs $ faults $ timing
-      $ no_superblocks $ trace $ progress $ json_flag)
+      $ no_superblocks $ trace $ progress $ checkpoint $ checkpoint_every $ resume $ results
+      $ early_stop $ es_z $ es_min $ es_batch $ abort_after $ json_flag)
+
+let cmd_serve =
+  let run socket stdio max_requests once jobs =
+    let module J = Mavr_telemetry.Json in
+    (* One request = one campaign spec object; unknown fields are ignored,
+       absent ones default exactly like the `campaign` flags, so a served
+       result byte-matches `campaign --json` for the same configuration. *)
+    let handler req ~progress:send =
+      let str k = Option.bind (J.member k req) J.to_str in
+      let int k d = Option.value ~default:d (Option.bind (J.member k req) J.to_int) in
+      match profile_of_string (Option.value ~default:"100" (str "profile")) with
+      | Error (`Msg m) -> Error m
+      | Ok profile -> (
+          let trials = int "trials" 5 in
+          let ms = int "ms" 900 in
+          let layouts = int "layouts" 10 in
+          let seed = int "seed" 0 in
+          match
+            match str "faults" with
+            | None -> Ok Mavr_fault.Profile.none
+            | Some s -> Mavr_fault.Profile.of_string s
+          with
+          | Error m -> Error m
+          | Ok faults ->
+              let es =
+                Option.bind (J.member "early_stop" req) (fun es_j ->
+                    let f k = Option.bind (J.member k es_j) J.to_float in
+                    let i k = Option.bind (J.member k es_j) J.to_int in
+                    Option.map
+                      (fun target ->
+                        Mavr_campaign.Early_stop.create ?z:(f "z") ?min_trials:(i "min_trials")
+                          ?batch:(i "batch") ~target ())
+                      (f "target_halfwidth"))
+              in
+              let b = build_firmware profile F.Profile.mavr in
+              let progress_t = Mavr_campaign.Progress.create ~sink:send () in
+              let census, grid =
+                Mavr_campaign.Pool.with_pool ?jobs (fun pool ->
+                    let census =
+                      Mavr_analysis.Survival.census ~seed:(Mavr_analysis.Survival.Root seed)
+                        ~pool ~progress:progress_t ~layouts b.F.Build.image
+                    in
+                    let grid =
+                      Mavr_sim.Montecarlo.run ~pool ~ms ~faults ~progress:progress_t
+                        ?early_stop:es ~seed ~trials b
+                    in
+                    (census, grid))
+              in
+              Mavr_campaign.Progress.emit progress_t ~reason:"final";
+              Ok (J.Obj (campaign_doc ~profile_name:profile.F.Profile.name ~seed census grid)))
+    in
+    if stdio then begin
+      Mavr_campaign.Service.serve_stdio handler;
+      0
+    end
+    else
+      match socket with
+      | None ->
+          Format.eprintf "error: serve needs --socket PATH or --stdio@.";
+          2
+      | Some path -> (
+          let max_requests = if once then Some 1 else max_requests in
+          match Mavr_campaign.Service.serve ~socket:path ?max_requests handler with
+          | Ok _served -> 0
+          | Error m ->
+              Format.eprintf "error: serve: %s@." m;
+              1)
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix domain socket at $(docv). Each connection sends one \
+                   campaign spec line (JSON: profile, trials, ms, layouts, seed, faults, \
+                   early_stop) and receives streamed progress heartbeat lines followed by one \
+                   terminal line tagged $(b,kind:result) or $(b,kind:error).")
+  in
+  let stdio =
+    Arg.(value & flag & info [ "stdio" ]
+           ~doc:"Serve exactly one request over stdin/stdout instead of a socket (same \
+                 line protocol; for CI and piping).")
+  in
+  let max_requests =
+    Arg.(value & opt (some int) None
+         & info [ "max-requests" ] ~docv:"N"
+             ~doc:"Exit after serving $(docv) connections (default: serve forever).")
+  in
+  let once = Arg.(value & flag & info [ "once" ] ~doc:"Shorthand for $(b,--max-requests) 1.") in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS"
+           ~doc:"Worker domains for served campaigns (default: the runtime's recommended \
+                 count). Results are bit-identical for any value.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Campaign-as-a-service: accept campaign specs over a local Unix socket (or \
+             stdin/stdout with $(b,--stdio)), stream live progress heartbeats, and return the \
+             same JSON document $(b,campaign --json) would print. Sequential: one campaign at \
+             a time owns the worker pool.")
+    Term.(const run $ socket $ stdio $ max_requests $ once $ jobs)
 
 let cmd_profile =
   let run profile ms attack top json =
@@ -911,7 +1145,7 @@ let () =
     Cmd.group info
       [ cmd_build; cmd_gadgets; cmd_randomize; cmd_attack; cmd_fly; cmd_stats;
         cmd_flight_record; cmd_disasm; cmd_lifetime; cmd_entropy; cmd_analyze; cmd_lint;
-        cmd_campaign; cmd_profile; cmd_tables ]
+        cmd_campaign; cmd_serve; cmd_profile; cmd_tables ]
   in
   (* Map every cmdliner-level error (unknown subcommand, bad flag, missing
      argument) to the documented usage-error code 2; uncaught exceptions

@@ -11,13 +11,33 @@
      trace_check --progress FILE  validate a Progress JSONL stream:
                                   every line parses, seq increases by 1,
                                   done is monotonic and never exceeds
-                                  total
+                                  total, and the stream ends with a
+                                  reason:"final" line at done = total
      trace_check --analyze FILE   validate a `mavr analyze --json`
                                   document against schema version 2:
                                   required cfg/gadgets/census sections
                                   plus well-formed optional stack /
                                   taint / translation_validation /
                                   stack_verify sections
+     trace_check --checkpoint FILE
+                                  validate a campaign checkpoint
+                                  snapshot: header line (version,
+                                  spec_hash, seed, tasks) then task/skip
+                                  entries with unique in-range indices;
+                                  reports the completed frontier
+     trace_check --results FILE   validate a --results JSONL stream:
+                                  checkpoint structure plus full
+                                  coverage — every task index appears
+                                  exactly once (as a result or a skip)
+     trace_check --serve FILE     validate a serve-session transcript:
+                                  progress heartbeat lines followed by
+                                  exactly one terminal kind:result or
+                                  kind:error line
+     trace_check --serve-result FILE
+                                  extract the terminal result document
+                                  from a serve transcript and print it
+                                  (indent 2) — byte-diffable against
+                                  `mavr campaign --json`
 
    Exit codes: 0 valid, 1 invalid, 2 usage. *)
 
@@ -145,12 +165,14 @@ let strip_trace doc events =
 
 (* ---- progress stream validation -------------------------------------- *)
 
-let validate_progress path =
-  let lines =
-    String.split_on_char '\n' (read_file path) |> List.filter (fun l -> String.trim l <> "")
-  in
-  if lines = [] then fail "empty progress stream";
+let jsonl_lines path =
+  String.split_on_char '\n' (read_file path) |> List.filter (fun l -> String.trim l <> "")
+
+(* Core of --progress and the heartbeat prefix of --serve: returns
+   (lines, final done, final total, last reason). *)
+let check_progress_lines lines =
   let last_seq = ref 0 and last_done = ref 0 and last_total = ref 0 in
+  let last_reason = ref "" in
   List.iteri
     (fun i line ->
       let ctx = Printf.sprintf "line %d" (i + 1) in
@@ -165,9 +187,131 @@ let validate_progress path =
       if d > total then fail "%s: done %d exceeds total %d" ctx d total;
       last_done := d;
       last_total := total;
-      match str "reason" j with Some _ -> () | None -> fail "%s: missing reason" ctx)
+      match str "reason" j with
+      | Some r -> last_reason := r
+      | None -> fail "%s: missing reason" ctx)
     lines;
-  Printf.printf "progress ok: %d lines, %d/%d tasks\n" (List.length lines) !last_done !last_total
+  (List.length lines, !last_done, !last_total, !last_reason)
+
+let validate_progress path =
+  let lines = jsonl_lines path in
+  if lines = [] then fail "empty progress stream";
+  let n, d, total, reason = check_progress_lines lines in
+  (* A stream that ends without a final line means the terminal heartbeat
+     was dropped — the bug the Progress.task_done frontier path exists to
+     prevent. *)
+  if reason <> "final" then fail "stream ends with reason %S, expected \"final\"" reason;
+  if d <> total then fail "final line reports %d/%d tasks" d total;
+  Printf.printf "progress ok: %d lines, %d/%d tasks\n" n d total
+
+(* ---- checkpoint / results validation ---------------------------------- *)
+
+(* Structural scan shared by --checkpoint (partial frontier allowed) and
+   --results (full coverage required).  Mirrors lib/campaign/checkpoint.ml
+   as an independent implementation, so the two cross-check each other. *)
+let checkpoint_version = 1
+
+let scan_checkpoint lines =
+  let header, rest =
+    match lines with [] -> fail "empty checkpoint/results file" | h :: rest -> (h, rest)
+  in
+  let hj = match J.of_string header with Ok j -> j | Error e -> fail "header: %s" e in
+  if str "kind" hj <> Some "header" then fail "first line is not a header";
+  (match int "version" hj with
+  | Some v when v = checkpoint_version -> ()
+  | Some v -> fail "checkpoint version %d, expected %d" v checkpoint_version
+  | None -> fail "header missing version");
+  (match str "spec_hash" hj with Some _ -> () | None -> fail "header missing spec_hash");
+  (match int "seed" hj with Some _ -> () | None -> fail "header missing seed");
+  let tasks =
+    match int "tasks" hj with
+    | Some t when t >= 0 -> t
+    | Some t -> fail "header has negative task count %d" t
+    | None -> fail "header missing tasks"
+  in
+  let seen = Hashtbl.create 256 in
+  let recorded = ref 0 and skipped = ref 0 in
+  List.iteri
+    (fun i line ->
+      let ctx = Printf.sprintf "line %d" (i + 2) in
+      let j = match J.of_string line with Ok j -> j | Error e -> fail "%s: %s" ctx e in
+      let index =
+        match int "index" j with
+        | Some x when x >= 0 && x < tasks -> x
+        | Some x -> fail "%s: index %d out of range [0,%d)" ctx x tasks
+        | None -> fail "%s: missing index" ctx
+      in
+      if Hashtbl.mem seen index then fail "%s: duplicate index %d" ctx index;
+      Hashtbl.add seen index ();
+      match str "kind" j with
+      | Some "task" -> (
+          match mem "result" j with
+          | Some _ -> incr recorded
+          | None -> fail "%s: task entry without result" ctx)
+      | Some "skip" -> (
+          match str "reason" j with
+          | Some _ -> incr skipped
+          | None -> fail "%s: skip entry without reason" ctx)
+      | Some k -> fail "%s: unknown kind %S" ctx k
+      | None -> fail "%s: missing kind" ctx)
+    rest;
+  (tasks, !recorded, !skipped)
+
+let validate_checkpoint path =
+  let tasks, recorded, skipped = scan_checkpoint (jsonl_lines path) in
+  Printf.printf "checkpoint ok: %d/%d tasks on disk (%d results, %d skips)\n"
+    (recorded + skipped) tasks recorded skipped
+
+let validate_results path =
+  let tasks, recorded, skipped = scan_checkpoint (jsonl_lines path) in
+  (* A results stream is a complete audit trail: every index accounted
+     for, either as a trial outcome or an explicit early-stop skip. *)
+  if recorded + skipped <> tasks then
+    fail "results cover %d of %d tasks (%d results, %d skips) — stream has gaps"
+      (recorded + skipped) tasks recorded skipped;
+  Printf.printf "results ok: %d tasks (%d results, %d skips)\n" tasks recorded skipped
+
+(* ---- serve transcript validation -------------------------------------- *)
+
+let split_serve_lines path =
+  let lines = jsonl_lines path in
+  match List.rev lines with
+  | [] -> fail "empty serve transcript"
+  | last :: rev_heartbeats -> (List.rev rev_heartbeats, last)
+
+let validate_serve path =
+  let heartbeats, last = split_serve_lines path in
+  let n, d, total, reason =
+    if heartbeats = [] then (0, 0, 0, "final") else check_progress_lines heartbeats
+  in
+  let lj = match J.of_string last with Ok j -> j | Error e -> fail "terminal line: %s" e in
+  (match str "kind" lj with
+  | Some "result" -> (
+      (* A successful session's heartbeat stream obeys the same contract
+         as --progress: it ends final, with every task done. *)
+      if heartbeats <> [] && reason <> "final" then
+        fail "heartbeats end with reason %S, expected \"final\"" reason;
+      if d <> total then fail "final heartbeat reports %d/%d tasks" d total;
+      match mem "result" lj with
+      | Some _ -> ()
+      | None -> fail "terminal result line without a result member")
+  | Some "error" -> (
+      match str "error" lj with
+      | Some _ -> ()
+      | None -> fail "terminal error line without an error message")
+  | Some k -> fail "terminal line has kind %S, expected result or error" k
+  | None -> fail "terminal line missing kind (session truncated mid-stream?)");
+  Printf.printf "serve ok: %d heartbeat lines + terminal %s\n" n
+    (Option.value ~default:"?" (str "kind" lj))
+
+let serve_result path =
+  let _, last = split_serve_lines path in
+  let lj = match J.of_string last with Ok j -> j | Error e -> fail "terminal line: %s" e in
+  match (str "kind" lj, mem "result" lj) with
+  | Some "result", Some r -> print_endline (J.to_string ~indent:2 r)
+  | Some "error", _ ->
+      fail "session failed: %s" (Option.value ~default:"(no message)" (str "error" lj))
+  | _ -> fail "terminal line is not a result"
 
 (* ---- analyze document validation ------------------------------------- *)
 
@@ -271,6 +415,10 @@ let () =
   match Sys.argv with
   | [| _; "--progress"; path |] -> validate_progress path
   | [| _; "--analyze"; path |] -> validate_analyze path
+  | [| _; "--checkpoint"; path |] -> validate_checkpoint path
+  | [| _; "--results"; path |] -> validate_results path
+  | [| _; "--serve"; path |] -> validate_serve path
+  | [| _; "--serve-result"; path |] -> serve_result path
   | [| _; "--strip"; path |] | [| _; path |] ->
       let strip = Sys.argv.(1) = "--strip" in
       let doc =
@@ -281,6 +429,6 @@ let () =
       else Printf.printf "trace ok: %d events\n" (List.length events)
   | _ ->
       prerr_endline
-        "usage: trace_check [--strip] FILE | trace_check --progress FILE | trace_check \
-         --analyze FILE";
+        "usage: trace_check [--strip] FILE | trace_check (--progress | --analyze | \
+         --checkpoint | --results | --serve | --serve-result) FILE";
       exit 2

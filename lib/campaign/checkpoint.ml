@@ -1,0 +1,274 @@
+module Json = Mavr_telemetry.Json
+
+let version = 1
+
+type spec = { spec_hash : string; seed : int; tasks : int }
+type entry = Result of Json.t | Skip of string
+
+exception Corrupt of string
+
+(* FNV-1a 64 over the canonical compact JSON rendering of the spec
+   fields.  Stable across processes (no polymorphic-hash dependence),
+   cheap, and any field change — profile, horizon, trials, seed, fault
+   profile, early-stop policy, tracing — flips the hash and makes a
+   stale checkpoint unresumable instead of silently wrong. *)
+let hash_fields fields =
+  let s = Json.to_string (Json.Obj fields) in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+type t = {
+  path : string option;  (* None: stream-only, no snapshot files *)
+  stream : (string -> unit) option;
+  every : int;
+  spec : spec;
+  lock : Mutex.t;
+  entries : (int, entry) Hashtbl.t;  (* guarded by [lock] *)
+  mutable since_snapshot : int;  (* guarded by [lock] *)
+  mutable snapshots : int;  (* guarded by [lock] *)
+  mutable abort_after : int option;  (* test hook; guarded by [lock] *)
+  mutable recorded : int;  (* live [record]s this process; guarded by [lock] *)
+}
+
+let header_line spec =
+  Json.to_string
+    (Json.Obj
+       [
+         ("kind", Json.String "header");
+         ("version", Json.Int version);
+         ("spec_hash", Json.String spec.spec_hash);
+         ("seed", Json.Int spec.seed);
+         ("tasks", Json.Int spec.tasks);
+       ])
+
+let entry_line index = function
+  | Result r ->
+      Json.to_string
+        (Json.Obj [ ("kind", Json.String "task"); ("index", Json.Int index); ("result", r) ])
+  | Skip reason ->
+      Json.to_string
+        (Json.Obj
+           [ ("kind", Json.String "skip"); ("index", Json.Int index); ("reason", Json.String reason) ])
+
+let sorted_entries_locked t =
+  Hashtbl.fold (fun i e acc -> (i, e) :: acc) t.entries []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Full-rewrite snapshot: header + every entry sorted by index, written
+   to a sibling temp file then renamed over [path].  The rename is the
+   commit point — a reader (or a resume after SIGKILL at any instant)
+   sees either the previous complete snapshot or this one, never a torn
+   prefix.  Entries are sorted so the snapshot bytes are a pure function
+   of the completed-task set, independent of completion order. *)
+let snapshot_locked t =
+  match t.path with
+  | None -> ()
+  | Some path ->
+      let b = Buffer.create 4096 in
+      Buffer.add_string b (header_line t.spec);
+      Buffer.add_char b '\n';
+      List.iter
+        (fun (i, e) ->
+          Buffer.add_string b (entry_line i e);
+          Buffer.add_char b '\n')
+        (sorted_entries_locked t);
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      output_string oc (Buffer.contents b);
+      close_out oc;
+      Sys.rename tmp path;
+      t.since_snapshot <- 0;
+      t.snapshots <- t.snapshots + 1
+
+let emit_stream t line = match t.stream with None -> () | Some sink -> sink line
+
+let create ?path ?stream ?(every = 32) spec =
+  if every < 1 then invalid_arg "Campaign.Checkpoint.create: every must be >= 1";
+  if spec.tasks < 0 then invalid_arg "Campaign.Checkpoint.create: negative task count";
+  let t =
+    {
+      path;
+      stream;
+      every;
+      spec;
+      lock = Mutex.create ();
+      entries = Hashtbl.create 256;
+      since_snapshot = 0;
+      snapshots = 0;
+      abort_after = None;
+      recorded = 0;
+    }
+  in
+  emit_stream t (header_line spec);
+  (* An initial header-only snapshot, so the file exists (and the path is
+     proven writable) before any task runs. *)
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> snapshot_locked t);
+  t
+
+(* ---- load / resume --------------------------------------------------- *)
+
+let load ~path =
+  let ( let* ) = Result.bind in
+  let* content =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Ok s
+    with Sys_error e -> Error e
+  in
+  let lines =
+    String.split_on_char '\n' content |> List.filter (fun l -> String.trim l <> "")
+  in
+  let* header, rest =
+    match lines with
+    | [] -> Error "empty checkpoint file"
+    | h :: rest -> (
+        match Json.of_string h with
+        | Error e -> Error (Printf.sprintf "checkpoint header: %s" e)
+        | Ok j -> Ok (j, rest))
+  in
+  let str k j = Option.bind (Json.member k j) Json.to_str in
+  let int k j = Option.bind (Json.member k j) Json.to_int in
+  let* () =
+    if str "kind" header = Some "header" then Ok ()
+    else Error "checkpoint does not start with a header line"
+  in
+  let* () =
+    match int "version" header with
+    | Some v when v = version -> Ok ()
+    | Some v -> Error (Printf.sprintf "checkpoint version %d, expected %d" v version)
+    | None -> Error "checkpoint header missing version"
+  in
+  let* spec =
+    match (str "spec_hash" header, int "seed" header, int "tasks" header) with
+    | Some spec_hash, Some seed, Some tasks when tasks >= 0 -> Ok { spec_hash; seed; tasks }
+    | _ -> Error "checkpoint header missing spec_hash/seed/tasks"
+  in
+  let seen = Hashtbl.create 256 in
+  let rec go acc n = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let ctx = Printf.sprintf "checkpoint line %d" (n + 2) in
+        match Json.of_string line with
+        | Error e -> Error (Printf.sprintf "%s: %s" ctx e)
+        | Ok j -> (
+            let* index =
+              match int "index" j with
+              | Some i when i >= 0 && i < spec.tasks -> Ok i
+              | Some i -> Error (Printf.sprintf "%s: index %d out of range [0,%d)" ctx i spec.tasks)
+              | None -> Error (Printf.sprintf "%s: missing index" ctx)
+            in
+            let* () =
+              if Hashtbl.mem seen index then
+                Error (Printf.sprintf "%s: duplicate index %d" ctx index)
+              else Ok (Hashtbl.add seen index ())
+            in
+            match str "kind" j with
+            | Some "task" -> (
+                match Json.member "result" j with
+                | Some r -> go ((index, Result r) :: acc) (n + 1) rest
+                | None -> Error (Printf.sprintf "%s: task entry without result" ctx))
+            | Some "skip" -> (
+                match str "reason" j with
+                | Some reason -> go ((index, Skip reason) :: acc) (n + 1) rest
+                | None -> Error (Printf.sprintf "%s: skip entry without reason" ctx))
+            | Some k -> Error (Printf.sprintf "%s: unknown kind %S" ctx k)
+            | None -> Error (Printf.sprintf "%s: missing kind" ctx)))
+  in
+  let* entries = go [] 0 rest in
+  Ok (spec, entries)
+
+let resume ~path ?stream ?(every = 32) spec =
+  let ( let* ) = Result.bind in
+  let* file_spec, entries = load ~path in
+  let* () =
+    if file_spec.spec_hash <> spec.spec_hash then
+      Error
+        (Printf.sprintf "checkpoint spec hash %s does not match campaign spec %s"
+           file_spec.spec_hash spec.spec_hash)
+    else if file_spec.seed <> spec.seed then
+      Error (Printf.sprintf "checkpoint seed %d does not match campaign seed %d" file_spec.seed spec.seed)
+    else if file_spec.tasks <> spec.tasks then
+      Error
+        (Printf.sprintf "checkpoint task count %d does not match campaign %d" file_spec.tasks
+           spec.tasks)
+    else Ok ()
+  in
+  let t =
+    {
+      path = Some path;
+      stream;
+      every;
+      spec;
+      lock = Mutex.create ();
+      entries = Hashtbl.create 256;
+      since_snapshot = 0;
+      snapshots = 0;
+      abort_after = None;
+      recorded = 0;
+    }
+  in
+  List.iter (fun (i, e) -> Hashtbl.replace t.entries i e) entries;
+  (* Replay the primed frontier into the stream, so a results JSONL from
+     a resumed run still covers every completed task. *)
+  emit_stream t (header_line spec);
+  List.iter (fun (i, e) -> emit_stream t (entry_line i e)) entries;
+  Ok t
+
+(* ---- recording ------------------------------------------------------- *)
+
+let abort_after t n =
+  Mutex.lock t.lock;
+  t.abort_after <- Some n;
+  Mutex.unlock t.lock
+
+let add t index entry ~is_record =
+  if index < 0 || index >= t.spec.tasks then
+    invalid_arg (Printf.sprintf "Campaign.Checkpoint: index %d out of range" index);
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      Hashtbl.replace t.entries index entry;
+      emit_stream t (entry_line index entry);
+      t.since_snapshot <- t.since_snapshot + 1;
+      if is_record then t.recorded <- t.recorded + 1;
+      if t.since_snapshot >= t.every then snapshot_locked t;
+      (* Test hook for the kill/resume CI rules: after the [n]th live
+         record, force a snapshot (so the frontier is on disk) and die
+         the hard way — SIGKILL, no atexit, no flush — exactly the
+         failure the resume path must survive. *)
+      match t.abort_after with
+      | Some n when is_record && t.recorded >= n ->
+          snapshot_locked t;
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+      | _ -> ())
+
+let record t ~index result = add t index (Result result) ~is_record:true
+let skip t ~index ~reason = add t index (Skip reason) ~is_record:false
+
+let snapshot t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> snapshot_locked t)
+
+let close t = snapshot t
+
+let entries t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> sorted_entries_locked t)
+
+let completed t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> Hashtbl.length t.entries)
+
+let snapshots_written t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> t.snapshots)
+
+let spec t = t.spec

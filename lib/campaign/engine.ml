@@ -18,15 +18,34 @@ let run_tasks ?pool ?jobs ~tasks body =
 module Span = Mavr_telemetry.Span
 module Json = Mavr_telemetry.Json
 
+(* The resumable primitive: run [body] for an arbitrary subset of a
+   campaign's global index space.  [seeds] is the full schedule from
+   {!task_seeds}; [indices] selects which tasks actually run this round —
+   a resumed run passes the not-yet-completed frontier, an early-stopping
+   driver passes one batch per open cell.  Each task still draws its rng
+   from [seeds.(global index)], so a task's result never depends on which
+   round, process or domain ran it. *)
+let iter_indices ?pool ?jobs ?progress ~seeds ~indices body =
+  let tasks = Array.length indices in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= Array.length seeds then
+        invalid_arg (Printf.sprintf "Campaign.Engine.iter_indices: index %d out of schedule" i))
+    indices;
+  Option.iter (fun p -> Progress.add_total p tasks) progress;
+  let run k =
+    let i = indices.(k) in
+    body ~index:i ~rng:(Splitmix.create ~seed:seeds.(i));
+    Option.iter Progress.task_done progress
+  in
+  run_tasks ?pool ?jobs ~tasks run
+
 let map ?pool ?jobs ?tracer ?(task_name = Printf.sprintf "task-%04d") ?progress ~seed ~tasks f =
   let seeds = task_seeds ~seed ~tasks in
   let results = Array.make tasks None in
-  Option.iter (fun p -> Progress.add_total p tasks) progress;
-  let body i =
-    let compute () =
-      results.(i) <- Some (f ~index:i ~rng:(Splitmix.create ~seed:seeds.(i)))
-    in
-    (match tracer with
+  let body ~index:i ~rng =
+    let compute () = results.(i) <- Some (f ~index:i ~rng) in
+    match tracer with
     | None -> compute ()
     | Some tr ->
         (* One lane per task, sorted by index: lane content depends only
@@ -34,10 +53,9 @@ let map ?pool ?jobs ?tracer ?(task_name = Printf.sprintf "task-%04d") ?progress 
         let lane = Span.lane tr ~sort:i (task_name i) in
         Span.span lane
           ~args:[ ("index", Json.Int i); ("seed", Json.Int seeds.(i)) ]
-          "task" compute);
-    Option.iter Progress.task_done progress
+          "task" compute
   in
-  run_tasks ?pool ?jobs ~tasks body;
+  iter_indices ?pool ?jobs ?progress ~seeds ~indices:(Array.init tasks Fun.id) body;
   Array.map (function Some v -> v | None -> assert false) results
 
 let map_reduce ?pool ?jobs ?tracer ?task_name ?progress ~seed ~tasks ~map:f ~reduce init =

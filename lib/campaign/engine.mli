@@ -24,6 +24,26 @@
     use exactly the schedule {!map} would. *)
 val task_seeds : seed:int -> tasks:int -> int array
 
+(** [iter_indices ?pool ?jobs ?progress ~seeds ~indices body] runs
+    [body ~index ~rng] for each global index in [indices] — the
+    resumable primitive under {!map}.  [seeds] is the {e full} schedule
+    from {!task_seeds}; [indices] selects the subset that runs this
+    round (a resumed campaign passes its uncompleted frontier, an
+    early-stopping driver one batch per open cell).  [rng] is always
+    seeded from [seeds.(index)], so a task's result is independent of
+    which round, process or domain ran it.  With [?progress],
+    [Array.length indices] is added to the total up front.
+    @raise Invalid_argument if an index falls outside the schedule.
+    @raise Pool.Task_failed when a task raises (lowest index). *)
+val iter_indices :
+  ?pool:Pool.t ->
+  ?jobs:int ->
+  ?progress:Progress.t ->
+  seeds:int array ->
+  indices:int array ->
+  (index:int -> rng:Mavr_prng.Splitmix.t -> unit) ->
+  unit
+
 (** [map ?pool ?jobs ~seed ~tasks f] runs [f ~index ~rng] for each index
     in [0 .. tasks-1] and returns the results in index order.  [rng] is a
     private generator seeded from the task's split seed.  With [?pool]

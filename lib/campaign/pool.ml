@@ -25,10 +25,13 @@ type t = {
   mutable domains : unit Domain.t list;
   (* Per-slot utilization (slot 0 = the calling domain, 1.. = workers).
      Each slot is written only by its own domain, around whole chunks, so
-     the hot loop stays untouched; cross-domain reads (the progress
-     heartbeat) are advisory and may lag by one chunk. *)
-  task_counts : int array;
-  busy_s : float array;
+     the plain get-then-set below is not a lost-update hazard — but the
+     cells are read cross-domain by [stats] (progress heartbeats), which
+     under the OCaml 5 memory model makes plain array cells a data race
+     with torn/stale reads.  Atomic slots give each read/write SC
+     semantics; [stats] still observes whole-chunk granularity only. *)
+  task_counts : int Atomic.t array;
+  busy_s : float Atomic.t array;
 }
 
 let max_jobs = 16
@@ -48,8 +51,8 @@ let process t ~slot job =
           Mutex.unlock t.mutex
       done;
       let n = stop - start in
-      t.task_counts.(slot) <- t.task_counts.(slot) + n;
-      t.busy_s.(slot) <- t.busy_s.(slot) +. (Clock.wall () -. t0);
+      Atomic.set t.task_counts.(slot) (Atomic.get t.task_counts.(slot) + n);
+      Atomic.set t.busy_s.(slot) (Atomic.get t.busy_s.(slot) +. (Clock.wall () -. t0));
       if Atomic.fetch_and_add job.completed n + n = job.total then begin
         (* Last task in: wake the caller blocked in [run]'s join. *)
         Mutex.lock t.mutex;
@@ -96,8 +99,8 @@ let create ?jobs () =
       generation = 0;
       stopping = false;
       domains = [];
-      task_counts = Array.make jobs 0;
-      busy_s = Array.make jobs 0.0;
+      task_counts = Array.init jobs (fun _ -> Atomic.make 0);
+      busy_s = Array.init jobs (fun _ -> Atomic.make 0.0);
     }
   in
   t.domains <- List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker t ~slot:(i + 1)));
@@ -108,7 +111,8 @@ let jobs t = t.jobs
 type domain_stats = { tasks_run : int; busy_s : float }
 
 let stats t =
-  Array.init t.jobs (fun i -> { tasks_run = t.task_counts.(i); busy_s = t.busy_s.(i) })
+  Array.init t.jobs (fun i ->
+      { tasks_run = Atomic.get t.task_counts.(i); busy_s = Atomic.get t.busy_s.(i) })
 
 let raise_first_failure job =
   match List.sort (fun (a, _, _) (b, _, _) -> compare a b) job.failures with

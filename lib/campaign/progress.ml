@@ -30,7 +30,15 @@ let add_total t n =
   if n < 0 then invalid_arg "Campaign.Progress.add_total: negative count";
   ignore (Atomic.fetch_and_add t.total n)
 
-let on_heartbeat t f = t.providers <- t.providers @ [ f ]
+(* Registration takes the sink lock: [emit_locked] traverses [providers]
+   under the same lock from whichever domain is emitting, so an unlocked
+   [<-] here would be a cross-domain data race on the list cell.
+   Mid-run registration is supported — the provider joins every line
+   emitted after this call returns; it never appears retroactively. *)
+let on_heartbeat t f =
+  Mutex.lock t.lock;
+  t.providers <- t.providers @ [ f ];
+  Mutex.unlock t.lock
 let tasks_done t = Atomic.get t.done_
 let total t = Atomic.get t.total
 let lines_emitted t = Atomic.get t.seq
@@ -61,15 +69,28 @@ let emit_locked t ~reason =
 
 let task_done t =
   let d = Atomic.fetch_and_add t.done_ 1 + 1 in
-  (* try_lock: if another domain is mid-emission, skip — its line will
-     carry this completion anyway (counters are read at emit time). *)
-  if Mutex.try_lock t.lock then
+  if d >= Atomic.get t.total then begin
+    (* Frontier completion: this is the one line consumers key off to know
+       the phase finished, so it must not be droppable.  Block for the lock
+       instead of try_lock — the old try_lock path silently lost the
+       terminal line whenever another domain happened to be mid-emission at
+       the instant the last task completed.  Note a multi-phase run (e.g.
+       census then grid, each adding to [total]) crosses done = total once
+       per phase frontier, so a stream may carry several "final" lines; the
+       last one always has done = total for the whole run. *)
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () -> emit_locked t ~reason:"final")
+  end
+  else if Mutex.try_lock t.lock then
+    (* try_lock: if another domain is mid-emission, skip — its line will
+       carry this completion anyway (counters are read at emit time). *)
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.lock)
       (fun () ->
         let now = Clock.wall () in
-        if d >= Atomic.get t.total || now -. t.last_emit >= t.interval_s then
-          emit_locked t ~reason:"heartbeat")
+        if now -. t.last_emit >= t.interval_s then emit_locked t ~reason:"heartbeat")
 
 let emit t ~reason =
   Mutex.lock t.lock;

@@ -11,7 +11,12 @@
     Emission discipline: {!task_done} is called from worker domains on
     every task completion; it bumps an atomic counter and emits a line
     only when the heartbeat interval has elapsed {e and} the sink lock
-    is free ([try_lock] — a busy sink never blocks a worker).  The
+    is free ([try_lock] — a busy sink never blocks a worker).  The one
+    exception is the frontier completion (done reaches total): that
+    emission blocks for the lock and is guaranteed, with
+    [reason = "final"].  A run whose phases each call {!add_total}
+    crosses the frontier once per phase, so a stream may carry several
+    "final" lines; the last one covers the whole run.  The
     stream is advisory by design: line {e content} sampled mid-run
     depends on scheduling and carries wall-clock times, so it lives
     outside the deterministic-output contract (unlike [--trace]'s
@@ -32,10 +37,14 @@ val add_total : t -> int -> unit
 (** [on_heartbeat t f] registers a detail provider: [f ()] is appended
     to every subsequent line's fields.  Providers run under the sink
     lock, possibly from any worker domain — they must be cheap and
-    thread-safe (read atomics, not locks).  Call before tasks start. *)
+    thread-safe (read atomics, not locks).  Registration itself takes
+    the sink lock, so mid-run registration is safe: the provider joins
+    every line emitted after the call returns. *)
 val on_heartbeat : t -> (unit -> (string * Mavr_telemetry.Json.t) list) -> unit
 
-(** [task_done t] — one task finished; may emit a heartbeat line. *)
+(** [task_done t] — one task finished; may emit a heartbeat line.  The
+    completion that brings done up to total always emits a line with
+    [reason = "final"] (blocking for the sink lock if necessary). *)
 val task_done : t -> unit
 
 (** [emit t ~reason] — force one line out (start / final summary),

@@ -9,6 +9,8 @@ module Json = Mavr_telemetry.Json
 module Splitmix = Mavr_prng.Splitmix
 module Engine = Mavr_campaign.Engine
 module Progress = Mavr_campaign.Progress
+module Checkpoint = Mavr_campaign.Checkpoint
+module Early_stop = Mavr_campaign.Early_stop
 module Span = Mavr_telemetry.Span
 module Fault = Mavr_fault
 
@@ -37,6 +39,7 @@ type cell = {
   defense : defense;
   attack : attack;
   trials : int;
+  skipped : int;
   takeovers : int;
   detections : int;
   halts : int;
@@ -51,6 +54,7 @@ type cell = {
 type control = {
   posture : defense;
   flights : int;
+  skipped : int;
   alarmed : int;
   alarms_total : int;
   recoveries : int;
@@ -72,6 +76,8 @@ type t = {
   profile : string;  (** fault profile name *)
   levels : level_result array;  (** one per profile level; [0] is clean *)
   metrics : Metrics.registry;  (** all per-trial worker registries, merged *)
+  early_stop : Early_stop.t option;
+  trials_skipped : int;  (** total trials not run across all cells *)
 }
 
 (* ---- one trial ----------------------------------------------------- *)
@@ -161,6 +167,108 @@ let trial ?lanes ~image ~inject ~defense ~level ~ms ~rng () =
   in
   (outcome, registry)
 
+(* ---- checkpoint codec ------------------------------------------------ *)
+
+(* A task's checkpoint payload is everything the join needs: the outcome,
+   the trial's merged-in metrics registry, and — when tracing — the two
+   per-trial lanes (host lane persisted in its timing-stripped form, the
+   cycles lane exactly).  Floats round-trip exactly through the Json
+   codec, so a resumed run's final document is byte-identical. *)
+
+let outcome_to_json o =
+  Json.Obj
+    ([
+       ("takeover", Json.Bool o.takeover);
+       ("detected", Json.Bool o.detected);
+       ("halted", Json.Bool o.halted);
+     ]
+    @ (match o.detect_ms with None -> [] | Some v -> [ ("detect_ms", Json.Float v) ])
+    @ [
+        ("gcs_alarm_count", Json.Int o.gcs_alarm_count);
+        ("master_detections", Json.Int o.master_detections);
+      ])
+
+let outcome_of_json j =
+  let bool k = match Json.member k j with Some (Json.Bool b) -> Some b | _ -> None in
+  let int k = Option.bind (Json.member k j) Json.to_int in
+  match
+    ( bool "takeover",
+      bool "detected",
+      bool "halted",
+      int "gcs_alarm_count",
+      int "master_detections" )
+  with
+  | Some takeover, Some detected, Some halted, Some gcs_alarm_count, Some master_detections ->
+      let detect_ms = Option.bind (Json.member "detect_ms" j) Json.to_float in
+      Ok { takeover; detected; halted; detect_ms; gcs_alarm_count; master_detections }
+  | _ -> Error "malformed outcome"
+
+let task_result_to_json ?lanes (o, registry) =
+  Json.Obj
+    ([ ("outcome", outcome_to_json o); ("metrics", Metrics.to_json registry) ]
+    @
+    match lanes with
+    | None -> []
+    | Some (hl, cl) -> [ ("lanes", Json.List [ Span.lane_to_json hl; Span.lane_to_json cl ]) ])
+
+let task_result_of_json ?tracer j =
+  let ( let* ) = Result.bind in
+  let* outcome =
+    match Json.member "outcome" j with
+    | Some oj -> outcome_of_json oj
+    | None -> Error "missing outcome"
+  in
+  let* registry =
+    match Json.member "metrics" j with
+    | Some mj -> Metrics.of_json mj
+    | None -> Error "missing metrics"
+  in
+  let* () =
+    match (tracer, Json.member "lanes" j) with
+    | None, _ -> Ok ()
+    | Some tr, Some (Json.List lanes) ->
+        List.fold_left
+          (fun acc lj ->
+            let* () = acc in
+            let* (_ : Span.lane) = Span.lane_of_json tr lj in
+            Ok ())
+          (Ok ()) lanes
+    | Some _, _ -> Error "tracing enabled but checkpoint entry has no lanes"
+  in
+  Ok (outcome, registry)
+
+(* ---- task layout ----------------------------------------------------- *)
+
+(* Fixed and index-addressed for jobs-invariance: for each fault level,
+   the nd*na*trials attack grid followed by nd*trials attack-free control
+   flights. *)
+let layout ~faults ~trials =
+  let nd = Array.length defenses and na = Array.length attacks in
+  let nlevels = Array.length faults.Fault.Profile.levels in
+  let grid_tasks = nd * na * trials in
+  let per_level = grid_tasks + (nd * trials) in
+  (nd, na, nlevels, grid_tasks, per_level, nlevels * per_level)
+
+let checkpoint_spec ?(ms = 900) ?(faults = Fault.Profile.none) ?early_stop ?(traced = false)
+    ~profile ~seed ~trials () =
+  let _, _, _, _, _, tasks = layout ~faults ~trials in
+  let fields =
+    [
+      ("campaign", Json.String "montecarlo");
+      ("profile", Json.String profile);
+      ("fault_profile", Json.String faults.Fault.Profile.name);
+      ("ms", Json.Int ms);
+      ("trials", Json.Int trials);
+      ("seed", Json.Int seed);
+      ("traced", Json.Bool traced);
+      ( "early_stop",
+        match early_stop with
+        | None -> Json.String "none"
+        | Some es -> Json.Obj (Early_stop.to_json_fields es) );
+    ]
+  in
+  { Checkpoint.spec_hash = Checkpoint.hash_fields fields; seed; tasks }
+
 (* ---- the grid ------------------------------------------------------- *)
 
 let attack_frames ti obs =
@@ -170,8 +278,8 @@ let attack_frames ti obs =
   | V2 -> Rop.v2_stealthy ti obs ~writes
   | V3 -> Rop.v3_execute ti obs ~chain_dest:F.Layout.free_region ~writes
 
-let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress ~seed ~trials
-    (build : F.Build.t) =
+let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress ?early_stop
+    ?checkpoint ~seed ~trials (build : F.Build.t) =
   if trials < 0 then invalid_arg "Montecarlo.run: negative trial count";
   let image = build.F.Build.image in
   (* The attacker's static + dynamic analysis of the unprotected binary
@@ -180,14 +288,7 @@ let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress
   let ti = Rop.analyze build in
   let obs = Rop.observe ti in
   let frames = Array.map (attack_frames ti obs) attacks in
-  let nd = Array.length defenses and na = Array.length attacks in
-  let nlevels = Array.length faults.Fault.Profile.levels in
-  (* Task layout, fixed and index-addressed for jobs-invariance: for
-     each fault level, the nd*na*trials attack grid followed by
-     nd*trials attack-free control flights. *)
-  let grid_tasks = nd * na * trials in
-  let per_level = grid_tasks + (nd * trials) in
-  let tasks = nlevels * per_level in
+  let nd, na, nlevels, grid_tasks, per_level, tasks = layout ~faults ~trials in
   (* Running per-(defense, attack) tallies (summed across fault levels)
      for the progress heartbeat; atomics because worker domains bump
      them as trials land, in scheduling order. *)
@@ -233,77 +334,200 @@ let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress
           Span.lane tr ~sort:index ~domain:Span.Cycles (base ^ " sim") ))
       tracer
   in
-  let results =
-    Engine.map ?pool ?jobs ?progress ~seed ~tasks (fun ~index ~rng ->
-        let level = faults.Fault.Profile.levels.(index / per_level) in
-        let lname = level.Fault.Profile.name in
-        let rem = index mod per_level in
-        if rem < grid_tasks then begin
-          let d = rem / (na * trials) in
-          let ai = rem / trials mod na in
-          let defense = defenses.(d) in
-          let cell_label =
-            Printf.sprintf "%s/%s/%s" lname (defense_name defense) (attack_name attacks.(ai))
-          in
-          let lanes = lanes_for tracer ~index ~cell_label in
-          let body () =
-            trial ?lanes ~image ~inject:(Some frames.(ai)) ~defense ~level ~ms ~rng ()
-          in
-          let ((o, _) as r) =
-            match lanes with
-            | None -> body ()
-            | Some (hl, _) ->
-                Span.span hl
-                  ~args:
-                    [
-                      ("index", Json.Int index);
-                      ("level", Json.String lname);
-                      ("defense", Json.String (defense_name defense));
-                      ("attack", Json.String (attack_name attacks.(ai)));
-                    ]
-                  "trial" body
-          in
-          let done_, det, tk = tally.((d * na) + ai) in
-          Atomic.incr done_;
-          if o.detected then Atomic.incr det;
-          if o.takeover then Atomic.incr tk;
-          r
-        end
-        else begin
-          let d = (rem - grid_tasks) / trials in
-          let defense = defenses.(d) in
-          let cell_label = Printf.sprintf "%s/%s/control" lname (defense_name defense) in
-          let lanes = lanes_for tracer ~index ~cell_label in
-          let body () = trial ?lanes ~image ~inject:None ~defense ~level ~ms ~rng () in
-          let ((o, _) as r) =
-            match lanes with
-            | None -> body ()
-            | Some (hl, _) ->
-                Span.span hl
-                  ~args:
-                    [
-                      ("index", Json.Int index);
-                      ("level", Json.String lname);
-                      ("defense", Json.String (defense_name defense));
-                      ("attack", Json.String "none");
-                    ]
-                  "trial" body
-          in
-          Atomic.incr ctrl_flights;
-          if o.gcs_alarm_count > 0 then Atomic.incr ctrl_alarmed;
-          r
-        end)
+  (* Results land in a global index-addressed array; [None] slots are
+     tasks not (yet) run — the uncompleted frontier of a resumed run, or
+     trials an early-stopped cell never needed. *)
+  let seeds = Engine.task_seeds ~seed ~tasks in
+  let results : (outcome * Metrics.registry) option array = Array.make tasks None in
+  let tally_outcome index o =
+    let rem = index mod per_level in
+    if rem < grid_tasks then begin
+      let d = rem / (na * trials) and ai = rem / trials mod na in
+      let done_, det, tk = tally.((d * na) + ai) in
+      Atomic.incr done_;
+      if o.detected then Atomic.incr det;
+      if o.takeover then Atomic.incr tk
+    end
+    else begin
+      Atomic.incr ctrl_flights;
+      if o.gcs_alarm_count > 0 then Atomic.incr ctrl_alarmed
+    end
   in
+  (* Prime the frontier from the checkpoint: recorded results go back
+     into their index slots (restoring their trace lanes when tracing),
+     primed skips are ignored — the early-stop replay below re-derives
+     every stop decision from the same deterministic results, so the
+     trajectory is identical to the killed run's. *)
+  (match checkpoint with
+  | None -> ()
+  | Some ck ->
+      List.iter
+        (fun (i, e) ->
+          match e with
+          | Checkpoint.Skip _ -> ()
+          | Checkpoint.Result j -> (
+              match task_result_of_json ?tracer j with
+              | Ok ((o, _) as r) ->
+                  results.(i) <- Some r;
+                  tally_outcome i o
+              | Error m -> raise (Checkpoint.Corrupt (Printf.sprintf "task %d: %s" i m))))
+        (Checkpoint.entries ck));
+  let body ~index ~rng =
+    let level = faults.Fault.Profile.levels.(index / per_level) in
+    let lname = level.Fault.Profile.name in
+    let rem = index mod per_level in
+    let inject, cell_label, span_args =
+      if rem < grid_tasks then begin
+        let d = rem / (na * trials) in
+        let ai = rem / trials mod na in
+        ( Some frames.(ai),
+          Printf.sprintf "%s/%s/%s" lname
+            (defense_name defenses.(d))
+            (attack_name attacks.(ai)),
+          [
+            ("index", Json.Int index);
+            ("level", Json.String lname);
+            ("defense", Json.String (defense_name defenses.(d)));
+            ("attack", Json.String (attack_name attacks.(ai)));
+          ] )
+      end
+      else begin
+        let d = (rem - grid_tasks) / trials in
+        ( None,
+          Printf.sprintf "%s/%s/control" lname (defense_name defenses.(d)),
+          [
+            ("index", Json.Int index);
+            ("level", Json.String lname);
+            ("defense", Json.String (defense_name defenses.(d)));
+            ("attack", Json.String "none");
+          ] )
+      end
+    in
+    let defense =
+      if rem < grid_tasks then defenses.(rem / (na * trials))
+      else defenses.((rem - grid_tasks) / trials)
+    in
+    let lanes = lanes_for tracer ~index ~cell_label in
+    let run_body () = trial ?lanes ~image ~inject ~defense ~level ~ms ~rng () in
+    let ((o, _) as r) =
+      match lanes with
+      | None -> run_body ()
+      | Some (hl, _) -> Span.span hl ~args:span_args "trial" run_body
+    in
+    results.(index) <- Some r;
+    tally_outcome index o;
+    match checkpoint with
+    | None -> ()
+    | Some ck -> Checkpoint.record ck ~index (task_result_to_json ?lanes r)
+  in
+  (* Statistical cells in fixed order: per level, the nd*na attacked
+     cells (defense-major) then the nd controls.  [cell_base] is strictly
+     increasing in the cell number, so ascending cell-major iteration
+     yields ascending global indices. *)
+  let cells_per_level = (nd * na) + nd in
+  let ncells = nlevels * cells_per_level in
+  let cell_base c =
+    let l = c / cells_per_level and r = c mod cells_per_level in
+    (l * per_level) + (if r < nd * na then r * trials else grid_tasks + ((r - (nd * na)) * trials))
+  in
+  let is_control c = c mod cells_per_level >= nd * na in
+  (* Per-cell trial budget.  Without early stopping there is a single
+     round at the full budget — exactly the old one-shot grid.  With it,
+     every cell starts at min_trials and the driver runs deterministic
+     rounds: run every open cell up to its target, then decide stops
+     {e sequentially} from the completed per-cell prefixes and widen the
+     survivors by one batch.  Decisions are a function of trial results
+     only (never of scheduling), so early-stopped output is
+     jobs-invariant and a resumed run replays the same trajectory. *)
+  let target =
+    Array.make ncells
+      (match early_stop with
+      | None -> trials
+      | Some es -> min trials (Early_stop.min_trials es))
+  in
+  let stopped = Array.make ncells false in
+  (* Successes among cell [c]'s first [n] trials: detections for
+     attacked cells, alarmed flights (false alarms) for controls. *)
+  let key_stat c n =
+    let base = cell_base c in
+    let k = ref 0 in
+    for j = 0 to n - 1 do
+      match results.(base + j) with
+      | Some (o, _) ->
+          if is_control c then (if o.gcs_alarm_count > 0 then incr k)
+          else if o.detected then incr k
+      | None -> assert false
+    done;
+    !k
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    let todo = ref [] in
+    for c = ncells - 1 downto 0 do
+      let base = cell_base c in
+      for j = target.(c) - 1 downto 0 do
+        if results.(base + j) = None then todo := (base + j) :: !todo
+      done
+    done;
+    let indices = Array.of_list !todo in
+    if Array.length indices > 0 then Engine.iter_indices ?pool ?jobs ?progress ~seeds ~indices body;
+    match early_stop with
+    | None -> continue_ := false
+    | Some es ->
+        let expanded = ref false in
+        for c = 0 to ncells - 1 do
+          if (not stopped.(c)) && target.(c) < trials then begin
+            let n = target.(c) in
+            if Early_stop.should_stop es ~n ~k:(key_stat c n) then stopped.(c) <- true
+            else begin
+              target.(c) <- min trials (target.(c) + Early_stop.batch es);
+              expanded := true
+            end
+          end
+        done;
+        continue_ := !expanded
+  done;
+  (* Explicit skipped-trial accounting: every index an early-stopped cell
+     never ran is recorded (in the checkpoint too, as a skip entry, so
+     the frontier stays gap-free for validators). *)
+  let cell_skipped = Array.make ncells 0 in
+  let trials_skipped = ref 0 in
+  Array.iteri
+    (fun c tgt ->
+      let sk = trials - tgt in
+      if sk > 0 then begin
+        cell_skipped.(c) <- sk;
+        trials_skipped := !trials_skipped + sk;
+        match checkpoint with
+        | None -> ()
+        | Some ck ->
+            let base = cell_base c in
+            for j = tgt to trials - 1 do
+              Checkpoint.skip ck ~index:(base + j) ~reason:"early_stop"
+            done
+      end)
+    target;
   let metrics = Metrics.create () in
-  Array.iter (fun (_, r) -> Metrics.merge ~into:metrics r) results;
-  let fold base n f init = Array.fold_left f init (Array.init n (fun k -> fst results.(base + k))) in
+  Array.iter (function Some (_, r) -> Metrics.merge ~into:metrics r | None -> ()) results;
+  let fold base n f init =
+    let acc = ref init in
+    for k = 0 to n - 1 do
+      match results.(base + k) with
+      | Some (o, _) -> acc := f !acc o
+      | None -> assert false
+    done;
+    !acc
+  in
   let cell l d a =
-    let base = (l * per_level) + (((d * na) + a) * trials) in
-    let fold f init = fold base trials f init in
+    let c = (l * cells_per_level) + (d * na) + a in
+    let n = target.(c) in
+    let base = cell_base c in
+    let fold f init = fold base n f init in
     {
       defense = defenses.(d);
       attack = attacks.(a);
-      trials;
+      trials = n;
+      skipped = cell_skipped.(c);
       takeovers = fold (fun n o -> if o.takeover then n + 1 else n) 0;
       detections = fold (fun n o -> if o.detected then n + 1 else n) 0;
       halts = fold (fun n o -> if o.halted then n + 1 else n) 0;
@@ -313,11 +537,14 @@ let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress
     }
   in
   let control l d =
-    let base = (l * per_level) + grid_tasks + (d * trials) in
-    let fold f init = fold base trials f init in
+    let c = (l * cells_per_level) + (nd * na) + d in
+    let n = target.(c) in
+    let base = cell_base c in
+    let fold f init = fold base n f init in
     {
       posture = defenses.(d);
-      flights = trials;
+      flights = n;
+      skipped = cell_skipped.(c);
       alarmed = fold (fun n o -> if o.gcs_alarm_count > 0 then n + 1 else n) 0;
       alarms_total = fold (fun n o -> n + o.gcs_alarm_count) 0;
       recoveries = fold (fun n o -> n + o.master_detections) 0;
@@ -334,7 +561,16 @@ let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress
           controls = Array.init nd (fun d -> control l d);
         })
   in
-  { seed; trials; ms; profile = faults.Fault.Profile.name; levels; metrics }
+  {
+    seed;
+    trials;
+    ms;
+    profile = faults.Fault.Profile.name;
+    levels;
+    metrics;
+    early_stop;
+    trials_skipped = !trials_skipped;
+  }
 
 let cells t = t.levels.(0).cells
 
@@ -355,35 +591,48 @@ let mean_detect_ms c = if c.detect_n = 0 then 0.0 else c.detect_ms_sum /. float_
 let false_alarm_rate c =
   if c.flights = 0 then 0.0 else float_of_int c.alarmed /. float_of_int c.flights
 
+(* Skipped-trial fields are emitted only when trials were actually
+   skipped, so arming early stopping never changes the bytes of a cell
+   it didn't stop — part of the determinism contract. *)
 let cell_to_json c =
   Json.Obj
-    [
-      ("defense", Json.String (defense_name c.defense));
-      ("attack", Json.String (attack_name c.attack));
-      ("trials", Json.Int c.trials);
-      ("takeovers", Json.Int c.takeovers);
-      ("detections", Json.Int c.detections);
-      ("halts", Json.Int c.halts);
-      ("detect_n", Json.Int c.detect_n);
-      ("detect_ms_mean", Json.Float (mean_detect_ms c));
-      ("detect_ms_max", Json.Float c.detect_ms_max);
-    ]
+    ([
+       ("defense", Json.String (defense_name c.defense));
+       ("attack", Json.String (attack_name c.attack));
+       ("trials", Json.Int c.trials);
+     ]
+    @ (if c.skipped > 0 then
+         [ ("skipped", Json.Int c.skipped); ("stopped_early", Json.Bool true) ]
+       else [])
+    @ [
+        ("takeovers", Json.Int c.takeovers);
+        ("detections", Json.Int c.detections);
+        ("halts", Json.Int c.halts);
+        ("detect_n", Json.Int c.detect_n);
+        ("detect_ms_mean", Json.Float (mean_detect_ms c));
+        ("detect_ms_max", Json.Float c.detect_ms_max);
+      ])
 
 let control_to_json c =
   Json.Obj
-    [
-      ("defense", Json.String (defense_name c.posture));
-      ("flights", Json.Int c.flights);
-      ("alarmed", Json.Int c.alarmed);
-      ("alarms_total", Json.Int c.alarms_total);
-      ("recoveries", Json.Int c.recoveries);
-      ("crashed", Json.Int c.crashed);
-      ("false_alarm_rate", Json.Float (false_alarm_rate c));
-      ( "first_alarm_ms_mean",
-        Json.Float
-          (if c.first_alarm_n = 0 then 0.0
-           else c.first_alarm_ms_sum /. float_of_int c.first_alarm_n) );
-    ]
+    ([
+       ("defense", Json.String (defense_name c.posture));
+       ("flights", Json.Int c.flights);
+     ]
+    @ (if c.skipped > 0 then
+         [ ("skipped", Json.Int c.skipped); ("stopped_early", Json.Bool true) ]
+       else [])
+    @ [
+        ("alarmed", Json.Int c.alarmed);
+        ("alarms_total", Json.Int c.alarms_total);
+        ("recoveries", Json.Int c.recoveries);
+        ("crashed", Json.Int c.crashed);
+        ("false_alarm_rate", Json.Float (false_alarm_rate c));
+        ( "first_alarm_ms_mean",
+          Json.Float
+            (if c.first_alarm_n = 0 then 0.0
+             else c.first_alarm_ms_sum /. float_of_int c.first_alarm_n) );
+      ])
 
 let level_to_json lr =
   Json.Obj
@@ -400,9 +649,22 @@ let to_json ?(with_metrics = true) t =
        ("trials_per_cell", Json.Int t.trials);
        ("flight_ms", Json.Int t.ms);
        ("fault_profile", Json.String t.profile);
-       ("levels", Json.List (Array.to_list (Array.map level_to_json t.levels)));
-       ("grid", Json.List (Array.to_list (Array.map cell_to_json (cells t))));
      ]
+    (* Present only when the policy was armed, so unarmed documents are
+       byte-identical to pre-early-stop ones. *)
+    @ (match t.early_stop with
+      | None -> []
+      | Some es ->
+          [
+            ( "early_stop",
+              Json.Obj
+                (Early_stop.to_json_fields es
+                @ [ ("trials_skipped", Json.Int t.trials_skipped) ]) );
+          ])
+    @ [
+        ("levels", Json.List (Array.to_list (Array.map level_to_json t.levels)));
+        ("grid", Json.List (Array.to_list (Array.map cell_to_json (cells t))));
+      ]
     @ if with_metrics then [ ("metrics", Metrics.to_json t.metrics) ] else [])
 
 let pp fmt t =
@@ -427,4 +689,9 @@ let pp fmt t =
             c.crashed)
         lr.controls)
     t.levels;
+  (match t.early_stop with
+  | None -> ()
+  | Some es ->
+      Format.fprintf fmt "  early stop: halfwidth <= %.3f (z=%.2f), %d trials skipped@,"
+        (Early_stop.target es) (Early_stop.z es) t.trials_skipped);
   Format.fprintf fmt "@]"

@@ -34,7 +34,8 @@ val attack_name : attack -> string
 type cell = {
   defense : defense;
   attack : attack;
-  trials : int;
+  trials : int;  (** trials actually run (< configured if stopped early) *)
+  skipped : int;  (** trials not run because the cell stopped early *)
   takeovers : int;  (** trials where the gyro-calibration write landed *)
   detections : int;  (** trials where master or ground station flagged *)
   halts : int;  (** trials where the app CPU ended halted *)
@@ -47,7 +48,8 @@ type cell = {
     a false alarm. *)
 type control = {
   posture : defense;
-  flights : int;
+  flights : int;  (** flights actually flown *)
+  skipped : int;  (** flights not flown because the cell stopped early *)
   alarmed : int;  (** flights with at least one GCS alarm *)
   alarms_total : int;
   recoveries : int;  (** spurious master detections (each = a reflash) *)
@@ -72,7 +74,28 @@ type t = {
           baseline (every profile's first level is "off") *)
   metrics : Mavr_telemetry.Metrics.registry;
       (** every trial's registry, merged *)
+  early_stop : Mavr_campaign.Early_stop.t option;
+      (** the policy the campaign ran under, if any *)
+  trials_skipped : int;  (** total trials early stopping saved *)
 }
+
+(** [checkpoint_spec ... ~profile ~seed ~trials ()] — the
+    {!Mavr_campaign.Checkpoint.spec} identifying one campaign
+    configuration: the hash covers the firmware profile name, fault
+    profile, flight length, trial budget, seed, early-stop policy and
+    whether tracing is on ([traced], default false) — any difference
+    makes a stale checkpoint unresumable rather than silently wrong.
+    Also the single source of truth for the campaign's task count. *)
+val checkpoint_spec :
+  ?ms:int ->
+  ?faults:Mavr_fault.Profile.t ->
+  ?early_stop:Mavr_campaign.Early_stop.t ->
+  ?traced:bool ->
+  profile:string ->
+  seed:int ->
+  trials:int ->
+  unit ->
+  Mavr_campaign.Checkpoint.spec
 
 (** [run ?pool ?jobs ?ms ?faults ~seed ~trials build] — per fault level,
     the [3 x 3 x trials] attack grid plus [3 x trials] control flights,
@@ -94,7 +117,24 @@ type t = {
     and survives timing-stripping.  With [?progress], the task total
     is registered up front, every trial completion ticks the stream,
     and each heartbeat line carries per-(defense × attack) running
-    done/detected/takeover tallies plus control-flight counts. *)
+    done/detected/takeover tallies plus control-flight counts.
+
+    Resumable execution: with [?checkpoint] every completed trial is
+    recorded as it lands (outcome, metrics registry, trace lanes when
+    tracing) and the writer's recorded frontier is replayed into the
+    result array before anything runs — pass a writer primed by
+    {!Mavr_campaign.Checkpoint.resume} and only the uncompleted tasks
+    execute, with the final document byte-identical to an
+    uninterrupted run at any job count.
+    @raise Mavr_campaign.Checkpoint.Corrupt if a primed entry's result
+    payload does not decode (or lacks trace lanes while tracing is on).
+
+    Adaptive stopping: with [?early_stop] each statistical cell (an
+    attacked cell's detection rate, a control's false-alarm rate) runs
+    in deterministic rounds and stops once its Wilson interval is
+    narrow enough; trials not run are reported explicitly
+    ([cell.skipped], [trials_skipped], checkpoint skip entries) and
+    cells that never stop keep byte-identical output. *)
 val run :
   ?pool:Mavr_campaign.Pool.t ->
   ?jobs:int ->
@@ -102,6 +142,8 @@ val run :
   ?faults:Mavr_fault.Profile.t ->
   ?tracer:Mavr_telemetry.Span.tracer ->
   ?progress:Mavr_campaign.Progress.t ->
+  ?early_stop:Mavr_campaign.Early_stop.t ->
+  ?checkpoint:Mavr_campaign.Checkpoint.t ->
   seed:int ->
   trials:int ->
   Mavr_firmware.Build.t ->

@@ -238,6 +238,41 @@ let value_of_json j =
       Some (Histogram_value { count; sum; min; max; mean })
   | _ -> None
 
+(* Rebuild an owned registry from a [to_json] document.  Every cell comes
+   back owned (sampled cells were materialized by the snapshot that
+   produced the document), so the round-trip [to_json (of_json (to_json t))]
+   is byte-identical and the result can keep merging.  An empty histogram
+   (count = 0) must restore the empty sentinel — a later pointwise merge
+   would otherwise widen min/max toward the 0/0 placeholder. *)
+let of_json j =
+  match j with
+  | Json.Obj kvs ->
+      let t = create () in
+      let rec go = function
+        | [] -> Ok t
+        | (name, v) :: rest ->
+            if Hashtbl.mem t.tbl name then
+              Error (Printf.sprintf "Metrics.of_json: duplicate metric %S" name)
+            else (
+              match value_of_json v with
+              | Some (Counter_value c) ->
+                  Hashtbl.add t.tbl name (Counter { c });
+                  go rest
+              | Some (Gauge_value g) ->
+                  Hashtbl.add t.tbl name (Gauge { g });
+                  go rest
+              | Some (Histogram_value s) ->
+                  let h =
+                    if s.count = 0 then { n = 0; sum = 0; hmin = max_int; hmax = min_int }
+                    else { n = s.count; sum = s.sum; hmin = s.min; hmax = s.max }
+                  in
+                  Hashtbl.add t.tbl name (Histogram h);
+                  go rest
+              | None -> Error (Printf.sprintf "Metrics.of_json: malformed metric %S" name))
+      in
+      go kvs
+  | _ -> Error "Metrics.of_json: not an object"
+
 let of_jsonl s =
   let lines = String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "") in
   let rec go acc = function

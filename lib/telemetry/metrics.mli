@@ -103,6 +103,15 @@ val merge : into:registry -> registry -> unit
 
 val to_json : registry -> Json.t
 
+(** Rebuilds an owned registry from a {!to_json} document — the
+    checkpoint-resume path.  Every cell comes back as an owned
+    counter/gauge/histogram (sampled cells were already materialized by
+    the snapshot behind {!to_json}), so
+    [to_json (of_json (to_json t))] round-trips byte-identically and
+    the result merges like the original.  An empty histogram restores
+    the empty sentinel, keeping later pointwise merges exact. *)
+val of_json : Json.t -> (registry, string) result
+
 (** One compact JSON object per line
     ([{"name":...,"seq":...,"cycle":...,"type":...,...}]).  [seq] is
     monotonic per registry across calls and never resets, so a stream

@@ -253,6 +253,86 @@ let merge ~into src =
       List.iter (fun e -> push dl e) (lane_events sl))
     (sorted_lanes src)
 
+(* ---- lane (de)serialization ------------------------------------------ *)
+
+(* Checkpoint persistence for a completed lane.  Host wall-clock timing
+   (ts/dur/cpu) is dropped at serialization: the checkpoint feeds the
+   deterministic-resume contract, and only the timing-stripped form of a
+   Host lane is jobs-invariant — so a restored Host event carries zeros,
+   exactly what --strip would have produced.  Cycles lanes persist their
+   exact integer timestamps.  Open spans are not serialized; only
+   completed lanes belong in a checkpoint. *)
+let lane_to_json l =
+  let ev_json (e : ev) =
+    let time =
+      match l.l_domain with
+      | Host -> []
+      | Cycles ->
+          ("ts", Json.Int (int_of_float e.e_ts))
+          :: (if e.e_instant then [] else [ ("dur", Json.Int (int_of_float e.e_dur)) ])
+    in
+    Json.Obj
+      (("name", Json.String e.e_name)
+       :: (if e.e_instant then [ ("i", Json.Bool true) ] else [])
+      @ time
+      @ [ ("depth", Json.Int e.e_depth) ]
+      @ (if e.e_args = [] then [] else [ ("args", Json.Obj e.e_args) ]))
+  in
+  Json.Obj
+    [
+      ("name", Json.String l.l_name);
+      ("sort", Json.Int l.l_sort);
+      ("domain", Json.String (match l.l_domain with Host -> "host" | Cycles -> "cycles"));
+      ("events", Json.List (List.map ev_json (lane_events l)));
+    ]
+
+let lane_of_json t j =
+  let field name conv j =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Span.lane_of_json: missing or malformed %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* name = field "name" Json.to_str j in
+  let* sort = field "sort" Json.to_int j in
+  let* domain =
+    match Option.bind (Json.member "domain" j) Json.to_str with
+    | Some "host" -> Ok Host
+    | Some "cycles" -> Ok Cycles
+    | _ -> Error "Span.lane_of_json: missing or unknown domain"
+  in
+  let* events =
+    match Json.member "events" j with
+    | Some (Json.List evs) -> Ok evs
+    | _ -> Error "Span.lane_of_json: missing events list"
+  in
+  let* l =
+    match lane t ~sort ~domain name with
+    | l -> Ok l
+    | exception Invalid_argument m -> Error m
+  in
+  let rec go = function
+    | [] -> Ok l
+    | ej :: rest ->
+        let* e_name = field "name" Json.to_str ej in
+        let* e_depth = field "depth" Json.to_int ej in
+        let e_instant = Json.member "i" ej = Some (Json.Bool true) in
+        let e_args = match Json.member "args" ej with Some (Json.Obj kvs) -> kvs | _ -> [] in
+        let* e_ts, e_dur =
+          match domain with
+          | Host -> Ok (0., 0.)
+          | Cycles ->
+              let* ts = field "ts" Json.to_int ej in
+              if e_instant then Ok (float_of_int ts, 0.)
+              else
+                let* dur = field "dur" Json.to_int ej in
+                Ok (float_of_int ts, float_of_int dur)
+        in
+        push l { e_name; e_instant; e_ts; e_dur; e_cpu = 0.; e_depth; e_args };
+        go rest
+  in
+  go events
+
 (* ---- export ---------------------------------------------------------- *)
 
 (* Timestamps: Host lanes are wall-µs floats (stripped to Int 0 for the

@@ -105,6 +105,20 @@ val lane_count : tracer -> int
     not transferred.  [Invalid_argument] on a domain mismatch. *)
 val merge : into:tracer -> tracer -> unit
 
+(** {2 Lane persistence}
+
+    Checkpoint round-trip for completed lanes.  {!lane_to_json} drops
+    Host wall-clock timing (ts/dur/cpu) — the persisted form is exactly
+    the timing-stripped form that the jobs-invariance byte-diff
+    compares — while Cycles lanes keep their exact integer stamps.
+    {!lane_of_json} re-creates the lane (name, sort, domain) in a
+    tracer and replays its events, so a resumed run's stripped trace is
+    byte-identical to the uninterrupted run's.  Open spans are not
+    persisted. *)
+
+val lane_to_json : lane -> Json.t
+val lane_of_json : tracer -> Json.t -> (lane, string) result
+
 (** {2 Export} *)
 
 (** Chrome [trace_event] document: [{"traceEvents": [...]}] with
