@@ -69,6 +69,14 @@ let required =
     [ "resumable"; "resume_frontier" ];
     [ "resumable"; "resume_identical" ];
     [ "resumable"; "early_stop" ];
+    [ "dispatch"; "tasks" ];
+    [ "dispatch"; "shards" ];
+    [ "dispatch"; "workers" ];
+    [ "dispatch"; "single_wall_s" ];
+    [ "dispatch"; "dispatch_wall_s" ];
+    [ "dispatch"; "entries" ];
+    [ "dispatch"; "worker_failures" ];
+    [ "dispatch"; "identical" ];
   ]
 
 let load path =
@@ -344,6 +352,27 @@ let () =
             false
       in
       if not rs_ok then exit 1;
+      (* PR-10 dispatch gates — the sharded-and-merged document is
+         byte-identical to the single-host one, the merged frontier
+         covers every task, and the healthy-pool run lost no worker. *)
+      let dp_ok =
+        (Json.path [ "dispatch"; "identical" ] doc = Some (Json.Bool true)
+        || (prerr_endline "bench smoke: dispatched campaign not byte-identical"; false))
+        && (match
+              (Json.path [ "dispatch"; "entries" ] doc, Json.path [ "dispatch"; "tasks" ] doc)
+            with
+           | Some (Json.Int e), Some (Json.Int t) when e = t && t > 0 -> true
+           | _ ->
+               prerr_endline "bench smoke: dispatch merged frontier incomplete";
+               false)
+        &&
+        match Json.path [ "dispatch"; "worker_failures" ] doc with
+        | Some (Json.Int 0) -> true
+        | _ ->
+            prerr_endline "bench smoke: dispatch reported worker failures on a healthy pool";
+            false
+      in
+      if not dp_ok then exit 1;
       (match Option.bind (Json.path [ "schema" ] doc) Json.to_str with
       | Some "mavr-bench" -> ()
       | Some other ->

@@ -941,6 +941,102 @@ let resumable_campaign () =
          ("early_stop", J.List es_rows) ])
 
 (* ---------------------------------------------------------------- *)
+(* PR-10: multi-host sharding.  The dispatcher splits the task space
+   into cell-aligned shards, drives Service workers (here: in-process
+   serve loops on temp sockets, each running the real shard executor),
+   merges the streamed checkpoint entries and replays them through the
+   campaign join.  The claim carried into the committed artifact is
+   byte-identity with the single-host document — plus what the
+   coordination costs in wall time against two concurrent workers. *)
+
+let dispatch_bench () =
+  section "Dispatch — sharded campaign over serve workers vs single host";
+  let module MC = Mavr_sim.Montecarlo in
+  let module CK = Mavr_campaign.Checkpoint in
+  let module D = Mavr_campaign.Dispatch in
+  let module Service = Mavr_campaign.Service in
+  let b = Lazy.force tiny in
+  let profile_name = b.F.Build.profile.F.Profile.name in
+  let trials = if !quick then 12 else 16 in
+  let ms = if !quick then 200 else 500 in
+  let seed = 29 in
+  let single, single_span = Clock.time (fun () -> MC.run ~jobs:1 ~ms ~seed ~trials b) in
+  let single_json = J.to_string (MC.to_json single) in
+  let spec = MC.checkpoint_spec ~ms ~profile:profile_name ~seed ~trials () in
+  let workers = 2 in
+  let shards = D.plan ~tasks:spec.CK.tasks ~block:trials ~shards:workers in
+  let handler req ~progress =
+    let geti k j = Option.bind (J.member k j) J.to_int in
+    match J.member "shard" req with
+    | Some sh -> (
+        match (geti "lo" sh, geti "hi" sh) with
+        | Some lo, Some hi ->
+            let ck = CK.create ~stream:progress spec in
+            MC.run_shard ~jobs:1 ~ms ~checkpoint:ck ~lo ~hi ~seed ~trials b;
+            Ok (J.Obj [ ("entries", J.Int (CK.completed ck)) ])
+        | _ -> Error "bad shard bounds")
+    | None -> Error "no shard in request"
+  in
+  let sockets =
+    List.init workers (fun i ->
+        let path = Filename.temp_file (Printf.sprintf "mavr_bench_disp%d_" i) ".sock" in
+        Sys.remove path;
+        path)
+  in
+  let domains =
+    List.map
+      (fun s -> Domain.spawn (fun () -> Service.serve ~socket:s ~max_requests:1 handler))
+      sockets
+  in
+  let request ~lo ~hi = J.Obj [ ("shard", J.Obj [ ("lo", J.Int lo); ("hi", J.Int hi) ]) ] in
+  let (merged, outcome), dispatch_span =
+    Clock.time (fun () ->
+        match
+          D.run ~spec ~request ~block:trials
+            ~workers:(List.map (fun s -> D.Unix_socket s) sockets)
+            ~shards ()
+        with
+        | Error e -> failwith ("bench: dispatch failed: " ^ D.error_to_string e)
+        | Ok o ->
+            (* merge by replay: prime a fresh checkpoint and let the
+               campaign join emit the document — zero trials execute *)
+            let ck = CK.create spec in
+            List.iter
+              (fun (i, e) ->
+                match e with
+                | CK.Result r -> CK.record ck ~index:i r
+                | CK.Skip reason -> CK.skip ck ~index:i ~reason)
+              o.D.entries;
+            (MC.run ~jobs:1 ~ms ~seed ~trials ~checkpoint:ck b, o))
+  in
+  List.iter (fun d -> ignore (Domain.join d)) domains;
+  List.iter (fun s -> try Sys.remove s with Sys_error _ -> ()) sockets;
+  let identical = String.equal single_json (J.to_string (MC.to_json merged)) in
+  let entries = List.length outcome.D.entries in
+  Printf.printf "  single host (jobs=1)                  : %8.3f s wall (%d tasks)\n"
+    single_span.Clock.wall_s spec.CK.tasks;
+  Printf.printf "  dispatched (%d shards over %d workers) : %8.3f s wall\n" (List.length shards)
+    workers dispatch_span.Clock.wall_s;
+  Printf.printf
+    "  merged entries %d/%d; %d assignment(s), %d worker failure(s), %d heartbeat(s)\n" entries
+    spec.CK.tasks outcome.D.assignments outcome.D.worker_failures outcome.D.heartbeats;
+  Printf.printf "  byte-identical to single host          : %b\n" identical;
+  put "dispatch"
+    (J.Obj
+       [ ("trials_per_cell", J.Int trials);
+         ("flight_ms", J.Int ms);
+         ("tasks", J.Int spec.CK.tasks);
+         ("shards", J.Int (List.length shards));
+         ("workers", J.Int workers);
+         ("single_wall_s", J.Float single_span.Clock.wall_s);
+         ("dispatch_wall_s", J.Float dispatch_span.Clock.wall_s);
+         ("entries", J.Int entries);
+         ("assignments", J.Int outcome.D.assignments);
+         ("worker_failures", J.Int outcome.D.worker_failures);
+         ("heartbeats", J.Int outcome.D.heartbeats);
+         ("identical", J.Bool identical) ])
+
+(* ---------------------------------------------------------------- *)
 (* PR-8: the interprocedural data-flow clients.  Three per-profile
    claims carried into the committed artifact: the static stack bound
    dominates the SP watermark of an instrumented PARAM_SET-driven
@@ -1119,6 +1215,7 @@ let () =
   fault_robustness ();
   tracing_overhead ();
   resumable_campaign ();
+  dispatch_bench ();
   if not !quick then microbenchmarks ();
   (match !json_out with Some path -> write_json path | None -> ());
   print_endline "\nDone.  See EXPERIMENTS.md for the paper-vs-measured discussion."

@@ -33,7 +33,15 @@ let profile_of_string = function
   | "arducopter" -> Ok F.Profile.arducopter
   | "ardurover" -> Ok F.Profile.ardurover
   | s -> (
-      match int_of_string_opt s with
+      (* Accept both the filler-count shorthand ("60") and the canonical
+         name it builds ("tiny-60"), so a profile name round-trips
+         through the serve/dispatch spec protocol. *)
+      let count =
+        if String.starts_with ~prefix:"tiny-" s then
+          String.sub s 5 (String.length s - 5)
+        else s
+      in
+      match int_of_string_opt count with
       | Some n when n >= 1 -> Ok (F.Profile.tiny ~n ~seed:2024)
       | _ -> Error (`Msg (Printf.sprintf "unknown profile %S (use arduplane/arducopter/ardurover or a filler count)" s)))
 
@@ -965,7 +973,7 @@ let cmd_serve =
             | Some s -> Mavr_fault.Profile.of_string s
           with
           | Error m -> Error m
-          | Ok faults ->
+          | Ok faults -> (
               let es =
                 Option.bind (J.member "early_stop" req) (fun es_j ->
                     let f k = Option.bind (J.member k es_j) J.to_float in
@@ -977,21 +985,68 @@ let cmd_serve =
                       (f "target_halfwidth"))
               in
               let b = build_firmware profile F.Profile.mavr in
-              let progress_t = Mavr_campaign.Progress.create ~sink:send () in
-              let census, grid =
-                Mavr_campaign.Pool.with_pool ?jobs (fun pool ->
-                    let census =
-                      Mavr_analysis.Survival.census ~seed:(Mavr_analysis.Survival.Root seed)
-                        ~pool ~progress:progress_t ~layouts b.F.Build.image
-                    in
-                    let grid =
-                      Mavr_sim.Montecarlo.run ~pool ~ms ~faults ~progress:progress_t
-                        ?early_stop:es ~seed ~trials b
-                    in
-                    (census, grid))
-              in
-              Mavr_campaign.Progress.emit progress_t ~reason:"final";
-              Ok (J.Obj (campaign_doc ~profile_name:profile.F.Profile.name ~seed census grid)))
+              match J.member "shard" req with
+              | None ->
+                  let progress_t = Mavr_campaign.Progress.create ~sink:send () in
+                  let census, grid =
+                    Mavr_campaign.Pool.with_pool ?jobs (fun pool ->
+                        let census =
+                          Mavr_analysis.Survival.census ~seed:(Mavr_analysis.Survival.Root seed)
+                            ~pool ~progress:progress_t ~layouts b.F.Build.image
+                        in
+                        let grid =
+                          Mavr_sim.Montecarlo.run ~pool ~ms ~faults ~progress:progress_t
+                            ?early_stop:es ~seed ~trials b
+                        in
+                        (census, grid))
+                  in
+                  Mavr_campaign.Progress.emit progress_t ~reason:"final";
+                  Ok (J.Obj (campaign_doc ~profile_name:profile.F.Profile.name ~seed census grid))
+              | Some shard_j -> (
+                  (* Shard request: run only the grid tasks in [lo, hi),
+                     streaming every checkpoint entry line down the
+                     connection (the dispatcher merges them); the census
+                     is the dispatcher's own, deterministic job.  The
+                     checkpoint stream and the progress heartbeats come
+                     from different worker domains under different locks,
+                     so one shared mutex serializes the socket writes. *)
+                  match
+                    ( Option.bind (J.member "lo" shard_j) J.to_int,
+                      Option.bind (J.member "hi" shard_j) J.to_int )
+                  with
+                  | Some lo, Some hi when 0 <= lo && lo <= hi ->
+                      let send_mu = Mutex.create () in
+                      let send_locked line =
+                        Mutex.lock send_mu;
+                        Fun.protect
+                          ~finally:(fun () -> Mutex.unlock send_mu)
+                          (fun () -> send line)
+                      in
+                      let spec =
+                        Mavr_sim.Montecarlo.checkpoint_spec ~ms ~faults ?early_stop:es
+                          ~traced:false ~profile:profile.F.Profile.name ~seed ~trials ()
+                      in
+                      if hi > spec.Mavr_campaign.Checkpoint.tasks then
+                        Error
+                          (Printf.sprintf "shard [%d,%d) outside the %d-task grid" lo hi
+                             spec.Mavr_campaign.Checkpoint.tasks)
+                      else begin
+                        let ck = Mavr_campaign.Checkpoint.create ~stream:send_locked spec in
+                        let progress_t = Mavr_campaign.Progress.create ~sink:send_locked () in
+                        Mavr_campaign.Pool.with_pool ?jobs (fun pool ->
+                            Mavr_sim.Montecarlo.run_shard ~pool ~ms ~faults
+                              ~progress:progress_t ?early_stop:es ~checkpoint:ck ~lo ~hi ~seed
+                              ~trials b);
+                        Mavr_campaign.Progress.emit progress_t ~reason:"final";
+                        Ok
+                          (J.Obj
+                             [
+                               ("shard", J.Obj [ ("lo", J.Int lo); ("hi", J.Int hi) ]);
+                               ( "entries",
+                                 J.Int (Mavr_campaign.Checkpoint.completed ck) );
+                             ])
+                      end
+                  | _ -> Error "shard member needs integer lo <= hi")))
     in
     if stdio then begin
       Mavr_campaign.Service.serve_stdio handler;
@@ -1041,6 +1096,322 @@ let cmd_serve =
              same JSON document $(b,campaign --json) would print. Sequential: one campaign at \
              a time owns the worker pool.")
     Term.(const run $ socket $ stdio $ max_requests $ once $ jobs)
+
+let cmd_dispatch =
+  let run profile trials ms layouts seed jobs faults workers spawn nshards heartbeat_timeout
+      max_attempts connect_timeout progress early_stop es_z es_min es_batch kill_after json =
+    let module J = Mavr_telemetry.Json in
+    let module D = Mavr_campaign.Dispatch in
+    match
+      List.fold_left
+        (fun acc a ->
+          Result.bind acc (fun l -> Result.map (fun ad -> ad :: l) (D.address_of_string a)))
+        (Ok []) workers
+    with
+    | Error m ->
+        Format.eprintf "error: %s@." m;
+        2
+    | Ok given_rev ->
+    let given = List.rev given_rev in
+    if trials < 1 then begin
+      Format.eprintf "error: dispatch needs --trials >= 1@.";
+      2
+    end
+    else if spawn < 0 then begin
+      Format.eprintf "error: --spawn must be >= 0@.";
+      2
+    end
+    else if spawn = 0 && given = [] then begin
+      Format.eprintf "error: dispatch needs at least one worker (--worker ADDR or --spawn N)@.";
+      2
+    end
+    else if Option.is_some kill_after && spawn = 0 then begin
+      Format.eprintf "error: --kill-worker-after needs a --spawn worker to kill@.";
+      2
+    end
+    else
+      match
+        try
+          Ok
+            (Option.map
+               (fun target ->
+                 Mavr_campaign.Early_stop.create ~z:es_z ~min_trials:es_min ~batch:es_batch
+                   ~target ())
+               early_stop)
+        with Invalid_argument m -> Error m
+      with
+      | Error m ->
+          Format.eprintf "error: %s@." m;
+          2
+      | Ok es ->
+      match
+        try
+          Ok
+            (match progress with
+            | None -> None
+            | Some "-" -> Some ((fun line -> prerr_endline line), None)
+            | Some path ->
+                let oc = open_out path in
+                Some
+                  ( (fun line ->
+                      output_string oc line;
+                      output_char oc '\n';
+                      flush oc),
+                    Some oc ))
+        with Sys_error e -> Error e
+      with
+      | Error e ->
+          Format.eprintf "error: cannot open progress sink: %s@." e;
+          1
+      | Ok progress_sink ->
+      let progress_t =
+        Option.map (fun (sink, _) -> Mavr_campaign.Progress.create ~sink ()) progress_sink
+      in
+      let name = profile.F.Profile.name in
+      let spec =
+        Mavr_sim.Montecarlo.checkpoint_spec ~ms ~faults ?early_stop:es ~traced:false
+          ~profile:name ~seed ~trials ()
+      in
+      let shards =
+        D.plan ~tasks:spec.Mavr_campaign.Checkpoint.tasks ~block:trials
+          ~shards:(match nshards with Some n -> n | None -> spawn + List.length given)
+      in
+      (* The request a worker receives is the same spec object `serve`
+         already parses, plus the shard range; field defaults match the
+         `campaign` flags, so spec hashes agree end to end. *)
+      let base_fields =
+        [
+          ("profile", J.String name);
+          ("trials", J.Int trials);
+          ("ms", J.Int ms);
+          ("layouts", J.Int layouts);
+          ("seed", J.Int seed);
+          ("faults", J.String faults.Mavr_fault.Profile.name);
+        ]
+        @
+        match es with
+        | None -> []
+        | Some e ->
+            [
+              ( "early_stop",
+                J.Obj
+                  [
+                    ("target_halfwidth", J.Float (Mavr_campaign.Early_stop.target e));
+                    ("z", J.Float (Mavr_campaign.Early_stop.z e));
+                    ("min_trials", J.Int (Mavr_campaign.Early_stop.min_trials e));
+                    ("batch", J.Int (Mavr_campaign.Early_stop.batch e));
+                  ] );
+            ]
+      in
+      let request ~lo ~hi =
+        J.Obj (base_fields @ [ ("shard", J.Obj [ ("lo", J.Int lo); ("hi", J.Int hi) ]) ])
+      in
+      (* Spawned workers come first in the pool, so worker 0 is always
+         the one --kill-worker-after SIGKILLs. *)
+      let devnull_in = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+      let devnull_out = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let spawned =
+        List.init spawn (fun i ->
+            let sock = Filename.temp_file (Printf.sprintf "mavr-worker%d-" i) ".sock" in
+            let args =
+              [ "mavr"; "serve"; "--socket"; sock ]
+              @ match jobs with Some j -> [ "-j"; string_of_int j ] | None -> []
+            in
+            let pid =
+              Unix.create_process Sys.executable_name (Array.of_list args) devnull_in
+                devnull_out Unix.stderr
+            in
+            (pid, sock))
+      in
+      Unix.close devnull_in;
+      Unix.close devnull_out;
+      let workers_addrs = List.map (fun (_, s) -> D.Unix_socket s) spawned @ given in
+      let killed = ref false in
+      let w0_entries = ref 0 in
+      let on_event = function
+        | D.Entry_received { worker = 0; fresh = true; _ } -> (
+            incr w0_entries;
+            match (kill_after, spawned) with
+            | Some n, (pid, _) :: _ when (not !killed) && !w0_entries >= n ->
+                killed := true;
+                (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+            | _ -> ())
+        | _ -> ()
+      in
+      let result =
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun (pid, sock) ->
+                (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+                try Sys.remove sock with Sys_error _ -> ())
+              spawned)
+          (fun () ->
+            D.run ~heartbeat_timeout_s:heartbeat_timeout ~max_attempts
+              ~connect_timeout_s:connect_timeout ?progress:progress_t ~on_event ~spec ~request
+              ~block:trials ~workers:workers_addrs ~shards ())
+      in
+      match result with
+      | Error e ->
+          Format.eprintf "error: dispatch: %s@." (D.error_to_string e);
+          Option.iter (fun (_, oc) -> Option.iter close_out oc) progress_sink;
+          3
+      | Ok outcome -> (
+          (* Merge: prime a fresh checkpoint with every shard's entries
+             and run the campaign over it — zero trials execute, the
+             early-stop trajectory replays, and the document comes out of
+             the exact code path `campaign --json` uses. *)
+          let ck = Mavr_campaign.Checkpoint.create spec in
+          List.iter
+            (fun (i, e) ->
+              match e with
+              | Mavr_campaign.Checkpoint.Result r -> Mavr_campaign.Checkpoint.record ck ~index:i r
+              | Mavr_campaign.Checkpoint.Skip reason ->
+                  Mavr_campaign.Checkpoint.skip ck ~index:i ~reason)
+            outcome.D.entries;
+          let b = build_firmware profile F.Profile.mavr in
+          match
+            try
+              Ok
+                (Mavr_campaign.Pool.with_pool ?jobs (fun pool ->
+                     let census =
+                       Mavr_analysis.Survival.census ~seed:(Mavr_analysis.Survival.Root seed)
+                         ~pool ~layouts b.F.Build.image
+                     in
+                     let grid =
+                       Mavr_sim.Montecarlo.run ~pool ~ms ~faults ?early_stop:es ~checkpoint:ck
+                         ~seed ~trials b
+                     in
+                     (census, grid)))
+            with Mavr_campaign.Checkpoint.Corrupt m -> Error m
+          with
+          | Error m ->
+              Format.eprintf "error: dispatch merge: %s@." m;
+              Option.iter (fun (_, oc) -> Option.iter close_out oc) progress_sink;
+              3
+          | Ok (census, grid) ->
+              Option.iter (fun p -> Mavr_campaign.Progress.emit p ~reason:"final") progress_t;
+              Option.iter (fun (_, oc) -> Option.iter close_out oc) progress_sink;
+              if json then
+                print_endline
+                  (J.to_string ~indent:2 (J.Obj (campaign_doc ~profile_name:name ~seed census grid)))
+              else begin
+                Format.printf
+                  "%s: dispatched %d shard(s) over %d worker(s): %d assignment(s), %d worker \
+                   failure(s), %d heartbeat(s)@."
+                  name (List.length shards) (List.length workers_addrs) outcome.D.assignments
+                  outcome.D.worker_failures outcome.D.heartbeats;
+                Format.printf "  %a@." Mavr_analysis.Survival.pp census;
+                Format.printf "%a@." Mavr_sim.Montecarlo.pp grid
+              end;
+              if
+                census.Mavr_analysis.Survival.feasible_layouts > 0
+                || Mavr_sim.Montecarlo.takeovers grid Mavr_sim.Montecarlo.Mavr_defense > 0
+              then 1
+              else 0)
+  in
+  let trials =
+    Arg.(value & opt int 5 & info [ "trials" ] ~docv:"N" ~doc:"Monte Carlo trials per grid cell.")
+  in
+  let ms =
+    Arg.(value & opt int 900 & info [ "ms" ] ~docv:"MS" ~doc:"Simulated milliseconds per trial.")
+  in
+  let layouts =
+    Arg.(value & opt int 10 & info [ "layouts" ] ~docv:"K" ~doc:"Layouts in the survival census.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED"
+           ~doc:"Campaign root seed; every per-trial seed is split from it.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS"
+           ~doc:"Worker domains per spawned worker and for the local merge (default: the \
+                 runtime's recommended count). The output is bit-identical for any value.")
+  in
+  let faults =
+    Arg.(value & opt faults_conv Mavr_fault.Profile.none
+         & info [ "faults" ] ~docv:"PROFILE" ~doc:"Fault-injection profile, as for campaign.")
+  in
+  let workers =
+    Arg.(value & opt_all string []
+         & info [ "worker" ] ~docv:"ADDR"
+             ~doc:"A worker endpoint: $(b,unix:PATH) or a bare Unix-socket path of a running \
+                   $(b,mavr serve --socket) instance. Repeatable.")
+  in
+  let spawn =
+    Arg.(value & opt int 0
+         & info [ "spawn" ] ~docv:"N"
+             ~doc:"Spawn $(docv) local $(b,mavr serve) worker processes on temporary sockets \
+                   (killed when dispatch exits). Combines with $(b,--worker).")
+  in
+  let nshards =
+    Arg.(value & opt (some int) None
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Split the grid into at most $(docv) contiguous cell-aligned shards \
+                   (default: one per worker).")
+  in
+  let heartbeat_timeout =
+    Arg.(value & opt float 30.0
+         & info [ "heartbeat-timeout" ] ~docv:"S"
+             ~doc:"Declare a worker dead after $(docv) seconds without any line from it; its \
+                   uncompleted index range is re-dispatched to a surviving worker.")
+  in
+  let max_attempts =
+    Arg.(value & opt int 3
+         & info [ "max-attempts" ] ~docv:"N"
+             ~doc:"Give up on a shard after $(docv) assignments (with exponential backoff \
+                   between re-dispatches) and exit 3.")
+  in
+  let connect_timeout =
+    Arg.(value & opt float 5.0
+         & info [ "connect-timeout" ] ~docv:"S"
+             ~doc:"How long to retry connecting to a worker socket that is not accepting yet.")
+  in
+  let progress =
+    Arg.(value & opt (some string) None
+         & info [ "progress" ] ~docv:"FILE"
+             ~doc:"Stream merged dispatcher heartbeats to FILE as JSONL ($(b,-) for stderr): \
+                   one gap-free sequence over every shard's entries, plus a $(b,dispatch) \
+                   detail object (shard/worker/re-dispatch counts).")
+  in
+  let early_stop =
+    Arg.(value & opt (some float) None
+         & info [ "early-stop" ] ~docv:"W"
+             ~doc:"Per-cell Wilson-interval early stopping, as for campaign; cell-aligned \
+                   shards keep every stop decision identical to a single-host run.")
+  in
+  let es_z =
+    Arg.(value & opt float 1.96 & info [ "early-stop-z" ] ~docv:"Z"
+           ~doc:"Wilson interval critical value (default 1.96).")
+  in
+  let es_min =
+    Arg.(value & opt int 8 & info [ "early-stop-min" ] ~docv:"N"
+           ~doc:"Never stop a cell before $(docv) trials (default 8).")
+  in
+  let es_batch =
+    Arg.(value & opt int 4 & info [ "early-stop-batch" ] ~docv:"N"
+           ~doc:"Grow each open cell by $(docv) trials per adaptive round (default 4).")
+  in
+  let kill_after =
+    Arg.(value & opt (some int) None
+         & info [ "kill-worker-after" ] ~docv:"N"
+             ~doc:"(testing) SIGKILL the first spawned worker after $(docv) entries have been \
+                   received from it — the mid-run death the re-dispatch path must survive. \
+                   Used by the dispatch byte-diff rules in bin/dune.")
+  in
+  Cmd.v
+    (Cmd.info "dispatch"
+       ~doc:"Shard a campaign across $(b,mavr serve) workers: split the grid's task-index \
+             space into contiguous cell-aligned shards, stream every worker's checkpoint \
+             entries and heartbeats over its socket, survive worker death by re-dispatching \
+             the uncompleted range, and merge into the exact document $(b,campaign --json) \
+             prints — byte-identical. Exits like campaign (0/1), 2 on usage, 3 when a shard \
+             stays unresolved.")
+    Term.(
+      const run $ profile_arg $ trials $ ms $ layouts $ seed $ jobs $ faults $ workers $ spawn
+      $ nshards $ heartbeat_timeout $ max_attempts $ connect_timeout $ progress $ early_stop
+      $ es_z $ es_min $ es_batch $ kill_after $ json_flag)
 
 let cmd_profile =
   let run profile ms attack top json =
@@ -1138,6 +1509,11 @@ let () =
            below the dynamic watermark), or a campaign that found a feasible payload or a \
            takeover under the MAVR defense.";
       Cmd.Exit.info 2 ~doc:"on usage error: unknown subcommand, bad option, or bad argument.";
+      Cmd.Exit.info 3
+        ~doc:
+          "on dispatch failure: a shard stayed unresolved after its retry budget (worker \
+           death/timeout with no surviving worker able to finish it), or the merged frontier \
+           failed to re-form the campaign document.";
     ]
   in
   let info = Cmd.info "mavr" ~version:"1.0.0" ~doc ~exits in
@@ -1145,7 +1521,7 @@ let () =
     Cmd.group info
       [ cmd_build; cmd_gadgets; cmd_randomize; cmd_attack; cmd_fly; cmd_stats;
         cmd_flight_record; cmd_disasm; cmd_lifetime; cmd_entropy; cmd_analyze; cmd_lint;
-        cmd_campaign; cmd_serve; cmd_profile; cmd_tables ]
+        cmd_campaign; cmd_serve; cmd_dispatch; cmd_profile; cmd_tables ]
   in
   (* Map every cmdliner-level error (unknown subcommand, bad flag, missing
      argument) to the documented usage-error code 2; uncaught exceptions

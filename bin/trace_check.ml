@@ -29,6 +29,13 @@
                                   checkpoint structure plus full
                                   coverage — every task index appears
                                   exactly once (as a result or a skip)
+     trace_check --dispatch FILE  validate a `mavr dispatch --progress`
+                                  stream: the --progress contract plus a
+                                  dispatch detail object on every line
+                                  (constant shard/worker counts,
+                                  monotone shards_done / workers_dead /
+                                  redispatches), ending with every shard
+                                  done
      trace_check --serve FILE     validate a serve-session transcript:
                                   progress heartbeat lines followed by
                                   exactly one terminal kind:result or
@@ -203,6 +210,62 @@ let validate_progress path =
   if reason <> "final" then fail "stream ends with reason %S, expected \"final\"" reason;
   if d <> total then fail "final line reports %d/%d tasks" d total;
   Printf.printf "progress ok: %d lines, %d/%d tasks\n" n d total
+
+(* ---- dispatch session validation -------------------------------------- *)
+
+(* A dispatch progress stream is a progress stream (gap-free merged seq,
+   terminal final line) whose every line also carries the dispatcher's
+   own detail object — the invariants CI leans on after killing a worker
+   mid-run: pool and shard counts never change, completion and death
+   counts never go backwards, and the run only ends with every shard
+   done. *)
+let validate_dispatch path =
+  let lines = jsonl_lines path in
+  if lines = [] then fail "empty dispatch progress stream";
+  let n, d, total, reason = check_progress_lines lines in
+  if reason <> "final" then fail "stream ends with reason %S, expected \"final\"" reason;
+  if d <> total then fail "final line reports %d/%d tasks" d total;
+  let shards0 = ref (-1) and workers0 = ref (-1) in
+  let last_sd = ref 0 and last_dead = ref 0 and last_re = ref 0 in
+  List.iteri
+    (fun i line ->
+      let ctx = Printf.sprintf "line %d" (i + 1) in
+      let j = match J.of_string line with Ok j -> j | Error e -> fail "%s: %s" ctx e in
+      let dsp =
+        match mem "dispatch" j with
+        | Some (J.Obj _ as o) -> o
+        | Some _ -> fail "%s: dispatch detail is not an object" ctx
+        | None -> fail "%s: missing dispatch detail" ctx
+      in
+      let geti k =
+        match int k dsp with Some v -> v | None -> fail "%s: dispatch.%s missing" ctx k
+      in
+      let shards = geti "shards" and sd = geti "shards_done" in
+      let sq = geti "shards_queued" and sa = geti "shards_active" in
+      let workers = geti "workers" and wd = geti "workers_dead" in
+      let re = geti "redispatches" in
+      if !shards0 < 0 then shards0 := shards
+      else if shards <> !shards0 then
+        fail "%s: shard count changed (%d after %d)" ctx shards !shards0;
+      if !workers0 < 0 then workers0 := workers
+      else if workers <> !workers0 then
+        fail "%s: worker count changed (%d after %d)" ctx workers !workers0;
+      if sd < !last_sd then fail "%s: shards_done went backwards (%d after %d)" ctx sd !last_sd;
+      if sd > shards then fail "%s: shards_done %d exceeds %d shards" ctx sd shards;
+      if wd < !last_dead then
+        fail "%s: workers_dead went backwards (%d after %d)" ctx wd !last_dead;
+      if wd > workers then fail "%s: workers_dead %d exceeds %d workers" ctx wd workers;
+      if re < !last_re then
+        fail "%s: redispatches went backwards (%d after %d)" ctx re !last_re;
+      if sq < 0 || sa < 0 || sa > workers then
+        fail "%s: implausible queue/active counts (%d queued, %d active)" ctx sq sa;
+      last_sd := sd;
+      last_dead := wd;
+      last_re := re)
+    lines;
+  if !last_sd <> !shards0 then fail "final line reports %d/%d shards done" !last_sd !shards0;
+  Printf.printf "dispatch ok: %d lines, %d/%d tasks, %d shards over %d workers (%d dead, %d redispatches)\n"
+    n d total !shards0 !workers0 !last_dead !last_re
 
 (* ---- checkpoint / results validation ---------------------------------- *)
 
@@ -414,6 +477,7 @@ let validate_analyze path =
 let () =
   match Sys.argv with
   | [| _; "--progress"; path |] -> validate_progress path
+  | [| _; "--dispatch"; path |] -> validate_dispatch path
   | [| _; "--analyze"; path |] -> validate_analyze path
   | [| _; "--checkpoint"; path |] -> validate_checkpoint path
   | [| _; "--results"; path |] -> validate_results path
@@ -429,6 +493,6 @@ let () =
       else Printf.printf "trace ok: %d events\n" (List.length events)
   | _ ->
       prerr_endline
-        "usage: trace_check [--strip] FILE | trace_check (--progress | --analyze | \
-         --checkpoint | --results | --serve | --serve-result) FILE";
+        "usage: trace_check [--strip] FILE | trace_check (--progress | --dispatch | \
+         --analyze | --checkpoint | --results | --serve | --serve-result) FILE";
       exit 2

@@ -57,12 +57,52 @@ let sorted_entries_locked t =
   Hashtbl.fold (fun i e acc -> (i, e) :: acc) t.entries []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* A snapshot's temp file is pid-unique: two processes pointed (even by
+   misconfiguration) at the same checkpoint path race only at the atomic
+   rename, never inside each other's half-written temp file. *)
+let tmp_name path = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ())
+
+(* Remove leftover temp files from earlier (crashed) processes: anything
+   shaped [basename.*.tmp] next to [path], including the legacy fixed
+   [basename.tmp] name.  The live snapshot file itself never matches. *)
+let unlink_stale_tmps path =
+  let dir = Filename.dirname path and base = Filename.basename path in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun name ->
+          if
+            String.starts_with ~prefix:(base ^ ".") name
+            && Filename.check_suffix name ".tmp"
+          then try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        names
+
+(* [Unix.fsync] on a directory is how POSIX persists a rename; some
+   filesystems refuse it (EINVAL), which is as durable as they get. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let write_string_fd fd s =
+  let n = String.length s in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write_substring fd s !written (n - !written)
+  done
+
 (* Full-rewrite snapshot: header + every entry sorted by index, written
-   to a sibling temp file then renamed over [path].  The rename is the
-   commit point — a reader (or a resume after SIGKILL at any instant)
-   sees either the previous complete snapshot or this one, never a torn
-   prefix.  Entries are sorted so the snapshot bytes are a pure function
-   of the completed-task set, independent of completion order. *)
+   to a sibling pid-unique temp file, fsynced, then renamed over [path]
+   (and the directory fsynced so the rename itself survives power
+   loss).  The rename is the commit point — a reader (or a resume after
+   SIGKILL at any instant) sees either the previous complete snapshot or
+   this one, never a torn prefix.  Entries are sorted so the snapshot
+   bytes are a pure function of the completed-task set, independent of
+   completion order.  On any failure (ENOSPC, EIO, ...) the temp file is
+   unlinked rather than leaked. *)
 let snapshot_locked t =
   match t.path with
   | None -> ()
@@ -75,11 +115,21 @@ let snapshot_locked t =
           Buffer.add_string b (entry_line i e);
           Buffer.add_char b '\n')
         (sorted_entries_locked t);
-      let tmp = path ^ ".tmp" in
-      let oc = open_out_bin tmp in
-      output_string oc (Buffer.contents b);
-      close_out oc;
-      Sys.rename tmp path;
+      let tmp = tmp_name path in
+      Fun.protect
+        ~finally:(fun () ->
+          (* After a successful rename the temp file no longer exists;
+             if it still does, the write or rename failed — clean up. *)
+          if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              write_string_fd fd (Buffer.contents b);
+              Unix.fsync fd);
+          Sys.rename tmp path;
+          fsync_dir (Filename.dirname path));
       t.since_snapshot <- 0;
       t.snapshots <- t.snapshots + 1
 
@@ -102,6 +152,7 @@ let create ?path ?stream ?(every = 32) spec =
       recorded = 0;
     }
   in
+  Option.iter unlink_stale_tmps path;
   emit_stream t (header_line spec);
   (* An initial header-only snapshot, so the file exists (and the path is
      proven writable) before any task runs. *)
@@ -214,6 +265,7 @@ let resume ~path ?stream ?(every = 32) spec =
       recorded = 0;
     }
   in
+  unlink_stale_tmps path;
   List.iter (fun (i, e) -> Hashtbl.replace t.entries i e) entries;
   (* Replay the primed frontier into the stream, so a results JSONL from
      a resumed run still covers every completed task. *)

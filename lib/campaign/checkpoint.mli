@@ -16,12 +16,17 @@
     v}
 
     Snapshots are full rewrites — header plus every entry sorted by
-    index — written to [path ^ ".tmp"] and renamed over [path], so the
-    file on disk is always a complete, internally consistent frontier
-    (SIGKILL at any instant loses at most the entries since the last
-    snapshot, never corrupts).  The sorted order also makes snapshot
-    bytes a pure function of the completed set, independent of the
-    completion order a particular [--jobs] produced.
+    index — written to a pid-unique sibling temp file
+    ([path ^ "." ^ pid ^ ".tmp"]), fsynced, and renamed over [path]
+    (with the containing directory fsynced so the rename survives power
+    loss), so the file on disk is always a complete, internally
+    consistent frontier (SIGKILL or power loss at any instant loses at
+    most the entries since the last snapshot, never corrupts).  A
+    failed write (ENOSPC, EIO) unlinks the temp file instead of leaking
+    it, and {!create}/{!resume} sweep any stale temp files left by
+    crashed processes.  The sorted order also makes snapshot bytes a
+    pure function of the completed set, independent of the completion
+    order a particular [--jobs] produced.
 
     The optional [stream] sink additionally receives every line as it
     is emitted, in completion order — the live results JSONL

@@ -58,6 +58,13 @@ let serve ~socket ?max_requests handler =
                 | Some m when served >= m -> Ok served
                 | _ -> (
                     match Unix.accept fd with
+                    (* Transient accept failures must not tear the server
+                       down: EINTR is any signal landing mid-accept (a
+                       worker being supervised gets plenty), ECONNABORTED
+                       is a client giving up while queued.  Retry; only
+                       real socket errors (EBADF, EMFILE, ...) are fatal. *)
+                    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+                        loop served
                     | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
                     | client, _ ->
                         let ic = Unix.in_channel_of_descr client in

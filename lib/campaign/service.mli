@@ -28,7 +28,10 @@ type handler = Json.t -> progress:(string -> unit) -> (Json.t, string) result
     sequentially, and serves until [max_requests] connections have been
     handled ([None] = forever).  SIGPIPE is ignored for the process, so
     a client vanishing mid-stream surfaces as a write error, not death.
-    Returns the number of requests served, or the socket-level error. *)
+    Transient accept failures ([EINTR] from a signal landing mid-accept,
+    [ECONNABORTED] from a client aborting while queued) are retried;
+    only real socket errors are fatal.  Returns the number of requests
+    served, or the socket-level error. *)
 val serve : socket:string -> ?max_requests:int -> handler -> (int, string) result
 
 (** [serve_stdio handler] runs one request over stdin/stdout — the same

@@ -278,8 +278,20 @@ let attack_frames ti obs =
   | V2 -> Rop.v2_stealthy ti obs ~writes
   | V3 -> Rop.v3_execute ti obs ~chain_dest:F.Layout.free_region ~writes
 
-let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress ?early_stop
-    ?checkpoint ~seed ~trials (build : F.Build.t) =
+(* Shared campaign driver: attacker analysis, checkpoint priming, the
+   deterministic early-stop round loop and skip accounting — restricted
+   to the cell range [cell_lo, cell_hi).  [run] drives every cell and
+   folds the result document; [run_shard] drives one contiguous cell
+   range and leaves its recorded entries in the checkpoint (a dispatcher
+   merges shards by priming a fresh checkpoint with every shard's
+   entries and re-running [run] over it, which executes zero trials).
+   The global index space is the concatenation of [trials]-sized
+   per-cell blocks in cell order — [cell_base c = c * trials] — and
+   per-cell statistics ([key_stat]) read only that cell's own prefix, so
+   a sharded run's per-cell early-stop trajectory is identical to the
+   single-host one. *)
+let drive ?pool ?jobs ~ms ~faults ?tracer ?progress ?early_stop ?checkpoint
+    ~cell_range:(cell_lo, cell_hi) ~seed ~trials (build : F.Build.t) =
   if trials < 0 then invalid_arg "Montecarlo.run: negative trial count";
   let image = build.F.Build.image in
   (* The attacker's static + dynamic analysis of the unprotected binary
@@ -426,6 +438,9 @@ let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress
      yields ascending global indices. *)
   let cells_per_level = (nd * na) + nd in
   let ncells = nlevels * cells_per_level in
+  if cell_lo < 0 || cell_hi > ncells || cell_lo > cell_hi then
+    invalid_arg
+      (Printf.sprintf "Montecarlo: cell range [%d,%d) outside [0,%d)" cell_lo cell_hi ncells);
   let cell_base c =
     let l = c / cells_per_level and r = c mod cells_per_level in
     (l * per_level) + (if r < nd * na then r * trials else grid_tasks + ((r - (nd * na)) * trials))
@@ -463,7 +478,7 @@ let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress
   let continue_ = ref true in
   while !continue_ do
     let todo = ref [] in
-    for c = ncells - 1 downto 0 do
+    for c = cell_hi - 1 downto cell_lo do
       let base = cell_base c in
       for j = target.(c) - 1 downto 0 do
         if results.(base + j) = None then todo := (base + j) :: !todo
@@ -475,7 +490,7 @@ let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress
     | None -> continue_ := false
     | Some es ->
         let expanded = ref false in
-        for c = 0 to ncells - 1 do
+        for c = cell_lo to cell_hi - 1 do
           if (not stopped.(c)) && target.(c) < trials then begin
             let n = target.(c) in
             if Early_stop.should_stop es ~n ~k:(key_stat c n) then stopped.(c) <- true
@@ -492,21 +507,36 @@ let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress
      the frontier stays gap-free for validators). *)
   let cell_skipped = Array.make ncells 0 in
   let trials_skipped = ref 0 in
-  Array.iteri
-    (fun c tgt ->
-      let sk = trials - tgt in
-      if sk > 0 then begin
-        cell_skipped.(c) <- sk;
-        trials_skipped := !trials_skipped + sk;
-        match checkpoint with
-        | None -> ()
-        | Some ck ->
-            let base = cell_base c in
-            for j = tgt to trials - 1 do
-              Checkpoint.skip ck ~index:(base + j) ~reason:"early_stop"
-            done
-      end)
-    target;
+  for c = cell_lo to cell_hi - 1 do
+    let tgt = target.(c) in
+    let sk = trials - tgt in
+    if sk > 0 then begin
+      cell_skipped.(c) <- sk;
+      trials_skipped := !trials_skipped + sk;
+      match checkpoint with
+      | None -> ()
+      | Some ck ->
+          let base = cell_base c in
+          for j = tgt to trials - 1 do
+            Checkpoint.skip ck ~index:(base + j) ~reason:"early_stop"
+          done
+    end
+  done;
+  (results, target, cell_skipped, !trials_skipped)
+
+let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress ?early_stop
+    ?checkpoint ~seed ~trials (build : F.Build.t) =
+  let nd, na, nlevels, grid_tasks, per_level, _ = layout ~faults ~trials in
+  let cells_per_level = (nd * na) + nd in
+  let ncells = nlevels * cells_per_level in
+  let results, target, cell_skipped, trials_skipped =
+    drive ?pool ?jobs ~ms ~faults ?tracer ?progress ?early_stop ?checkpoint
+      ~cell_range:(0, ncells) ~seed ~trials build
+  in
+  let cell_base c =
+    let l = c / cells_per_level and r = c mod cells_per_level in
+    (l * per_level) + (if r < nd * na then r * trials else grid_tasks + ((r - (nd * na)) * trials))
+  in
   let metrics = Metrics.create () in
   Array.iter (function Some (_, r) -> Metrics.merge ~into:metrics r | None -> ()) results;
   let fold base n f init =
@@ -569,8 +599,29 @@ let run ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress
     levels;
     metrics;
     early_stop;
-    trials_skipped = !trials_skipped;
+    trials_skipped;
   }
+
+(* [run_shard ~lo ~hi] executes only the cells whose index blocks lie in
+   [lo, hi); results are visible solely through [checkpoint], which
+   records an entry line for every completed or skipped index in range.
+   Bounds must be cell-aligned — multiples of [trials] — so shard
+   early-stop trajectories match the single-host run's. *)
+let run_shard ?pool ?jobs ?(ms = 900) ?(faults = Fault.Profile.none) ?tracer ?progress
+    ?early_stop ~checkpoint ~lo ~hi ~seed ~trials (build : F.Build.t) =
+  if trials < 1 then invalid_arg "Montecarlo.run_shard: trials must be >= 1";
+  let _, _, _, _, _, tasks = layout ~faults ~trials in
+  if lo < 0 || hi > tasks || lo > hi then
+    invalid_arg (Printf.sprintf "Montecarlo.run_shard: range [%d,%d) outside [0,%d]" lo hi tasks);
+  if lo mod trials <> 0 || hi mod trials <> 0 then
+    invalid_arg
+      (Printf.sprintf "Montecarlo.run_shard: bounds [%d,%d) not multiples of %d trials" lo hi
+         trials);
+  let (_ : _ array * int array * int array * int) =
+    drive ?pool ?jobs ~ms ~faults ?tracer ?progress ?early_stop ~checkpoint
+      ~cell_range:(lo / trials, hi / trials) ~seed ~trials build
+  in
+  ()
 
 let cells t = t.levels.(0).cells
 

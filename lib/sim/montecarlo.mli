@@ -149,6 +149,35 @@ val run :
   Mavr_firmware.Build.t ->
   t
 
+(** [run_shard ~checkpoint ~lo ~hi ~seed ~trials build] — execute only
+    the tasks with global indices in [\[lo, hi)], recording every
+    completed trial (and every early-stop skip) in [checkpoint]; nothing
+    else is returned.  The campaign's index space is a concatenation of
+    [trials]-sized per-cell blocks in a fixed cell order, so [lo] and
+    [hi] must be multiples of [trials] (cell-aligned) — then each cell's
+    early-stop trajectory, and therefore every recorded entry, is
+    byte-identical to what a single-host {!run} records for those
+    indices.  A dispatcher reassembles the full campaign by priming a
+    checkpoint with every shard's entries and calling {!run} over it
+    (which executes zero trials).
+    @raise Invalid_argument on bounds that are out of range or not
+    cell-aligned. *)
+val run_shard :
+  ?pool:Mavr_campaign.Pool.t ->
+  ?jobs:int ->
+  ?ms:int ->
+  ?faults:Mavr_fault.Profile.t ->
+  ?tracer:Mavr_telemetry.Span.tracer ->
+  ?progress:Mavr_campaign.Progress.t ->
+  ?early_stop:Mavr_campaign.Early_stop.t ->
+  checkpoint:Mavr_campaign.Checkpoint.t ->
+  lo:int ->
+  hi:int ->
+  seed:int ->
+  trials:int ->
+  Mavr_firmware.Build.t ->
+  unit
+
 (** The clean baseline grid: [t.levels.(0).cells]. *)
 val cells : t -> cell array
 

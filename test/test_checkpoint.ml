@@ -346,6 +346,51 @@ let test_progress_final_under_contention () =
             (Option.bind (Json.member "done" j) Json.to_int))
   | [] -> Alcotest.fail "no lines emitted at all"
 
+(* ---- snapshot durability (PR 10) ------------------------------------- *)
+
+let tmp_siblings path =
+  let dir = Filename.dirname path and base = Filename.basename path in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun name ->
+         String.starts_with ~prefix:(base ^ ".") name && Filename.check_suffix name ".tmp")
+
+(* Snapshot temp files are pid-unique and stale ones (from crashed
+   processes — including the legacy fixed [path ^ ".tmp"] name that
+   collided across processes) are swept on both [create] and [resume];
+   a healthy snapshot never leaves a temp file behind. *)
+let test_tmp_hygiene () =
+  let path = tmp "tmphygiene" in
+  let plant () =
+    write_lines (path ^ ".tmp") [ "stale legacy tmp" ];
+    write_lines (path ^ ".99999.tmp") [ "stale pid tmp" ]
+  in
+  plant ();
+  let sp = spec ~trials:1 () in
+  let ck = Checkpoint.create ~path ~every:1 sp in
+  Alcotest.(check (list string)) "create sweeps stale tmps" [] (tmp_siblings path);
+  Checkpoint.record ck ~index:0 (Json.Obj [ ("v", Json.Int 0) ]);
+  Checkpoint.close ck;
+  Alcotest.(check (list string)) "snapshots leave no tmp behind" [] (tmp_siblings path);
+  plant ();
+  (match Checkpoint.resume ~path sp with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("resume failed: " ^ e));
+  Alcotest.(check (list string)) "resume sweeps stale tmps" [] (tmp_siblings path)
+
+(* A snapshot whose commit rename fails (here: the target path is a
+   directory, standing in for ENOSPC/EIO) must raise — and must not
+   leak its temp file. *)
+let test_snapshot_failure_unlinks_tmp () =
+  let dirpath = Filename.temp_file "mavr_ck_dirtarget" "" in
+  Sys.remove dirpath;
+  Unix.mkdir dirpath 0o755;
+  at_exit (fun () -> try Unix.rmdir dirpath with Unix.Unix_error _ | Sys_error _ -> ());
+  (match Checkpoint.create ~path:dirpath (spec ~trials:1 ()) with
+  | (_ : Checkpoint.t) -> Alcotest.fail "snapshot over a directory should fail"
+  | exception Sys_error _ -> ()
+  | exception Unix.Unix_error _ -> ());
+  Alcotest.(check (list string)) "failed snapshot leaves no tmp" [] (tmp_siblings dirpath)
+
 let () =
   Alcotest.run "checkpoint"
     [
@@ -369,6 +414,12 @@ let () =
           Alcotest.test_case "skip accounting" `Slow test_early_stop_accounting;
           Alcotest.test_case "jobs-invariant decisions" `Slow test_early_stop_jobs_invariant;
           Alcotest.test_case "resume replays trajectory" `Slow test_early_stop_resume;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "tmp files pid-unique and swept" `Quick test_tmp_hygiene;
+          Alcotest.test_case "failed snapshot leaks no tmp" `Quick
+            test_snapshot_failure_unlinks_tmp;
         ] );
       ("pool", [ Alcotest.test_case "stats under live readers" `Quick test_pool_stats_live ]);
       ( "progress",
